@@ -1,0 +1,83 @@
+// Command simqos runs one simulation of the paper's reservation-enabled
+// environment and prints the key metrics: overall reservation success
+// rate, average end-to-end QoS level, the per-class breakdown, and the
+// selected-path histograms.
+//
+// Usage:
+//
+//	simqos -alg basic -rate 100 -seed 1 [-duration 10800] [-stale 0]
+//	       [-scale 4] [-diversity 0]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"qosres/internal/broker"
+	"qosres/internal/sim"
+	"qosres/internal/stats"
+)
+
+func main() {
+	var (
+		alg        = flag.String("alg", "basic", "algorithm: basic, tradeoff, or random")
+		rate       = flag.Float64("rate", 100, "average session generation rate (sessions per 60 TUs)")
+		seed       = flag.Int64("seed", 1, "random seed")
+		duration   = flag.Float64("duration", 10800, "simulated time units")
+		stale      = flag.Float64("stale", 0, "max availability observation age E (TUs)")
+		scale      = flag.Float64("scale", sim.DefaultBaseScale, "base requirement scale")
+		diversity  = flag.Float64("diversity", 0, "requirement diversity compression ratio (0 = off, paper fig 13 uses 3)")
+		paths      = flag.Bool("paths", false, "print selected-path histograms")
+		contention = flag.String("contention", "ratio", "contention index: ratio, headroom, or log")
+		useRuntime = flag.Bool("runtime", false, "route sessions through the QoSProxy runtime architecture")
+		timeline   = flag.Float64("timeline", 0, "print a success-rate timeline with this window width (TUs)")
+	)
+	flag.Parse()
+
+	cfg := sim.DefaultConfig(sim.Algorithm(*alg), *rate, *seed)
+	cfg.Duration = broker.Time(*duration)
+	cfg.StaleE = broker.Time(*stale)
+	cfg.Workload.BaseScale = *scale
+	cfg.Workload.DiversityRatio = *diversity
+	cfg.Contention = *contention
+	cfg.UseRuntime = *useRuntime
+	cfg.TimelineWindow = *timeline
+
+	res, err := sim.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simqos:", err)
+		os.Exit(1)
+	}
+	m := res.Metrics
+	fmt.Printf("algorithm=%s rate=%g/60TU duration=%gTU seed=%d staleE=%g\n",
+		cfg.Algorithm, cfg.Rate, float64(cfg.Duration), cfg.Seed, float64(cfg.StaleE))
+	fmt.Println(m.Summary())
+	fmt.Println()
+
+	tbl := &stats.Table{Header: []string{"class", "sessions", "success", "avg QoS"}}
+	for _, c := range stats.Classes() {
+		cnt := m.Class(c)
+		tbl.AddRow(c.String(),
+			fmt.Sprintf("%d", cnt.Attempts),
+			fmt.Sprintf("%.1f%%", 100*cnt.SuccessRate()),
+			fmt.Sprintf("%.2f", cnt.AvgQoS()))
+	}
+	fmt.Print(tbl.String())
+
+	fmt.Printf("\nbottleneck resources observed: %d of %d\n",
+		len(m.BottleneckCounts), len(res.Capacities))
+
+	if m.Timeline != nil {
+		fmt.Printf("\nsuccess-rate timeline (window %g TUs):\n%s", *timeline, m.Timeline.Table())
+	}
+
+	if *paths {
+		for fam, h := range m.ByFamily {
+			fmt.Printf("\nselected paths (%s, %d plans):\n", fam, h.Total)
+			for _, p := range h.Paths() {
+				fmt.Printf("  %-24s %6.1f%%\n", p, h.Percent(p))
+			}
+		}
+	}
+}

@@ -1,0 +1,208 @@
+// Scientificlab models the "virtual scientific laboratory" distributed
+// service the paper's introduction motivates: an instrument streams
+// measurement data to a preprocessor, which fans out to a simulation
+// engine and a visualization renderer whose outputs a composer joins
+// into the end-to-end result the scientist sees (a DAG dependency graph
+// with fan-out and fan-in, section 4.3.2).
+//
+// The deployment exercises the distributed model-storage approach of
+// section 3: each component's QoS levels and translation function live
+// at the QoSProxy of the host running it, and the main QoSProxy holds
+// only the service skeleton — session establishment first assembles the
+// model from the owning proxies, then runs the usual three phases.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"qosres"
+)
+
+func level(name string, q float64) qosres.Level {
+	return qosres.Level{Name: name, Vector: qosres.MustVector(qosres.P("q", q))}
+}
+
+func concat(name string, simOut, vizOut qosres.Level) qosres.Level {
+	var params []qosres.Param
+	for _, p := range simOut.Vector.Params() {
+		params = append(params, qosres.P("Simulator."+p.Name, p.Value))
+	}
+	for _, p := range vizOut.Vector.Params() {
+		params = append(params, qosres.P("Visualizer."+p.Name, p.Value))
+	}
+	return qosres.Level{Name: name, Vector: qosres.MustVector(params...)}
+}
+
+func main() {
+	// --- Component models -------------------------------------------
+	raw := level("raw", 0)
+	fine, coarse := level("fine", 2), level("coarse", 1)
+	pFine, pCoarse := level("p-fine", 2), level("p-coarse", 1)
+	simHi, simLo := level("sim-hi", 10), level("sim-lo", 11)
+	sIn1, sIn2 := level("s-fine", 2), level("s-coarse", 1)
+	vizHi, vizLo := level("viz-hi", 20), level("viz-lo", 21)
+	vIn1, vIn2 := level("v-fine", 2), level("v-coarse", 1)
+
+	instrument := &qosres.Component{
+		ID: "Instrument", In: []qosres.Level{raw},
+		Out: []qosres.Level{fine, coarse},
+		Translate: qosres.TranslationTable{
+			"raw": {"fine": qosres.ResourceVector{"io": 45}, "coarse": qosres.ResourceVector{"io": 18}},
+		}.Func(),
+		Resources: []string{"io"},
+	}
+	preprocessor := &qosres.Component{
+		ID: "Preprocessor", In: []qosres.Level{pFine, pCoarse},
+		Out: []qosres.Level{level("clean-fine", 5), level("clean-coarse", 4)},
+		Translate: qosres.TranslationTable{
+			"p-fine":   {"clean-fine": qosres.ResourceVector{"cpu": 30, "net": 40}, "clean-coarse": qosres.ResourceVector{"cpu": 12, "net": 40}},
+			"p-coarse": {"clean-fine": qosres.ResourceVector{"cpu": 55, "net": 16}, "clean-coarse": qosres.ResourceVector{"cpu": 10, "net": 16}},
+		}.Func(),
+		Resources: []string{"cpu", "net"},
+	}
+	// Fix the vector identities: preprocessor inputs equal instrument
+	// outputs; simulator/visualizer inputs equal preprocessor outputs.
+	preprocessor.In = []qosres.Level{
+		{Name: "p-fine", Vector: fine.Vector},
+		{Name: "p-coarse", Vector: coarse.Vector},
+	}
+	cleanFine, cleanCoarse := preprocessor.Out[0], preprocessor.Out[1]
+	simulator := &qosres.Component{
+		ID: "Simulator",
+		In: []qosres.Level{
+			{Name: sIn1.Name, Vector: cleanFine.Vector},
+			{Name: sIn2.Name, Vector: cleanCoarse.Vector},
+		},
+		Out: []qosres.Level{simHi, simLo},
+		Translate: qosres.TranslationTable{
+			"s-fine":   {"sim-hi": qosres.ResourceVector{"cpu": 70}, "sim-lo": qosres.ResourceVector{"cpu": 25}},
+			"s-coarse": {"sim-hi": qosres.ResourceVector{"cpu": 95}, "sim-lo": qosres.ResourceVector{"cpu": 30}},
+		}.Func(),
+		Resources: []string{"cpu"},
+	}
+	visualizer := &qosres.Component{
+		ID: "Visualizer",
+		In: []qosres.Level{
+			{Name: vIn1.Name, Vector: cleanFine.Vector},
+			{Name: vIn2.Name, Vector: cleanCoarse.Vector},
+		},
+		Out: []qosres.Level{vizHi, vizLo},
+		Translate: qosres.TranslationTable{
+			"v-fine":   {"viz-hi": qosres.ResourceVector{"gpu": 50}, "viz-lo": qosres.ResourceVector{"gpu": 20}},
+			"v-coarse": {"viz-hi": qosres.ResourceVector{"gpu": 75}, "viz-lo": qosres.ResourceVector{"gpu": 22}},
+		}.Func(),
+		Resources: []string{"gpu"},
+	}
+	full := concat("both-hi", simHi, vizHi)
+	mixed1 := concat("sim-first", simHi, vizLo)
+	mixed2 := concat("viz-first", simLo, vizHi)
+	lite := concat("both-lo", simLo, vizLo)
+	composer := &qosres.Component{
+		ID: "Composer",
+		In: []qosres.Level{full, mixed1, mixed2, lite},
+		Out: []qosres.Level{
+			level("insight", 99), level("overview", 98), level("preview", 97),
+		},
+		Translate: qosres.TranslationTable{
+			"both-hi":   {"insight": qosres.ResourceVector{"net": 60}},
+			"sim-first": {"overview": qosres.ResourceVector{"net": 40}},
+			"viz-first": {"overview": qosres.ResourceVector{"net": 45}},
+			"both-lo":   {"preview": qosres.ResourceVector{"net": 20}},
+		}.Func(),
+		Resources: []string{"net"},
+	}
+
+	edges := []qosres.ServiceEdge{
+		{From: "Instrument", To: "Preprocessor"},
+		{From: "Preprocessor", To: "Simulator"},
+		{From: "Preprocessor", To: "Visualizer"},
+		{From: "Simulator", To: "Composer"},
+		{From: "Visualizer", To: "Composer"},
+	}
+	ranking := []string{"insight", "overview", "preview"}
+
+	// --- Distributed deployment -------------------------------------
+	clock := &qosres.ManualClock{}
+	rt := qosres.NewRuntime(clock)
+	hosts := map[string]qosres.HostID{
+		"Instrument":   "lab",
+		"Preprocessor": "edge",
+		"Simulator":    "hpc",
+		"Visualizer":   "viz",
+		"Composer":     "desk",
+	}
+	seen := map[qosres.HostID]bool{}
+	for _, h := range hosts {
+		if !seen[h] {
+			seen[h] = true
+			if _, err := rt.AddHost(h); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	deploy := func(resource string, host qosres.HostID, capacity float64) {
+		b, err := qosres.NewLocalBroker(resource, capacity)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := rt.Deploy(host, b); err != nil {
+			log.Fatal(err)
+		}
+	}
+	deploy("io@lab", "lab", 150)
+	deploy("cpu@edge", "edge", 150)
+	deploy("net:lab->edge", "edge", 150)
+	deploy("cpu@hpc", "hpc", 250)
+	deploy("gpu@viz", "viz", 140)
+	deploy("net:->desk", "desk", 200)
+
+	// Each component's model lives at the proxy of its host; the main
+	// proxy (the lab) stores only the skeleton.
+	for _, c := range []*qosres.Component{instrument, preprocessor, simulator, visualizer, composer} {
+		if err := rt.StoreComponent(hosts[string(c.ID)], "scilab", c); err != nil {
+			log.Fatal(err)
+		}
+	}
+	placement := map[qosres.ComponentID]qosres.HostID{}
+	for name, h := range hosts {
+		placement[qosres.ComponentID(name)] = h
+	}
+	if err := rt.StoreSkeleton("lab", qosres.Skeleton{
+		Name:      "scilab",
+		Placement: placement,
+		Edges:     edges,
+		Ranking:   ranking,
+	}); err != nil {
+		log.Fatal(err)
+	}
+	rt.Start()
+	defer rt.Stop()
+
+	binding := qosres.Binding{
+		"Instrument":   {"io": "io@lab"},
+		"Preprocessor": {"cpu": "cpu@edge", "net": "net:lab->edge"},
+		"Simulator":    {"cpu": "cpu@hpc"},
+		"Visualizer":   {"gpu": "gpu@viz"},
+		"Composer":     {"net": "net:->desk"},
+	}
+
+	// --- Sessions ----------------------------------------------------
+	fmt.Println("virtual scientific laboratory: Instrument -> Preprocessor -> {Simulator, Visualizer} -> Composer")
+	for i := 1; ; i++ {
+		clock.Advance(1)
+		session, err := rt.EstablishDistributed("lab", "scilab", binding, qosres.NewBasicPlanner())
+		if err != nil {
+			fmt.Printf("session %d: refused (%v)\n", i, err)
+			break
+		}
+		fmt.Printf("session %d: %-8s  Ψ_G=%.2f  choices:", i, session.Plan.EndToEnd.Name, session.Plan.Psi)
+		for _, c := range session.Plan.Choices {
+			fmt.Printf(" %s=%s", c.Comp, c.Out.Name)
+		}
+		fmt.Println()
+		if i >= 6 {
+			break
+		}
+	}
+}

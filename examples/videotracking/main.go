@@ -1,0 +1,184 @@
+// Videotracking reproduces the paper's running example (figures 1, 4
+// and 5): the distributed Video Streaming + Tracking service whose
+// VideoSender streams to an ObjectTracker proxy that forwards the
+// annotated stream to a VideoPlayer. The program builds the session's
+// QoS-Resource Graph against live Resource Brokers, prints the
+// translation-edge weights (the contention indices of figure 4), runs
+// the basic algorithm (the max-plus shortest path of figure 5), and then
+// shows the tradeoff policy reacting to a falling availability trend.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"qosres"
+)
+
+// Component and resource names of figure 1.
+const (
+	sender  = "VideoSender"
+	tracker = "ObjectTracker"
+	player  = "VideoPlayer"
+
+	resServerCPU  = "cpu@videoserver"
+	resServerDisk = "disk@videoserver"
+	resProxyCPU   = "cpu@trackingproxy"
+	resNetSP      = "net:videoserver->trackingproxy"
+	resClientCPU  = "cpu@client"
+	resNetPC      = "net:trackingproxy->client"
+)
+
+// buildService defines the three components with the figure-4/5 level
+// structure: six end-to-end levels ranked Qn > Qo > Qp > Qq > Qs > Qr.
+func buildService() (*qosres.Service, error) {
+	stream := func(rate, size float64) qosres.Vector {
+		return qosres.MustVector(qosres.P("Frame_Rate", rate), qosres.P("Image_Size", size))
+	}
+	tracked := func(rate, size, objects float64) qosres.Vector {
+		return qosres.MustVector(qosres.P("Frame_Rate", rate), qosres.P("Image_Size", size),
+			qosres.P("Objects", objects))
+	}
+	e2e := func(rate, size, objects, delay float64) qosres.Vector {
+		return qosres.MustVector(qosres.P("Frame_Rate", rate), qosres.P("Image_Size", size),
+			qosres.P("Objects", objects), qosres.P("Buffering_Delay", delay))
+	}
+	req := func(primary string, w float64, secondary string) qosres.ResourceVector {
+		return qosres.ResourceVector{primary: w * 100, secondary: w * 50}
+	}
+
+	qa, qb := stream(30, 4), stream(30, 4)
+	qc, qd := stream(25, 3), stream(20, 2)
+	qh, qi, qj := tracked(30, 4, 3), tracked(25, 3, 2), tracked(20, 2, 1)
+
+	vs := &qosres.Component{
+		ID:  sender,
+		In:  []qosres.Level{{Name: "Qa", Vector: qa}},
+		Out: []qosres.Level{{Name: "Qb", Vector: qb}, {Name: "Qc", Vector: qc}, {Name: "Qd", Vector: qd}},
+		Translate: qosres.TranslationTable{
+			"Qa": {
+				"Qb": req("cpu", 0.20, "disk"),
+				"Qc": req("cpu", 0.10, "disk"),
+				"Qd": req("disk", 0.10, "cpu"),
+			},
+		}.Func(),
+		Resources: []string{"cpu", "disk"},
+	}
+	ot := &qosres.Component{
+		ID:  tracker,
+		In:  []qosres.Level{{Name: "Qe", Vector: qb}, {Name: "Qf", Vector: qc}, {Name: "Qg", Vector: qd}},
+		Out: []qosres.Level{{Name: "Qh", Vector: qh}, {Name: "Qi", Vector: qi}, {Name: "Qj", Vector: qj}},
+		Translate: qosres.TranslationTable{
+			"Qe": {"Qh": req("net", 0.12, "cpu")},
+			"Qf": {"Qh": req("cpu", 0.16, "net"), "Qi": req("cpu", 0.15, "net")},
+			"Qg": {"Qi": req("cpu", 0.12, "net"), "Qj": req("net", 0.08, "cpu")},
+		}.Func(),
+		Resources: []string{"cpu", "net"},
+	}
+	vp := &qosres.Component{
+		ID: player,
+		In: []qosres.Level{{Name: "Qk", Vector: qh}, {Name: "Ql", Vector: qi}, {Name: "Qm", Vector: qj}},
+		Out: []qosres.Level{
+			{Name: "Qn", Vector: e2e(30, 4, 3, 1)},
+			{Name: "Qo", Vector: e2e(30, 4, 3, 2)},
+			{Name: "Qp", Vector: e2e(25, 3, 2, 2)},
+			{Name: "Qq", Vector: e2e(25, 3, 2, 3)},
+			{Name: "Qs", Vector: e2e(20, 2, 1, 3)},
+			{Name: "Qr", Vector: e2e(20, 2, 1, 5)},
+		},
+		Translate: qosres.TranslationTable{
+			"Qk": {
+				// The top level needs more client CPU than exists: the
+				// figure-5 "Inf" sink.
+				"Qn": qosres.ResourceVector{"cpu": 120, "net": 10},
+				"Qo": req("net", 0.14, "cpu"),
+			},
+			"Ql": {
+				"Qn": qosres.ResourceVector{"cpu": 150, "net": 10},
+				"Qo": req("cpu", 0.16, "net"),
+				"Qp": req("net", 0.15, "cpu"),
+				"Qr": req("net", 0.12, "cpu"),
+			},
+			"Qm": {
+				"Qq": req("net", 0.13, "cpu"),
+				"Qs": req("net", 0.08, "cpu"),
+			},
+		}.Func(),
+		Resources: []string{"cpu", "net"},
+	}
+	return qosres.NewService("VideoStreamingTracking",
+		[]*qosres.Component{vs, ot, vp},
+		[]qosres.ServiceEdge{{From: sender, To: tracker}, {From: tracker, To: player}},
+		[]string{"Qn", "Qo", "Qp", "Qq", "Qs", "Qr"})
+}
+
+func main() {
+	service, err := buildService()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The reservation-enabled environment: a Resource Broker per
+	// resource, each with 100 units.
+	resources := []string{resServerCPU, resServerDisk, resProxyCPU, resNetSP, resClientCPU, resNetPC}
+	brokers := map[string]*qosres.LocalBroker{}
+	for _, r := range resources {
+		b, err := qosres.NewLocalBroker(r, 100)
+		if err != nil {
+			log.Fatal(err)
+		}
+		brokers[r] = b
+	}
+
+	binding := qosres.Binding{
+		sender:  {"cpu": resServerCPU, "disk": resServerDisk},
+		tracker: {"cpu": resProxyCPU, "net": resNetSP},
+		player:  {"cpu": resClientCPU, "net": resNetPC},
+	}
+
+	// Phase 1: collect the availability snapshot from the brokers.
+	snap := &qosres.Snapshot{At: 0, Avail: qosres.ResourceVector{}, Alpha: map[string]float64{}}
+	for r, b := range brokers {
+		rep := b.Report(0)
+		snap.Avail[r] = rep.Avail
+		snap.Alpha[r] = rep.Alpha
+	}
+
+	// Phase 2: build the QRG and print it (figure 4).
+	g, err := qosres.BuildQRG(service, binding, snap)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("QRG: %d nodes, %d edges\n", g.NodeCount(), g.EdgeCount())
+	fmt.Println("translation edges (weight = bottleneck contention index):")
+	for _, e := range g.Edges {
+		if e.Req == nil {
+			continue
+		}
+		fmt.Printf("  %-13s %s -> %s  Ψ=%.2f (bottleneck %s)\n",
+			g.Nodes[e.From].Comp, g.Nodes[e.From].Level.Name, g.Nodes[e.To].Level.Name,
+			e.Weight, e.Bottleneck)
+	}
+
+	// The basic algorithm: figure 5's shortest path.
+	plan, err := qosres.NewBasicPlanner().Plan(g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nbasic: end-to-end %s (rank %d), path %s, Ψ=%.2f (bottleneck %s)\n",
+		plan.EndToEnd.Name, plan.Rank, plan.PathLevels, plan.Psi, plan.Bottleneck)
+
+	// The tradeoff policy under a falling availability trend on the
+	// bottleneck resource.
+	snap.Alpha[plan.Bottleneck] = 0.5
+	g2, err := qosres.BuildQRG(service, binding, snap)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p2, err := qosres.NewTradeoffPlanner().Plan(g2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("tradeoff (α=0.5 on %s): end-to-end %s (rank %d), path %s, Ψ=%.2f\n",
+		plan.Bottleneck, p2.EndToEnd.Name, p2.Rank, p2.PathLevels, p2.Psi)
+}

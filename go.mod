@@ -1,0 +1,3 @@
+module qosres
+
+go 1.22

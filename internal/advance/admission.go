@@ -1,0 +1,113 @@
+package advance
+
+import (
+	"errors"
+	"fmt"
+
+	"qosres/internal/broker"
+	"qosres/internal/core"
+	"qosres/internal/qrg"
+	"qosres/internal/svc"
+)
+
+// Admission plans and books advance sessions for one service against a
+// Registry: the admission-control layer an advance-reservation service
+// would expose to clients ("book me this service for [start, end)").
+type Admission struct {
+	Registry *Registry
+	Service  *svc.Service
+	Binding  svc.Binding
+	Planner  core.Planner
+	// Resources lists the concrete resource IDs the session can touch;
+	// derived from Binding when empty.
+	Resources []string
+}
+
+// ErrNoWindow is returned when EarliestFeasible exhausts its horizon.
+var ErrNoWindow = errors.New("advance: no feasible window within horizon")
+
+// resources resolves the resource set.
+func (a *Admission) resources() []string {
+	if len(a.Resources) > 0 {
+		return a.Resources
+	}
+	seen := map[string]bool{}
+	var out []string
+	for _, cid := range a.Service.ComponentIDs() {
+		for _, concrete := range a.Binding[cid] {
+			if !seen[concrete] {
+				seen[concrete] = true
+				out = append(out, concrete)
+			}
+		}
+	}
+	return out
+}
+
+// Plan computes the best reservation plan for the window without
+// booking it.
+func (a *Admission) Plan(start, end broker.Time) (*core.Plan, error) {
+	if a.Registry == nil || a.Service == nil || a.Planner == nil {
+		return nil, fmt.Errorf("advance: admission missing registry, service, or planner")
+	}
+	snap, err := a.Registry.WindowSnapshot(start, end, a.resources())
+	if err != nil {
+		return nil, err
+	}
+	g, err := qrg.Build(a.Service, a.Binding, snap)
+	if err != nil {
+		return nil, err
+	}
+	return a.Planner.Plan(g)
+}
+
+// Admit plans and books the session over [start, end). The booking is
+// all-or-nothing; on success the returned plan describes the committed
+// QoS levels.
+func (a *Admission) Admit(start, end broker.Time) (*core.Plan, *MultiBooking, error) {
+	plan, err := a.Plan(start, end)
+	if err != nil {
+		return nil, nil, err
+	}
+	booking, err := a.Registry.ReserveAll(start, end, plan.Requirement())
+	if err != nil {
+		// A concurrent booking may have consumed the window between the
+		// snapshot and the reserve; surface it as a planning failure.
+		return nil, nil, err
+	}
+	return plan, booking, nil
+}
+
+// EarliestFeasible scans candidate start times from from (inclusive) in
+// increments of step, up to from+horizon, and admits the session in the
+// first window [s, s+duration) with a feasible plan. minRank > 0
+// additionally requires the plan to reach at least that end-to-end QoS
+// rank, letting callers wait for a slot with full quality instead of
+// taking the next degraded one.
+func (a *Admission) EarliestFeasible(from, horizon, duration, step broker.Time, minRank int) (broker.Time, *core.Plan, *MultiBooking, error) {
+	if step <= 0 || duration <= 0 || horizon < 0 {
+		return 0, nil, nil, fmt.Errorf("advance: invalid scan parameters (step %g, duration %g, horizon %g)",
+			float64(step), float64(duration), float64(horizon))
+	}
+	for s := from; s <= from+horizon; s += step {
+		plan, err := a.Plan(s, s+duration)
+		if err != nil {
+			if errors.Is(err, core.ErrInfeasible) {
+				continue
+			}
+			return 0, nil, nil, err
+		}
+		if plan.Rank < minRank {
+			continue
+		}
+		booking, err := a.Registry.ReserveAll(s, s+duration, plan.Requirement())
+		if err != nil {
+			if errors.Is(err, ErrInsufficient) {
+				continue
+			}
+			return 0, nil, nil, err
+		}
+		return s, plan, booking, nil
+	}
+	return 0, nil, nil, ErrNoWindow
+}

@@ -1,0 +1,180 @@
+package advance
+
+import (
+	"errors"
+	"testing"
+
+	"qosres/internal/core"
+	"qosres/internal/workload"
+)
+
+// videoAdmission builds an Admission over the video service with 100
+// units of every resource.
+func videoAdmission(t *testing.T) *Admission {
+	t.Helper()
+	reg := NewRegistry()
+	for r := range workload.VideoSnapshot().Avail {
+		if _, err := reg.Add(r, workload.VideoAvail); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return &Admission{
+		Registry: reg,
+		Service:  workload.VideoService(),
+		Binding:  workload.VideoBinding(),
+		Planner:  core.Basic{},
+	}
+}
+
+func TestAdmitBooksTheWindow(t *testing.T) {
+	a := videoAdmission(t)
+	plan, booking, err := a.Admit(100, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.EndToEnd.Name != "Qo" {
+		t.Fatalf("plan = %s", plan.EndToEnd.Name)
+	}
+	// The same window replans at a different (or no) level; a disjoint
+	// window is untouched.
+	again, err := a.Plan(100, 200)
+	if err == nil && again.PathLevels == plan.PathLevels && again.Psi == plan.Psi {
+		t.Fatal("window not consumed by booking")
+	}
+	disjoint, err := a.Plan(300, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if disjoint.EndToEnd.Name != "Qo" {
+		t.Fatalf("disjoint window degraded: %s", disjoint.EndToEnd.Name)
+	}
+	if err := booking.Release(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEarliestFeasibleSkipsCongestion(t *testing.T) {
+	a := videoAdmission(t)
+	// Saturate the server->proxy network for [0, 150).
+	book, _ := a.Registry.Get(workload.VideoResNetSP)
+	if _, err := book.Reserve(0, 150, 100); err != nil {
+		t.Fatal(err)
+	}
+	start, plan, booking, err := a.EarliestFeasible(0, 300, 50, 10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if start < 150 {
+		t.Fatalf("admitted at %g inside the congested span", float64(start))
+	}
+	if plan == nil || booking == nil {
+		t.Fatal("missing plan or booking")
+	}
+	if err := booking.Release(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEarliestFeasibleMinRankWaitsForQuality(t *testing.T) {
+	a := videoAdmission(t)
+	// Drain most of the proxy CPU for [0, 100): low levels still fit but
+	// the rank-5 plan (ψ 0.16 via proxy CPU or the Qe path) does not.
+	book, _ := a.Registry.Get(workload.VideoResProxyCPU)
+	if _, err := book.Reserve(0, 100, 95); err != nil {
+		t.Fatal(err)
+	}
+	// Without a rank floor, admission lands inside the congestion at a
+	// degraded level.
+	s1, p1, b1, err := a.EarliestFeasible(0, 300, 40, 20, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 >= 100 {
+		t.Fatalf("rank-free admission waited until %g", float64(s1))
+	}
+	if p1.Rank >= 5 {
+		t.Fatalf("congested window still delivered rank %d", p1.Rank)
+	}
+	if err := b1.Release(); err != nil {
+		t.Fatal(err)
+	}
+	// With a rank floor of 5, admission waits for the clean window.
+	s2, p2, b2, err := a.EarliestFeasible(0, 300, 40, 20, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2 < 100 {
+		t.Fatalf("rank-5 admission landed at %g inside congestion", float64(s2))
+	}
+	if p2.Rank < 5 {
+		t.Fatalf("rank floor violated: %d", p2.Rank)
+	}
+	if err := b2.Release(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEarliestFeasibleHorizonExhausted(t *testing.T) {
+	a := videoAdmission(t)
+	book, _ := a.Registry.Get(workload.VideoResNetPC)
+	if _, err := book.Reserve(0, 10000, 100); err != nil {
+		t.Fatal(err)
+	}
+	_, _, _, err := a.EarliestFeasible(0, 500, 50, 25, 0)
+	if !errors.Is(err, ErrNoWindow) {
+		t.Fatalf("err = %v, want ErrNoWindow", err)
+	}
+}
+
+func TestEarliestFeasibleParamValidation(t *testing.T) {
+	a := videoAdmission(t)
+	if _, _, _, err := a.EarliestFeasible(0, 100, 50, 0, 0); err == nil {
+		t.Fatal("zero step accepted")
+	}
+	if _, _, _, err := a.EarliestFeasible(0, 100, 0, 10, 0); err == nil {
+		t.Fatal("zero duration accepted")
+	}
+	if _, _, _, err := a.EarliestFeasible(0, -1, 50, 10, 0); err == nil {
+		t.Fatal("negative horizon accepted")
+	}
+}
+
+func TestAdmissionMissingPieces(t *testing.T) {
+	a := &Admission{}
+	if _, err := a.Plan(0, 10); err == nil {
+		t.Fatal("empty admission accepted")
+	}
+}
+
+func TestAdmitOverlappingSessionsDegrade(t *testing.T) {
+	a := videoAdmission(t)
+	var bookings []*MultiBooking
+	ranks := []int{}
+	for i := 0; i < 6; i++ {
+		plan, booking, err := a.Admit(0, 100)
+		if err != nil {
+			break
+		}
+		ranks = append(ranks, plan.Rank)
+		bookings = append(bookings, booking)
+	}
+	if len(ranks) < 2 {
+		t.Fatalf("only %d sessions admitted", len(ranks))
+	}
+	// Ranks must be non-increasing as the window fills.
+	for i := 1; i < len(ranks); i++ {
+		if ranks[i] > ranks[i-1] {
+			t.Fatalf("ranks not monotone: %v", ranks)
+		}
+	}
+	for _, b := range bookings {
+		if err := b.Release(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Fully released: the window is pristine again.
+	plan, err := a.Plan(0, 100)
+	if err != nil || plan.EndToEnd.Name != "Qo" {
+		t.Fatalf("window not restored: %v, %v", plan, err)
+	}
+}

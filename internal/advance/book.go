@@ -1,0 +1,393 @@
+// Package advance implements advance (in-the-future) multi-resource
+// reservations, the extension the paper names as its next step in
+// section 6 ("to extend our multi-resource reservation framework to
+// support advance reservations", following Foster et al., IWQoS '99).
+//
+// A Book manages one resource's committed capacity over future time: a
+// reservation holds an amount over a half-open interval [start, end).
+// Availability over a query window is the minimum headroom at any
+// instant of the window, so a window snapshot composes directly with the
+// QRG construction and planners of this library — an advance session is
+// planned exactly like an immediate one, against the window's
+// availability instead of the instantaneous one.
+package advance
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"qosres/internal/broker"
+	"qosres/internal/qos"
+)
+
+// ErrInsufficient is returned when a booking exceeds the resource's
+// headroom somewhere in its interval.
+var ErrInsufficient = errors.New("advance: insufficient availability over interval")
+
+// ErrUnknownBooking is returned when cancelling a booking the book does
+// not hold.
+var ErrUnknownBooking = errors.New("advance: unknown booking")
+
+// BookingID identifies a booking within a Book.
+type BookingID uint64
+
+// interval is one committed booking.
+type interval struct {
+	start, end broker.Time
+	amount     float64
+}
+
+// Book is the advance-reservation ledger of a single resource. It is
+// safe for concurrent use.
+type Book struct {
+	resource string
+	capacity float64
+
+	mu       sync.Mutex
+	bookings map[BookingID]interval
+	nextID   BookingID
+}
+
+// NewBook creates a ledger for one resource.
+func NewBook(resource string, capacity float64) (*Book, error) {
+	if resource == "" {
+		return nil, fmt.Errorf("advance: empty resource name")
+	}
+	if capacity < 0 {
+		return nil, fmt.Errorf("advance: resource %s has negative capacity %g", resource, capacity)
+	}
+	return &Book{
+		resource: resource,
+		capacity: capacity,
+		bookings: make(map[BookingID]interval),
+	}, nil
+}
+
+// Resource returns the ledger's resource ID.
+func (b *Book) Resource() string { return b.resource }
+
+// Capacity returns the resource's total amount.
+func (b *Book) Capacity() float64 { return b.capacity }
+
+// Bookings returns the number of live bookings.
+func (b *Book) Bookings() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.bookings)
+}
+
+// AvailableOver returns the minimum unreserved amount at any instant of
+// the half-open window [start, end).
+func (b *Book) AvailableOver(start, end broker.Time) (float64, error) {
+	if end <= start {
+		return 0, fmt.Errorf("advance: empty window [%g, %g)", float64(start), float64(end))
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.capacity - b.peakLocked(start, end, interval{}), nil
+}
+
+// peakLocked computes the maximum committed amount at any instant of
+// [start, end), optionally as if extra were also booked.
+func (b *Book) peakLocked(start, end broker.Time, extra interval) float64 {
+	// Sweep line over booking endpoints clipped to the window.
+	type edge struct {
+		at    broker.Time
+		delta float64
+	}
+	var edges []edge
+	add := func(iv interval) {
+		if iv.amount == 0 || iv.end <= start || iv.start >= end {
+			return
+		}
+		s, e := iv.start, iv.end
+		if s < start {
+			s = start
+		}
+		if e > end {
+			e = end
+		}
+		edges = append(edges, edge{at: s, delta: iv.amount}, edge{at: e, delta: -iv.amount})
+	}
+	for _, iv := range b.bookings {
+		add(iv)
+	}
+	add(extra)
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].at != edges[j].at {
+			return edges[i].at < edges[j].at
+		}
+		// Process releases before acquisitions at the same instant:
+		// intervals are half-open, so a booking ending at t does not
+		// overlap one starting at t.
+		return edges[i].delta < edges[j].delta
+	})
+	cur, peak := 0.0, 0.0
+	for _, e := range edges {
+		cur += e.delta
+		if cur > peak {
+			peak = cur
+		}
+	}
+	return peak
+}
+
+// Reserve books amount units over [start, end), failing with
+// ErrInsufficient when the headroom dips below amount anywhere in the
+// interval.
+func (b *Book) Reserve(start, end broker.Time, amount float64) (BookingID, error) {
+	if end <= start {
+		return 0, fmt.Errorf("advance: resource %s: empty interval [%g, %g)", b.resource, float64(start), float64(end))
+	}
+	if amount < 0 {
+		return 0, fmt.Errorf("advance: resource %s: negative amount %g", b.resource, amount)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	peak := b.peakLocked(start, end, interval{})
+	if amount > b.capacity-peak+epsilon {
+		return 0, fmt.Errorf("advance: resource %s: need %g over [%g, %g), worst-case headroom %g: %w",
+			b.resource, amount, float64(start), float64(end), b.capacity-peak, ErrInsufficient)
+	}
+	b.nextID++
+	id := b.nextID
+	b.bookings[id] = interval{start: start, end: end, amount: amount}
+	return id, nil
+}
+
+// Release cancels a booking (or lets an expired one be collected).
+func (b *Book) Release(id BookingID) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, ok := b.bookings[id]; !ok {
+		return fmt.Errorf("advance: resource %s: booking %d: %w", b.resource, id, ErrUnknownBooking)
+	}
+	delete(b.bookings, id)
+	return nil
+}
+
+// Expire drops every booking that ends at or before now, returning the
+// number removed. Long-running admission services call this
+// periodically.
+func (b *Book) Expire(now broker.Time) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	n := 0
+	for id, iv := range b.bookings {
+		if iv.end <= now {
+			delete(b.bookings, id)
+			n++
+		}
+	}
+	return n
+}
+
+// Step is one flat segment of an availability profile.
+type Step struct {
+	Start, End broker.Time
+	Avail      float64
+}
+
+// Profile returns the availability step function over [start, end),
+// merged over all bookings. Adjacent steps with equal availability are
+// coalesced.
+func (b *Book) Profile(start, end broker.Time) ([]Step, error) {
+	if end <= start {
+		return nil, fmt.Errorf("advance: empty window [%g, %g)", float64(start), float64(end))
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	// Collect clipped endpoints.
+	cuts := map[broker.Time]bool{start: true, end: true}
+	for _, iv := range b.bookings {
+		if iv.end <= start || iv.start >= end {
+			continue
+		}
+		if iv.start > start {
+			cuts[iv.start] = true
+		}
+		if iv.end < end {
+			cuts[iv.end] = true
+		}
+	}
+	points := make([]broker.Time, 0, len(cuts))
+	for t := range cuts {
+		points = append(points, t)
+	}
+	sort.Slice(points, func(i, j int) bool { return points[i] < points[j] })
+
+	var steps []Step
+	for i := 0; i+1 < len(points); i++ {
+		s, e := points[i], points[i+1]
+		committed := 0.0
+		for _, iv := range b.bookings {
+			if iv.start < e && iv.end > s {
+				committed += iv.amount
+			}
+		}
+		avail := b.capacity - committed
+		if n := len(steps); n > 0 && math.Abs(steps[n-1].Avail-avail) < 1e-12 {
+			steps[n-1].End = e
+			continue
+		}
+		steps = append(steps, Step{Start: s, End: e, Avail: avail})
+	}
+	return steps, nil
+}
+
+const epsilon = 1e-9
+
+// Registry is the multi-resource advance-reservation ledger: one Book
+// per resource, plus window snapshots compatible with qrg.Build and
+// all-or-nothing multi-resource booking with rollback — the advance
+// analogue of broker.Pool.
+type Registry struct {
+	mu    sync.Mutex
+	books map[string]*Book
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{books: make(map[string]*Book)}
+}
+
+// Add creates a Book for a resource.
+func (r *Registry) Add(resource string, capacity float64) (*Book, error) {
+	b, err := NewBook(resource, capacity)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.books[resource]; dup {
+		return nil, fmt.Errorf("advance: duplicate resource %s", resource)
+	}
+	r.books[resource] = b
+	return b, nil
+}
+
+// Get returns the Book of a resource.
+func (r *Registry) Get(resource string) (*Book, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	b, ok := r.books[resource]
+	return b, ok
+}
+
+// Resources lists registered resources, sorted.
+func (r *Registry) Resources() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.books))
+	for k := range r.books {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// WindowSnapshot builds a broker.Snapshot whose availability is each
+// resource's worst-case headroom over [start, end); a QRG built from it
+// plans the session for that future window. The availability change
+// index is fixed at 1: advance bookings are firm, so there is no trend
+// to react to.
+func (r *Registry) WindowSnapshot(start, end broker.Time, resources []string) (*broker.Snapshot, error) {
+	snap := &broker.Snapshot{
+		At:    start,
+		Avail: make(qos.ResourceVector, len(resources)),
+		Alpha: make(map[string]float64, len(resources)),
+	}
+	for _, res := range resources {
+		b, ok := r.Get(res)
+		if !ok {
+			return nil, fmt.Errorf("advance: snapshot of unknown resource %s", res)
+		}
+		avail, err := b.AvailableOver(start, end)
+		if err != nil {
+			return nil, err
+		}
+		snap.Avail[res] = avail
+		snap.Alpha[res] = 1
+	}
+	return snap, nil
+}
+
+// MultiBooking backs one advance end-to-end reservation plan.
+type MultiBooking struct {
+	parts []bookingPart
+}
+
+type bookingPart struct {
+	book *Book
+	id   BookingID
+}
+
+// Resources lists the booked resource IDs.
+func (m *MultiBooking) Resources() []string {
+	out := make([]string, len(m.parts))
+	for i, p := range m.parts {
+		out[i] = p.book.Resource()
+	}
+	return out
+}
+
+// ReserveAll books every (resource, amount) pair over the same interval,
+// rolling back on any refusal.
+func (r *Registry) ReserveAll(start, end broker.Time, req qos.ResourceVector) (*MultiBooking, error) {
+	m := &MultiBooking{}
+	for _, res := range req.Names() {
+		amount := req[res]
+		if amount == 0 {
+			continue
+		}
+		b, ok := r.Get(res)
+		if !ok {
+			m.rollback()
+			return nil, fmt.Errorf("advance: booking of unknown resource %s", res)
+		}
+		id, err := b.Reserve(start, end, amount)
+		if err != nil {
+			m.rollback()
+			return nil, err
+		}
+		m.parts = append(m.parts, bookingPart{book: b, id: id})
+	}
+	return m, nil
+}
+
+func (m *MultiBooking) rollback() {
+	for i := len(m.parts) - 1; i >= 0; i-- {
+		_ = m.parts[i].book.Release(m.parts[i].id)
+	}
+	m.parts = nil
+}
+
+// Release cancels every booking in the set.
+func (m *MultiBooking) Release() error {
+	var firstErr error
+	for i := len(m.parts) - 1; i >= 0; i-- {
+		if err := m.parts[i].book.Release(m.parts[i].id); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	m.parts = nil
+	return firstErr
+}
+
+// Expire drops finished bookings from every book.
+func (r *Registry) Expire(now broker.Time) int {
+	r.mu.Lock()
+	books := make([]*Book, 0, len(r.books))
+	for _, b := range r.books {
+		books = append(books, b)
+	}
+	r.mu.Unlock()
+	n := 0
+	for _, b := range books {
+		n += b.Expire(now)
+	}
+	return n
+}

@@ -1,0 +1,372 @@
+package advance
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"qosres/internal/broker"
+	"qosres/internal/core"
+	"qosres/internal/qos"
+	"qosres/internal/qrg"
+	"qosres/internal/workload"
+)
+
+func TestBookReserveWithinWindow(t *testing.T) {
+	b, err := NewBook("cpu", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id1, err := b.Reserve(10, 20, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Disjoint interval: full capacity available.
+	if avail, _ := b.AvailableOver(20, 30); avail != 100 {
+		t.Fatalf("disjoint avail = %v", avail)
+	}
+	// Overlapping interval: 40 left.
+	if avail, _ := b.AvailableOver(15, 25); avail != 40 {
+		t.Fatalf("overlap avail = %v", avail)
+	}
+	// A second booking that fits only outside the overlap must fail
+	// when it overlaps...
+	if _, err := b.Reserve(5, 15, 50); !errors.Is(err, ErrInsufficient) {
+		t.Fatalf("err = %v", err)
+	}
+	// ...and succeed when it doesn't (half-open intervals: end == start
+	// of the other booking is fine).
+	id2, err := b.Reserve(0, 10, 90)
+	if err != nil {
+		t.Fatalf("adjacent booking failed: %v", err)
+	}
+	if err := b.Release(id1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Release(id2); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Release(id2); !errors.Is(err, ErrUnknownBooking) {
+		t.Fatalf("double release err = %v", err)
+	}
+}
+
+func TestBookHalfOpenSemantics(t *testing.T) {
+	b, _ := NewBook("cpu", 100)
+	if _, err := b.Reserve(0, 10, 100); err != nil {
+		t.Fatal(err)
+	}
+	// [10, 20) does not overlap [0, 10).
+	if _, err := b.Reserve(10, 20, 100); err != nil {
+		t.Fatalf("touching intervals must not conflict: %v", err)
+	}
+}
+
+func TestBookPeakOfStaggeredBookings(t *testing.T) {
+	b, _ := NewBook("cpu", 100)
+	mustReserve(t, b, 0, 30, 40)
+	mustReserve(t, b, 10, 40, 40)
+	// Peak of 80 in [10, 30).
+	if avail, _ := b.AvailableOver(0, 40); avail != 20 {
+		t.Fatalf("avail = %v, want 20", avail)
+	}
+	if avail, _ := b.AvailableOver(30, 40); avail != 60 {
+		t.Fatalf("tail avail = %v, want 60", avail)
+	}
+	if _, err := b.Reserve(5, 35, 30); !errors.Is(err, ErrInsufficient) {
+		t.Fatal("booking through the peak must fail")
+	}
+	if _, err := b.Reserve(30, 35, 60); err != nil {
+		t.Fatalf("booking after the peak failed: %v", err)
+	}
+}
+
+func mustReserve(t *testing.T, b *Book, s, e broker.Time, amount float64) BookingID {
+	t.Helper()
+	id, err := b.Reserve(s, e, amount)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return id
+}
+
+func TestBookValidation(t *testing.T) {
+	if _, err := NewBook("", 1); err == nil {
+		t.Fatal("empty resource accepted")
+	}
+	if _, err := NewBook("r", -1); err == nil {
+		t.Fatal("negative capacity accepted")
+	}
+	b, _ := NewBook("r", 10)
+	if _, err := b.Reserve(5, 5, 1); err == nil {
+		t.Fatal("empty interval accepted")
+	}
+	if _, err := b.Reserve(5, 4, 1); err == nil {
+		t.Fatal("inverted interval accepted")
+	}
+	if _, err := b.Reserve(0, 1, -1); err == nil {
+		t.Fatal("negative amount accepted")
+	}
+	if _, err := b.AvailableOver(3, 3); err == nil {
+		t.Fatal("empty window accepted")
+	}
+	if _, err := b.Profile(3, 3); err == nil {
+		t.Fatal("empty profile window accepted")
+	}
+}
+
+func TestBookExpire(t *testing.T) {
+	b, _ := NewBook("r", 100)
+	mustReserve(t, b, 0, 10, 50)
+	mustReserve(t, b, 5, 20, 30)
+	if n := b.Expire(10); n != 1 {
+		t.Fatalf("expired %d, want 1", n)
+	}
+	if b.Bookings() != 1 {
+		t.Fatalf("bookings = %d", b.Bookings())
+	}
+	if avail, _ := b.AvailableOver(0, 10); avail != 70 {
+		t.Fatalf("avail = %v after expiry", avail)
+	}
+}
+
+func TestBookProfile(t *testing.T) {
+	b, _ := NewBook("r", 100)
+	mustReserve(t, b, 10, 30, 40)
+	mustReserve(t, b, 20, 40, 20)
+	steps, err := b.Profile(0, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Step{
+		{Start: 0, End: 10, Avail: 100},
+		{Start: 10, End: 20, Avail: 60},
+		{Start: 20, End: 30, Avail: 40},
+		{Start: 30, End: 40, Avail: 80},
+		{Start: 40, End: 50, Avail: 100},
+	}
+	if len(steps) != len(want) {
+		t.Fatalf("steps = %+v", steps)
+	}
+	for i, s := range steps {
+		if s != want[i] {
+			t.Fatalf("step %d = %+v, want %+v", i, s, want[i])
+		}
+	}
+}
+
+func TestBookProfileCoalesces(t *testing.T) {
+	b, _ := NewBook("r", 100)
+	mustReserve(t, b, 10, 20, 40)
+	mustReserve(t, b, 20, 30, 40)
+	steps, _ := b.Profile(0, 40)
+	// [10,20) and [20,30) have equal availability: one step.
+	if len(steps) != 3 {
+		t.Fatalf("steps = %+v", steps)
+	}
+	if steps[1].Start != 10 || steps[1].End != 30 || steps[1].Avail != 60 {
+		t.Fatalf("merged step = %+v", steps[1])
+	}
+}
+
+func TestBookConcurrentNoOverbooking(t *testing.T) {
+	b, _ := NewBook("r", 100)
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				if id, err := b.Reserve(broker.Time(j), broker.Time(j+5), 30); err == nil {
+					_ = b.Release(id)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if b.Bookings() != 0 {
+		t.Fatalf("leaked %d bookings", b.Bookings())
+	}
+}
+
+func TestPropertyProfileNeverExceedsCapacity(t *testing.T) {
+	f := func(ops []struct {
+		S, D  uint8
+		Amt   uint8
+		Defer bool
+	}) bool {
+		b, _ := NewBook("r", 100)
+		for _, op := range ops {
+			s := broker.Time(op.S % 50)
+			e := s + broker.Time(op.D%20) + 1
+			_, _ = b.Reserve(s, e, float64(op.Amt%60))
+		}
+		steps, err := b.Profile(0, 100)
+		if err != nil {
+			return false
+		}
+		prevEnd := broker.Time(0)
+		for _, st := range steps {
+			if st.Avail < -1e-9 || st.Avail > 100+1e-9 {
+				return false
+			}
+			if st.Start != prevEnd {
+				return false // profile must tile the window
+			}
+			prevEnd = st.End
+		}
+		return prevEnd == 100
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyAvailableOverEqualsProfileMin(t *testing.T) {
+	f := func(ops []struct {
+		S, D uint8
+		Amt  uint8
+	}, ws, wd uint8) bool {
+		b, _ := NewBook("r", 100)
+		for _, op := range ops {
+			s := broker.Time(op.S % 50)
+			e := s + broker.Time(op.D%20) + 1
+			_, _ = b.Reserve(s, e, float64(op.Amt%60))
+		}
+		start := broker.Time(ws % 60)
+		end := start + broker.Time(wd%20) + 1
+		avail, err := b.AvailableOver(start, end)
+		if err != nil {
+			return false
+		}
+		steps, err := b.Profile(start, end)
+		if err != nil {
+			return false
+		}
+		min := math.Inf(1)
+		for _, st := range steps {
+			if st.Avail < min {
+				min = st.Avail
+			}
+		}
+		return math.Abs(avail-min) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegistryWindowSnapshotPlansSession(t *testing.T) {
+	// An advance session planned against a future window, using the
+	// video service: the contended window forces a different plan than
+	// the idle one.
+	reg := NewRegistry()
+	for r := range workload.VideoSnapshot().Avail {
+		if _, err := reg.Add(r, workload.VideoAvail); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Book most of the proxy CPU for [100, 200).
+	proxyCPU, _ := reg.Get(workload.VideoResProxyCPU)
+	if _, err := proxyCPU.Reserve(100, 200, 95); err != nil {
+		t.Fatal(err)
+	}
+
+	plan := func(start, end broker.Time) *core.Plan {
+		snap, err := reg.WindowSnapshot(start, end, reg.Resources())
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := qrg.Build(workload.VideoService(), workload.VideoBinding(), snap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := (core.Basic{}).Plan(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+
+	idle := plan(0, 50)
+	busy := plan(120, 180)
+	if idle.EndToEnd.Name != "Qo" {
+		t.Fatalf("idle window plan = %s", idle.EndToEnd.Name)
+	}
+	// With only 5 units of proxy CPU in the busy window, the paths that
+	// need tracker CPU are gone; a lower QoS level or another path must
+	// be chosen.
+	if busy.EndToEnd.Name == "Qo" && busy.PathLevels == idle.PathLevels {
+		t.Fatalf("busy window plan identical to idle: %s", busy.PathLevels)
+	}
+
+	// Book the plan and verify window isolation.
+	booking, err := reg.ReserveAll(0, 50, idle.Requirement())
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := plan(60, 90)
+	if after.EndToEnd.Name != "Qo" {
+		t.Fatalf("disjoint-window plan degraded: %s", after.EndToEnd.Name)
+	}
+	if err := booking.Release(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegistryReserveAllRollsBack(t *testing.T) {
+	reg := NewRegistry()
+	if _, err := reg.Add("a", 100); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Add("b", 10); err != nil {
+		t.Fatal(err)
+	}
+	_, err := reg.ReserveAll(0, 10, qos.ResourceVector{"a": 50, "b": 50})
+	if !errors.Is(err, ErrInsufficient) {
+		t.Fatalf("err = %v", err)
+	}
+	a, _ := reg.Get("a")
+	if a.Bookings() != 0 {
+		t.Fatal("failed ReserveAll leaked a booking on a")
+	}
+	if _, err := reg.ReserveAll(0, 10, qos.ResourceVector{"a": 50, "ghost": 1}); err == nil {
+		t.Fatal("unknown resource accepted")
+	}
+}
+
+func TestRegistryBasics(t *testing.T) {
+	reg := NewRegistry()
+	if _, err := reg.Add("a", 10); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Add("a", 10); err == nil {
+		t.Fatal("duplicate accepted")
+	}
+	if _, ok := reg.Get("a"); !ok {
+		t.Fatal("Get(a) failed")
+	}
+	if rs := reg.Resources(); len(rs) != 1 || rs[0] != "a" {
+		t.Fatalf("resources = %v", rs)
+	}
+	if _, err := reg.WindowSnapshot(0, 10, []string{"ghost"}); err == nil {
+		t.Fatal("snapshot of unknown resource accepted")
+	}
+	b, _ := reg.Get("a")
+	_, _ = b.Reserve(0, 5, 5)
+	if n := reg.Expire(5); n != 1 {
+		t.Fatalf("expired %d", n)
+	}
+	m, err := reg.ReserveAll(0, 10, qos.ResourceVector{"a": 5, "zero": 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Resources()) != 1 {
+		t.Fatalf("booked = %v", m.Resources())
+	}
+	if err := m.Release(); err != nil {
+		t.Fatal(err)
+	}
+}

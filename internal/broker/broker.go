@@ -1,0 +1,272 @@
+// Package broker implements the Resource Brokers of section 3 of the
+// paper. A Resource Broker makes and enforces reservations for one
+// resource, reports the resource's current availability, and — for the
+// tradeoff policy of section 4.3.1 — reports an Availability Change Index
+// α = r_avail / r_avg computed over a sliding window of past reports.
+//
+// Two kinds of broker are provided, mirroring the paper's two-level
+// management of network resources:
+//
+//   - Local brokers manage a host-local resource (CPU, memory, disk I/O
+//     bandwidth) or a single network link (the RSVP-enabled bandwidth
+//     broker of a router).
+//   - Network brokers manage an end-to-end network resource between two
+//     hosts by composing the per-link bandwidth brokers along the route.
+//     The reported availability is the minimum of the link availabilities,
+//     and a reservation reserves the amount on every link (with rollback
+//     when any link refuses).
+//
+// Brokers additionally record an availability change log so that
+// observations can be replayed "as of" an earlier time, supporting the
+// paper's study of inaccurate resource availability observations
+// (section 5.2.4).
+package broker
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Time is simulation time in the paper's abstract Time Units (TUs).
+type Time float64
+
+// ReservationID identifies a reservation held at a broker.
+type ReservationID uint64
+
+// ErrInsufficient is returned when a reservation asks for more than the
+// resource's current availability.
+var ErrInsufficient = errors.New("broker: insufficient availability")
+
+// ErrUnknownReservation is returned when terminating a reservation the
+// broker does not hold.
+var ErrUnknownReservation = errors.New("broker: unknown reservation")
+
+// Report is what a broker tells a querying QoSProxy: the current
+// availability and the availability change index α of equation (5).
+// α >= 1 means the availability trend is "up" or "unchanged"; α < 1 means
+// the trend is "down".
+type Report struct {
+	Resource string
+	Avail    float64
+	Alpha    float64
+	At       Time
+}
+
+// Broker is the interface of a Resource Broker (basic operations listed
+// in section 3: report availability, make/enforce reservations, terminate
+// reservations).
+type Broker interface {
+	// Resource returns the broker's resource ID, unique in its Pool.
+	Resource() string
+	// Capacity returns the total amount of the resource.
+	Capacity() float64
+	// Available returns the current unreserved amount.
+	Available() float64
+	// AvailableAt returns the availability as of an earlier instant, for
+	// stale-observation studies. Times before the broker existed report
+	// the full capacity.
+	AvailableAt(asOf Time) float64
+	// Report returns availability plus the change index α, and folds the
+	// report into the α averaging window.
+	Report(now Time) Report
+	// Reserve atomically reserves amount units, failing with
+	// ErrInsufficient when amount exceeds the current availability.
+	Reserve(now Time, amount float64) (ReservationID, error)
+	// Release terminates a reservation and returns its units.
+	Release(now Time, id ReservationID) error
+}
+
+// DefaultAlphaWindow is the paper's report-averaging window T for the
+// tradeoff policy: "each Resource Broker keeps an average r_avg of
+// r_avail values reported during the past 3 time units".
+const DefaultAlphaWindow Time = 3
+
+// availSample is one point of the availability change log.
+type availSample struct {
+	at    Time
+	avail float64
+}
+
+// reportSample is one past report, kept for the α window.
+type reportSample struct {
+	at    Time
+	avail float64
+}
+
+// Local is a Resource Broker for a single local resource or network link.
+// It is safe for concurrent use.
+type Local struct {
+	resource    string
+	capacity    float64
+	alphaWindow Time
+
+	mu        sync.Mutex
+	reserved  float64
+	holds     map[ReservationID]float64
+	nextID    ReservationID
+	changeLog []availSample
+	reports   []reportSample
+}
+
+// NewLocal creates a broker for the named resource with the given total
+// capacity and the default α window.
+func NewLocal(resource string, capacity float64) (*Local, error) {
+	return NewLocalWindow(resource, capacity, DefaultAlphaWindow)
+}
+
+// NewLocalWindow creates a broker with an explicit α averaging window.
+func NewLocalWindow(resource string, capacity float64, window Time) (*Local, error) {
+	if resource == "" {
+		return nil, fmt.Errorf("broker: empty resource name")
+	}
+	if capacity < 0 {
+		return nil, fmt.Errorf("broker: resource %s has negative capacity %g", resource, capacity)
+	}
+	if window <= 0 {
+		return nil, fmt.Errorf("broker: resource %s has non-positive alpha window %g", resource, float64(window))
+	}
+	return &Local{
+		resource:    resource,
+		capacity:    capacity,
+		alphaWindow: window,
+		holds:       make(map[ReservationID]float64),
+		changeLog:   []availSample{{at: 0, avail: capacity}},
+	}, nil
+}
+
+// Resource implements Broker.
+func (b *Local) Resource() string { return b.resource }
+
+// Capacity implements Broker.
+func (b *Local) Capacity() float64 { return b.capacity }
+
+// Available implements Broker.
+func (b *Local) Available() float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.capacity - b.reserved
+}
+
+// AvailableAt implements Broker: the availability in force at time asOf,
+// reconstructed from the change log.
+func (b *Local) AvailableAt(asOf Time) float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	// Find the last change at or before asOf.
+	i := sort.Search(len(b.changeLog), func(i int) bool { return b.changeLog[i].at > asOf })
+	if i == 0 {
+		return b.capacity
+	}
+	return b.changeLog[i-1].avail
+}
+
+// Report implements Broker. α is the ratio of the current availability to
+// the average of the values reported during the past window (equation 5);
+// when no past reports fall in the window, or the average is zero, α is
+// 1.0 ("unchanged").
+func (b *Local) Report(now Time) Report {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	avail := b.capacity - b.reserved
+	alpha := b.alphaLocked(now, avail)
+	b.reports = append(b.reports, reportSample{at: now, avail: avail})
+	return Report{Resource: b.resource, Avail: avail, Alpha: alpha, At: now}
+}
+
+// alphaLocked computes α against the reports within (now-window, now]
+// without recording a new report. Callers must hold b.mu.
+func (b *Local) alphaLocked(now Time, avail float64) float64 {
+	// Prune reports that fell out of every plausible window. Keep the log
+	// bounded even under heavy query load.
+	cutoff := now - b.alphaWindow
+	first := sort.Search(len(b.reports), func(i int) bool { return b.reports[i].at > cutoff })
+	if first > 0 {
+		b.reports = append(b.reports[:0], b.reports[first:]...)
+	}
+	if len(b.reports) == 0 {
+		return 1.0
+	}
+	var sum float64
+	for _, r := range b.reports {
+		sum += r.avail
+	}
+	avg := sum / float64(len(b.reports))
+	if avg <= 0 {
+		return 1.0
+	}
+	return avail / avg
+}
+
+// Reserve implements Broker.
+func (b *Local) Reserve(now Time, amount float64) (ReservationID, error) {
+	if amount < 0 {
+		return 0, fmt.Errorf("broker: resource %s: negative reservation %g", b.resource, amount)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	avail := b.capacity - b.reserved
+	if amount > avail+availEpsilon {
+		return 0, fmt.Errorf("broker: resource %s: need %g, have %g: %w", b.resource, amount, avail, ErrInsufficient)
+	}
+	b.nextID++
+	id := b.nextID
+	b.holds[id] = amount
+	b.reserved += amount
+	b.logChangeLocked(now)
+	return id, nil
+}
+
+// Release implements Broker.
+func (b *Local) Release(now Time, id ReservationID) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	amount, ok := b.holds[id]
+	if !ok {
+		return fmt.Errorf("broker: resource %s: reservation %d: %w", b.resource, id, ErrUnknownReservation)
+	}
+	delete(b.holds, id)
+	b.reserved -= amount
+	if b.reserved < 0 {
+		b.reserved = 0
+	}
+	b.logChangeLocked(now)
+	return nil
+}
+
+// Reservations returns the number of live reservations, for tests and
+// leak checks.
+func (b *Local) Reservations() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.holds)
+}
+
+// availEpsilon absorbs float64 rounding when requirements sum exactly to
+// the availability.
+const availEpsilon = 1e-9
+
+func (b *Local) logChangeLocked(now Time) {
+	avail := b.capacity - b.reserved
+	if n := len(b.changeLog); n > 0 && b.changeLog[n-1].at == now {
+		b.changeLog[n-1].avail = avail
+		return
+	}
+	b.changeLog = append(b.changeLog, availSample{at: now, avail: avail})
+}
+
+// TrimLog drops change-log entries strictly older than keepAfter, keeping
+// the latest entry at or before it as the new baseline. Long simulations
+// call this periodically so memory stays proportional to the staleness
+// window rather than to the full run.
+func (b *Local) TrimLog(keepAfter Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	i := sort.Search(len(b.changeLog), func(i int) bool { return b.changeLog[i].at > keepAfter })
+	if i == 0 {
+		return
+	}
+	// Keep entry i-1 as the baseline for queries at keepAfter.
+	b.changeLog = append(b.changeLog[:0], b.changeLog[i-1:]...)
+}

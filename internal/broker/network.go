@@ -1,0 +1,191 @@
+package broker
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Network is an end-to-end network Resource Broker (section 3). At the
+// higher level it treats the network path between two end hosts as one
+// resource; at the lower level each link on the route is managed by its
+// own RSVP-style bandwidth broker (a *Local). The end-to-end availability
+// is the minimum of the link availabilities, and an end-to-end
+// reservation reserves the bandwidth on every link of the route,
+// rolling back if any link refuses.
+//
+// Per the paper's RSVP-compatibility note, the broker logically lives on
+// the receiver-side host; the Pool records that placement.
+type Network struct {
+	resource    string
+	links       []*Local
+	alphaWindow Time
+
+	mu      sync.Mutex
+	holds   map[ReservationID][]linkHold
+	nextID  ReservationID
+	reports []reportSample
+}
+
+type linkHold struct {
+	link *Local
+	id   ReservationID
+}
+
+// NewNetwork creates an end-to-end broker over the given link brokers,
+// in route order. The route must be non-empty.
+func NewNetwork(resource string, links []*Local) (*Network, error) {
+	return NewNetworkWindow(resource, links, DefaultAlphaWindow)
+}
+
+// NewNetworkWindow creates an end-to-end broker with an explicit α window.
+func NewNetworkWindow(resource string, links []*Local, window Time) (*Network, error) {
+	if resource == "" {
+		return nil, fmt.Errorf("broker: empty resource name")
+	}
+	if len(links) == 0 {
+		return nil, fmt.Errorf("broker: network resource %s has empty route", resource)
+	}
+	if window <= 0 {
+		return nil, fmt.Errorf("broker: network resource %s has non-positive alpha window %g", resource, float64(window))
+	}
+	ls := make([]*Local, len(links))
+	copy(ls, links)
+	return &Network{
+		resource:    resource,
+		links:       ls,
+		alphaWindow: window,
+		holds:       make(map[ReservationID][]linkHold),
+	}, nil
+}
+
+// Resource implements Broker.
+func (n *Network) Resource() string { return n.resource }
+
+// Links returns the underlying link brokers in route order.
+func (n *Network) Links() []*Local {
+	out := make([]*Local, len(n.links))
+	copy(out, n.links)
+	return out
+}
+
+// Capacity implements Broker: the minimum link capacity, the most the
+// end-to-end resource could ever offer.
+func (n *Network) Capacity() float64 {
+	min := n.links[0].Capacity()
+	for _, l := range n.links[1:] {
+		if c := l.Capacity(); c < min {
+			min = c
+		}
+	}
+	return min
+}
+
+// Available implements Broker: the minimum of the link availabilities,
+// exactly the paper's rule for network Resource Brokers.
+func (n *Network) Available() float64 {
+	min := n.links[0].Available()
+	for _, l := range n.links[1:] {
+		if a := l.Available(); a < min {
+			min = a
+		}
+	}
+	return min
+}
+
+// AvailableAt implements Broker over the link change logs.
+func (n *Network) AvailableAt(asOf Time) float64 {
+	min := n.links[0].AvailableAt(asOf)
+	for _, l := range n.links[1:] {
+		if a := l.AvailableAt(asOf); a < min {
+			min = a
+		}
+	}
+	return min
+}
+
+// Report implements Broker. The availability is the route minimum; α is
+// computed from this broker's own report history of route-minimum values,
+// so it reflects the end-to-end trend rather than any single link's.
+func (n *Network) Report(now Time) Report {
+	avail := n.Available()
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	alpha := n.alphaLocked(now, avail)
+	n.reports = append(n.reports, reportSample{at: now, avail: avail})
+	return Report{Resource: n.resource, Avail: avail, Alpha: alpha, At: now}
+}
+
+func (n *Network) alphaLocked(now Time, avail float64) float64 {
+	cutoff := now - n.alphaWindow
+	first := sort.Search(len(n.reports), func(i int) bool { return n.reports[i].at > cutoff })
+	if first > 0 {
+		n.reports = append(n.reports[:0], n.reports[first:]...)
+	}
+	if len(n.reports) == 0 {
+		return 1.0
+	}
+	var sum float64
+	for _, r := range n.reports {
+		sum += r.avail
+	}
+	avg := sum / float64(len(n.reports))
+	if avg <= 0 {
+		return 1.0
+	}
+	return avail / avg
+}
+
+// Reserve implements Broker: reserve the amount on every link on the
+// route; on any failure roll back the links already reserved and return
+// the failing link's error.
+func (n *Network) Reserve(now Time, amount float64) (ReservationID, error) {
+	if amount < 0 {
+		return 0, fmt.Errorf("broker: resource %s: negative reservation %g", n.resource, amount)
+	}
+	var held []linkHold
+	for _, l := range n.links {
+		id, err := l.Reserve(now, amount)
+		if err != nil {
+			for _, h := range held {
+				// Rollback cannot fail: the holds were just created.
+				_ = h.link.Release(now, h.id)
+			}
+			return 0, fmt.Errorf("broker: resource %s: link %s refused: %w", n.resource, l.Resource(), err)
+		}
+		held = append(held, linkHold{link: l, id: id})
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.nextID++
+	id := n.nextID
+	n.holds[id] = held
+	return id, nil
+}
+
+// Release implements Broker.
+func (n *Network) Release(now Time, id ReservationID) error {
+	n.mu.Lock()
+	held, ok := n.holds[id]
+	if ok {
+		delete(n.holds, id)
+	}
+	n.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("broker: resource %s: reservation %d: %w", n.resource, id, ErrUnknownReservation)
+	}
+	var firstErr error
+	for _, h := range held {
+		if err := h.link.Release(now, h.id); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Reservations returns the number of live end-to-end reservations.
+func (n *Network) Reservations() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.holds)
+}

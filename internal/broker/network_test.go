@@ -1,0 +1,168 @@
+package broker
+
+import (
+	"errors"
+	"testing"
+
+	"qosres/internal/topo"
+)
+
+func threeLinks(t *testing.T, caps ...float64) []*Local {
+	t.Helper()
+	out := make([]*Local, len(caps))
+	for i, c := range caps {
+		b, err := NewLocal(LinkResourceID(topo.LinkID([]string{"L1", "L2", "L3"}[i%3]+string(rune('a'+i/3)))), c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = b
+	}
+	return out
+}
+
+func TestNetworkAvailabilityIsRouteMin(t *testing.T) {
+	links := threeLinks(t, 100, 60, 80)
+	n, err := NewNetwork("net:A->B", links)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Available() != 60 {
+		t.Fatalf("avail = %v, want min link = 60", n.Available())
+	}
+	if n.Capacity() != 60 {
+		t.Fatalf("capacity = %v, want 60", n.Capacity())
+	}
+	if got := len(n.Links()); got != 3 {
+		t.Fatalf("links = %d", got)
+	}
+}
+
+func TestNetworkReserveHitsEveryLink(t *testing.T) {
+	links := threeLinks(t, 100, 60, 80)
+	n, _ := NewNetwork("net:A->B", links)
+	id, err := n.Reserve(1, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, l := range links {
+		want := []float64{50, 10, 30}[i]
+		if l.Available() != want {
+			t.Errorf("link %d avail = %v, want %v", i, l.Available(), want)
+		}
+	}
+	if n.Available() != 10 {
+		t.Fatalf("end-to-end avail = %v", n.Available())
+	}
+	if err := n.Release(2, id); err != nil {
+		t.Fatal(err)
+	}
+	for i, l := range links {
+		if l.Available() != []float64{100, 60, 80}[i] {
+			t.Errorf("link %d not fully released: %v", i, l.Available())
+		}
+	}
+	if n.Reservations() != 0 {
+		t.Fatal("leaked end-to-end reservation")
+	}
+}
+
+func TestNetworkReserveRollsBackOnRefusal(t *testing.T) {
+	links := threeLinks(t, 100, 30, 80)
+	n, _ := NewNetwork("net:A->B", links)
+	if _, err := n.Reserve(1, 50); !errors.Is(err, ErrInsufficient) {
+		t.Fatalf("err = %v, want ErrInsufficient", err)
+	}
+	// The first link's tentative reservation must have been rolled back.
+	for i, l := range links {
+		if l.Available() != []float64{100, 30, 80}[i] {
+			t.Errorf("link %d avail = %v after rollback", i, l.Available())
+		}
+		if l.Reservations() != 0 {
+			t.Errorf("link %d leaked a reservation", i)
+		}
+	}
+}
+
+func TestNetworkReleaseUnknown(t *testing.T) {
+	n, _ := NewNetwork("net:A->B", threeLinks(t, 10, 10, 10))
+	if err := n.Release(0, 42); !errors.Is(err, ErrUnknownReservation) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestNetworkAvailableAt(t *testing.T) {
+	links := threeLinks(t, 100, 60, 80)
+	n, _ := NewNetwork("net:A->B", links)
+	id, _ := n.Reserve(10, 20)
+	_ = n.Release(20, id)
+	if got := n.AvailableAt(5); got != 60 {
+		t.Fatalf("AvailableAt(5) = %v, want 60", got)
+	}
+	if got := n.AvailableAt(15); got != 40 {
+		t.Fatalf("AvailableAt(15) = %v, want 40", got)
+	}
+	if got := n.AvailableAt(25); got != 60 {
+		t.Fatalf("AvailableAt(25) = %v, want 60", got)
+	}
+}
+
+func TestNetworkAlphaTracksRouteMin(t *testing.T) {
+	links := threeLinks(t, 100, 60, 80)
+	n, _ := NewNetworkWindow("net:A->B", links, 3)
+	if rep := n.Report(0); rep.Alpha != 1 || rep.Avail != 60 {
+		t.Fatalf("first report = %+v", rep)
+	}
+	id, _ := n.Reserve(1, 30)
+	rep := n.Report(2)
+	if rep.Avail != 30 {
+		t.Fatalf("avail = %v", rep.Avail)
+	}
+	if rep.Alpha >= 1 {
+		t.Fatalf("alpha = %v, want < 1 after drop", rep.Alpha)
+	}
+	_ = n.Release(3, id)
+}
+
+func TestNetworkValidation(t *testing.T) {
+	if _, err := NewNetwork("", threeLinks(t, 1, 1, 1)); err == nil {
+		t.Fatal("empty resource accepted")
+	}
+	if _, err := NewNetwork("net:x", nil); err == nil {
+		t.Fatal("empty route accepted")
+	}
+	if _, err := NewNetworkWindow("net:x", threeLinks(t, 1, 1, 1), 0); err == nil {
+		t.Fatal("zero window accepted")
+	}
+	n, _ := NewNetwork("net:x", threeLinks(t, 1, 1, 1))
+	if _, err := n.Reserve(0, -1); err == nil {
+		t.Fatal("negative reserve accepted")
+	}
+}
+
+func TestNetworkSharedLinkContention(t *testing.T) {
+	// Two end-to-end resources sharing a middle link contend for it —
+	// the real contention the two-level model creates.
+	shared, _ := NewLocal("link:S", 100)
+	a1, _ := NewLocal("link:A1", 1000)
+	b1, _ := NewLocal("link:B1", 1000)
+	nA, _ := NewNetwork("net:A", []*Local{a1, shared})
+	nB, _ := NewNetwork("net:B", []*Local{shared, b1})
+
+	idA, err := nA.Reserve(1, 70)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nB.Available() != 30 {
+		t.Fatalf("net:B avail = %v, want 30 via shared link", nB.Available())
+	}
+	if _, err := nB.Reserve(2, 40); !errors.Is(err, ErrInsufficient) {
+		t.Fatalf("expected contention failure, got %v", err)
+	}
+	if _, err := nB.Reserve(3, 30); err != nil {
+		t.Fatalf("within-shared-capacity reserve failed: %v", err)
+	}
+	_ = nA.Release(4, idA)
+	if nB.Available() != 70 {
+		t.Fatalf("after release net:B avail = %v", nB.Available())
+	}
+}

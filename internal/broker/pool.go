@@ -1,0 +1,298 @@
+package broker
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"qosres/internal/qos"
+	"qosres/internal/topo"
+)
+
+// LocalResourceID names a host-local resource, e.g. "cpu@H2".
+func LocalResourceID(kind string, host topo.HostID) string {
+	return fmt.Sprintf("%s@%s", kind, host)
+}
+
+// LinkResourceID names a link bandwidth resource, e.g. "link:L7".
+func LinkResourceID(id topo.LinkID) string { return fmt.Sprintf("link:%s", id) }
+
+// NetResourceID names the end-to-end network resource from a sender host
+// to a receiver host, e.g. "net:H4->H1". Following the paper's
+// RSVP-compatibility rule the broker is held at the receiver side, but
+// the ID is directional so distinct sessions' paths stay distinct
+// resources.
+func NetResourceID(from, to topo.HostID) string { return fmt.Sprintf("net:%s->%s", from, to) }
+
+// Pool is the reservation-enabled environment: the registry of every
+// Resource Broker, backed by a topology for composing end-to-end network
+// brokers on demand. It is safe for concurrent use.
+type Pool struct {
+	topology    *topo.Topology
+	alphaWindow Time
+
+	mu     sync.Mutex
+	local  map[string]*Local   // host-local resources and links
+	net    map[string]*Network // end-to-end network resources, lazily built
+	byName map[string]Broker   // every registered broker by resource ID
+}
+
+// NewPool creates an empty pool over a topology. The topology may be nil
+// for pools that only hold local resources.
+func NewPool(topology *topo.Topology) *Pool {
+	return NewPoolWindow(topology, DefaultAlphaWindow)
+}
+
+// NewPoolWindow creates a pool whose brokers use the given α window.
+func NewPoolWindow(topology *topo.Topology, window Time) *Pool {
+	return &Pool{
+		topology:    topology,
+		alphaWindow: window,
+		local:       make(map[string]*Local),
+		net:         make(map[string]*Network),
+		byName:      make(map[string]Broker),
+	}
+}
+
+// AddLocal registers a broker for a host-local resource and returns it.
+func (p *Pool) AddLocal(kind string, host topo.HostID, capacity float64) (*Local, error) {
+	return p.addLocal(LocalResourceID(kind, host), capacity)
+}
+
+// AddLink registers the bandwidth broker of a topology link.
+func (p *Pool) AddLink(id topo.LinkID, capacity float64) (*Local, error) {
+	if p.topology != nil {
+		if _, ok := p.topology.Link(id); !ok {
+			return nil, fmt.Errorf("broker: unknown link %s", id)
+		}
+	}
+	return p.addLocal(LinkResourceID(id), capacity)
+}
+
+func (p *Pool) addLocal(resource string, capacity float64) (*Local, error) {
+	b, err := NewLocalWindow(resource, capacity, p.alphaWindow)
+	if err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, dup := p.byName[resource]; dup {
+		return nil, fmt.Errorf("broker: duplicate resource %s", resource)
+	}
+	p.local[resource] = b
+	p.byName[resource] = b
+	return b, nil
+}
+
+// Network returns the end-to-end network broker for traffic from one host
+// to another, creating it over the topology route on first use. Every
+// link on the route must already have a registered link broker.
+func (p *Pool) Network(from, to topo.HostID) (*Network, error) {
+	if p.topology == nil {
+		return nil, fmt.Errorf("broker: pool has no topology for network resources")
+	}
+	resource := NetResourceID(from, to)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if n, ok := p.net[resource]; ok {
+		return n, nil
+	}
+	route, err := p.topology.Route(from, to)
+	if err != nil {
+		return nil, err
+	}
+	if len(route) == 0 {
+		return nil, fmt.Errorf("broker: network resource %s has empty route (same host)", resource)
+	}
+	links := make([]*Local, len(route))
+	for i, lid := range route {
+		lb, ok := p.local[LinkResourceID(lid)]
+		if !ok {
+			return nil, fmt.Errorf("broker: link %s on route %s has no broker", lid, resource)
+		}
+		links[i] = lb
+	}
+	n, err := NewNetworkWindow(resource, links, p.alphaWindow)
+	if err != nil {
+		return nil, err
+	}
+	p.net[resource] = n
+	p.byName[resource] = n
+	return n, nil
+}
+
+// Get returns the broker for a resource ID. End-to-end network resources
+// must have been created with Network first.
+func (p *Pool) Get(resource string) (Broker, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	b, ok := p.byName[resource]
+	return b, ok
+}
+
+// Resources returns every registered resource ID, sorted.
+func (p *Pool) Resources() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]string, 0, len(p.byName))
+	for r := range p.byName {
+		out = append(out, r)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// LocalBrokers returns every local/link broker, sorted by resource ID.
+// Network brokers are excluded because they alias link capacity.
+func (p *Pool) LocalBrokers() []*Local {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]*Local, 0, len(p.local))
+	for _, b := range p.local {
+		out = append(out, b)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Resource() < out[j].Resource() })
+	return out
+}
+
+// Snapshot is a consistent-enough view of availability and α for a set of
+// resources at one instant, the "snap-shot of end-to-end resource
+// requirement and availability" from which a QRG is constructed.
+type Snapshot struct {
+	At    Time
+	Avail qos.ResourceVector
+	Alpha map[string]float64
+}
+
+// Snapshot queries the named resources and returns their reports. Each
+// query also feeds the broker's α window, as in the paper's protocol
+// where proxies report availability to the main QoSProxy on every session.
+func (p *Pool) Snapshot(now Time, resources []string) (*Snapshot, error) {
+	s := &Snapshot{
+		At:    now,
+		Avail: make(qos.ResourceVector, len(resources)),
+		Alpha: make(map[string]float64, len(resources)),
+	}
+	for _, r := range resources {
+		b, ok := p.Get(r)
+		if !ok {
+			return nil, fmt.Errorf("broker: snapshot of unknown resource %s", r)
+		}
+		rep := b.Report(now)
+		s.Avail[r] = rep.Avail
+		s.Alpha[r] = rep.Alpha
+	}
+	return s, nil
+}
+
+// StaleSnapshot is Snapshot with per-resource observation lag: resource r
+// is observed as of now-lag[r] (lag 0 meaning current). α is still
+// computed at the observation instant's availability against the current
+// window, matching the simulation of section 5.2.4 where only the
+// availability value is stale.
+func (p *Pool) StaleSnapshot(now Time, resources []string, lag map[string]Time) (*Snapshot, error) {
+	s := &Snapshot{
+		At:    now,
+		Avail: make(qos.ResourceVector, len(resources)),
+		Alpha: make(map[string]float64, len(resources)),
+	}
+	for _, r := range resources {
+		b, ok := p.Get(r)
+		if !ok {
+			return nil, fmt.Errorf("broker: snapshot of unknown resource %s", r)
+		}
+		rep := b.Report(now)
+		l := lag[r]
+		if l < 0 {
+			l = 0
+		}
+		avail := rep.Avail
+		if l > 0 {
+			avail = b.AvailableAt(now - l)
+		}
+		s.Avail[r] = avail
+		if rep.Avail > 0 {
+			// Rescale α to the stale observation so trend direction is
+			// preserved relative to what the proxy believes it sees.
+			s.Alpha[r] = rep.Alpha * (avail / rep.Avail)
+		} else {
+			s.Alpha[r] = rep.Alpha
+		}
+	}
+	return s, nil
+}
+
+// MultiReservation is the set of per-resource reservations backing one
+// end-to-end multi-resource reservation plan.
+type MultiReservation struct {
+	pool  *Pool
+	parts []multiPart
+}
+
+type multiPart struct {
+	broker Broker
+	id     ReservationID
+}
+
+// Resources returns the reserved resource IDs in reservation order.
+func (m *MultiReservation) Resources() []string {
+	out := make([]string, len(m.parts))
+	for i, p := range m.parts {
+		out[i] = p.broker.Resource()
+	}
+	return out
+}
+
+// ReserveAll atomically reserves every (resource, amount) pair of an
+// end-to-end reservation plan: if any single reservation fails, all
+// reservations already made are rolled back and the error is returned —
+// "the failure to reserve one resource leads to the reservation failure
+// for the whole distributed service session".
+func (p *Pool) ReserveAll(now Time, req qos.ResourceVector) (*MultiReservation, error) {
+	m := &MultiReservation{pool: p}
+	for _, r := range req.Names() { // sorted for deterministic lock order
+		amount := req[r]
+		if amount == 0 {
+			continue
+		}
+		b, ok := p.Get(r)
+		if !ok {
+			m.rollback(now)
+			return nil, fmt.Errorf("broker: reserve of unknown resource %s", r)
+		}
+		id, err := b.Reserve(now, amount)
+		if err != nil {
+			m.rollback(now)
+			return nil, err
+		}
+		m.parts = append(m.parts, multiPart{broker: b, id: id})
+	}
+	return m, nil
+}
+
+func (m *MultiReservation) rollback(now Time) {
+	for i := len(m.parts) - 1; i >= 0; i-- {
+		_ = m.parts[i].broker.Release(now, m.parts[i].id)
+	}
+	m.parts = nil
+}
+
+// Release terminates every reservation in the set.
+func (m *MultiReservation) Release(now Time) error {
+	var firstErr error
+	for i := len(m.parts) - 1; i >= 0; i-- {
+		if err := m.parts[i].broker.Release(now, m.parts[i].id); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	m.parts = nil
+	return firstErr
+}
+
+// TrimLogs bounds every local broker's change log to observations after
+// keepAfter; used by long simulation runs.
+func (p *Pool) TrimLogs(keepAfter Time) {
+	for _, b := range p.LocalBrokers() {
+		b.TrimLog(keepAfter)
+	}
+}

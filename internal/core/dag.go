@@ -1,0 +1,422 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"qosres/internal/qrg"
+	"qosres/internal/svc"
+)
+
+// TwoPass is the efficient heuristic of section 4.3.2 for services whose
+// dependency graph is a DAG with fan-in and fan-out components. An
+// end-to-end reservation plan is then an embedded graph G in the QRG
+// (one Qin and one Qout node per component, consistently connected), and
+// the goal is the embedded graph reaching the highest end-to-end QoS with
+// the smallest Ψ_G = max over its edges of Ψ_e (equation 6).
+//
+// Pass I resembles the max-plus Dijkstra, except that the value of a
+// fan-in component's Qin node is the maximum of the values of the Qout
+// nodes it concatenates. Pass II backtracks from the best reachable sink;
+// when the backtracked branches of a fan-out component fail to converge
+// on a single Qout node, the non-convergence is resolved locally: the
+// downstream components' backtracked Qout nodes stay fixed, and the
+// fan-out component's Qout node is re-chosen to minimize the highest Ψ_e
+// needed to reach those fixed nodes.
+//
+// As the paper notes, the heuristic has two limitations: a sink reachable
+// after pass I may admit no feasible embedded graph in pass II
+// (ErrInfeasible is returned), and the local resolution may not yield the
+// globally smallest Ψ_G (see Exhaustive for the exact baseline).
+type TwoPass struct{}
+
+// Name implements Planner.
+func (TwoPass) Name() string { return "twopass" }
+
+// Plan implements Planner.
+func (TwoPass) Plan(g *qrg.Graph) (*Plan, error) {
+	return planDAG(g, func(sinks []sinkSummary) sinkSummary { return sinks[0] })
+}
+
+// dagValues is the pass-I result.
+type dagValues struct {
+	// val[v] is the pass-I value of node v.
+	val []float64
+	// pred[v] is the chosen incoming edge for every non-fan-in node.
+	pred []int
+}
+
+// passI sweeps the QRG in topological order (node IDs are created
+// topologically by the builder).
+func passI(g *qrg.Graph) *dagValues {
+	n := len(g.Nodes)
+	d := &dagValues{val: make([]float64, n), pred: make([]int, n)}
+	inW := make([]float64, n)
+	for i := range d.val {
+		d.val[i] = math.Inf(1)
+		d.pred[i] = -1
+		inW[i] = math.Inf(1)
+	}
+	d.val[g.Source] = 0
+	for v := range g.Nodes {
+		node := g.Nodes[v]
+		if v == g.Source {
+			continue
+		}
+		if node.Parts != nil {
+			// Fan-in Qin node: the maximum of the concatenated Qout
+			// values (section 4.3.2, pass I).
+			m := 0.0
+			ok := true
+			for _, eid := range g.InEdges[v] {
+				pv := d.val[g.Edges[eid].From]
+				if math.IsInf(pv, 1) {
+					ok = false
+					break
+				}
+				if pv > m {
+					m = pv
+				}
+			}
+			if ok && len(g.InEdges[v]) > 0 {
+				d.val[v] = m
+			}
+			continue
+		}
+		for _, eid := range g.InEdges[v] {
+			e := g.Edges[eid]
+			pv := d.val[e.From]
+			if math.IsInf(pv, 1) {
+				continue
+			}
+			nd := pv
+			if e.Weight > nd {
+				nd = e.Weight
+			}
+			switch {
+			case nd < d.val[v],
+				nd == d.val[v] && e.Weight < inW[v],
+				nd == d.val[v] && e.Weight == inW[v] && d.pred[v] >= 0 && pv < d.val[g.Edges[d.pred[v]].From]:
+				d.val[v] = nd
+				d.pred[v] = eid
+				inW[v] = e.Weight
+			}
+		}
+	}
+	return d
+}
+
+// bottleneckAlpha finds the α of the maximum-weight translation edge on
+// the provisional pass-I backtrack from v (fan-in nodes expand to all
+// their parts). It is the DAG analogue of attaching (ψ, α) of the
+// bottleneck resource to each sink.
+func bottleneckAlpha(g *qrg.Graph, d *dagValues, v int) float64 {
+	alpha := 1.0
+	bw := -1.0
+	seen := make(map[int]bool)
+	stack := []int{v}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[u] {
+			continue
+		}
+		seen[u] = true
+		node := g.Nodes[u]
+		if node.Parts != nil {
+			for _, out := range node.Parts {
+				stack = append(stack, out)
+			}
+			continue
+		}
+		eid := d.pred[u]
+		if eid < 0 {
+			continue
+		}
+		e := g.Edges[eid]
+		if e.Kind == qrg.Translation && e.Weight > bw {
+			bw = e.Weight
+			alpha = e.Alpha
+		}
+		stack = append(stack, e.From)
+	}
+	return alpha
+}
+
+// planDAG runs the two-pass heuristic; the choose callback selects the
+// target sink from the reachable sinks (best-rank-first), allowing the
+// tradeoff policy to compose with the heuristic.
+func planDAG(g *qrg.Graph, choose func([]sinkSummary) sinkSummary) (*Plan, error) {
+	d := passI(g)
+
+	var sinks []sinkSummary
+	for _, sink := range g.Sinks {
+		if math.IsInf(d.val[sink.Node], 1) {
+			continue
+		}
+		sinks = append(sinks, sinkSummary{
+			sink:  sink,
+			psi:   d.val[sink.Node],
+			alpha: bottleneckAlpha(g, d, sink.Node),
+		})
+	}
+	if len(sinks) == 0 {
+		return nil, ErrInfeasible
+	}
+	target := choose(sinks)
+
+	plan, err := passII(g, d, target.sink.Node)
+	if err != nil {
+		return nil, err
+	}
+	plan.Alpha = target.alpha
+	return plan, nil
+}
+
+// passII backtracks from the chosen sink node, resolving fan-out
+// non-convergence locally, and assembles the embedded graph's plan.
+func passII(g *qrg.Graph, d *dagValues, sinkNode int) (*Plan, error) {
+	service := g.Service
+	order, err := service.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+
+	selOut := make(map[svc.ComponentID]int, len(order))
+	selIn := make(map[svc.ComponentID]int, len(order))
+	// demands[c] is the set of Qout nodes of c demanded by already
+	// processed downstream components.
+	demands := make(map[svc.ComponentID]map[int]bool)
+
+	sinkComp := g.Nodes[sinkNode].Comp
+
+	for i := len(order) - 1; i >= 0; i-- {
+		cid := order[i]
+		var out int
+		if cid == sinkComp {
+			out = sinkNode
+		} else {
+			ds := demands[cid]
+			if len(ds) == 0 {
+				return nil, fmt.Errorf("core: two-pass backtrack never demanded component %s", cid)
+			}
+			if len(ds) == 1 {
+				for o := range ds {
+					out = o
+				}
+			} else {
+				out, err = resolveFanOut(g, d, cid, selOut, selIn)
+				if err != nil {
+					return nil, err
+				}
+			}
+		}
+		if math.IsInf(d.val[out], 1) {
+			return nil, ErrInfeasible
+		}
+		selOut[cid] = out
+		eid := d.pred[out]
+		if eid < 0 {
+			return nil, fmt.Errorf("core: two-pass: reachable Qout node %d of %s has no predecessor", out, cid)
+		}
+		in := g.Edges[eid].From
+		selIn[cid] = in
+
+		// Propagate demands to the upstream components.
+		inNode := g.Nodes[in]
+		switch {
+		case inNode.Parts != nil:
+			for up, upOut := range inNode.Parts {
+				addDemand(demands, up, upOut)
+			}
+		case in != g.Source:
+			peid := d.pred[in]
+			if peid < 0 {
+				return nil, fmt.Errorf("core: two-pass: Qin node %d of %s has no predecessor", in, cid)
+			}
+			upOut := g.Edges[peid].From
+			addDemand(demands, g.Nodes[upOut].Comp, upOut)
+		}
+	}
+
+	return assembleDAGPlan(g, order, selIn, selOut, sinkNode)
+}
+
+func addDemand(demands map[svc.ComponentID]map[int]bool, comp svc.ComponentID, out int) {
+	m := demands[comp]
+	if m == nil {
+		m = make(map[int]bool)
+		demands[comp] = m
+	}
+	m[out] = true
+}
+
+// resolveFanOut applies the local non-convergence policy: the downstream
+// components' already selected Qout nodes stay fixed; among the fan-out
+// component's reachable Qout nodes, pick the one minimizing the maximum
+// Ψ_e needed by the downstream components to reach their fixed Qout nodes
+// from the Qin nodes this candidate induces. The induced Qin selections
+// of the downstream components are updated in place.
+func resolveFanOut(g *qrg.Graph, d *dagValues, cid svc.ComponentID, selOut, selIn map[svc.ComponentID]int) (int, error) {
+	downs := g.Service.Succs(cid)
+	sort.Slice(downs, func(i, j int) bool { return downs[i] < downs[j] })
+
+	bestQ := -1
+	bestCost := math.Inf(1)
+	var bestIns map[svc.ComponentID]int
+
+	for _, q := range outNodesOf(g, cid) {
+		if math.IsInf(d.val[q], 1) || d.pred[q] < 0 {
+			continue
+		}
+		cost := 0.0
+		ins := make(map[svc.ComponentID]int, len(downs))
+		ok := true
+		for _, a := range downs {
+			aOut, haveOut := selOut[a]
+			aIn, haveIn := selIn[a]
+			if !haveOut || !haveIn {
+				ok = false
+				break
+			}
+			newIn := inducedInNode(g, a, q, aIn, cid)
+			if newIn < 0 {
+				ok = false
+				break
+			}
+			w, found := translationWeight(g, newIn, aOut)
+			if !found {
+				ok = false
+				break
+			}
+			if w > cost {
+				cost = w
+			}
+			ins[a] = newIn
+		}
+		if !ok {
+			continue
+		}
+		if cost < bestCost {
+			bestCost = cost
+			bestQ = q
+			bestIns = ins
+		}
+	}
+	if bestQ < 0 {
+		// Heuristic limitation (1): the sink was reachable after pass I,
+		// yet no single Qout node of the fan-out component serves all
+		// fixed downstream choices.
+		return 0, ErrInfeasible
+	}
+	for a, in := range bestIns {
+		selIn[a] = in
+	}
+	return bestQ, nil
+}
+
+// outNodesOf lists the Qout node IDs of a component in creation
+// (and hence deterministic) order.
+func outNodesOf(g *qrg.Graph, cid svc.ComponentID) []int {
+	var out []int
+	for _, n := range g.Nodes {
+		if n.Comp == cid && n.Kind == qrg.Out {
+			out = append(out, n.ID)
+		}
+	}
+	return out
+}
+
+// inducedInNode finds the Qin node of component a reached from Qout node
+// q of the upstream component upComp, holding the other fan-in parts of
+// a's current Qin node fixed. Returns -1 when no such node exists.
+func inducedInNode(g *qrg.Graph, a svc.ComponentID, q, curIn int, upComp svc.ComponentID) int {
+	curParts := g.Nodes[curIn].Parts
+	for _, eid := range g.OutEdges[q] {
+		e := g.Edges[eid]
+		if e.Kind != qrg.Equivalence {
+			continue
+		}
+		cand := e.To
+		node := g.Nodes[cand]
+		if node.Comp != a {
+			continue
+		}
+		if curParts == nil {
+			// a has a single upstream component; any equivalence target
+			// of q in a is the induced node.
+			return cand
+		}
+		// Fan-in: every part except upComp's must match the current
+		// selection.
+		match := true
+		for up, out := range node.Parts {
+			if up == upComp {
+				if out != q {
+					match = false
+					break
+				}
+				continue
+			}
+			if curParts[up] != out {
+				match = false
+				break
+			}
+		}
+		if match {
+			return cand
+		}
+	}
+	return -1
+}
+
+// translationWeight returns the weight of the translation edge from Qin
+// node in to Qout node out, if it exists.
+func translationWeight(g *qrg.Graph, in, out int) (float64, bool) {
+	for _, eid := range g.OutEdges[in] {
+		e := g.Edges[eid]
+		if e.Kind == qrg.Translation && e.To == out {
+			return e.Weight, true
+		}
+	}
+	return 0, false
+}
+
+// assembleDAGPlan builds the Plan from the per-component selections.
+func assembleDAGPlan(g *qrg.Graph, order []svc.ComponentID, selIn, selOut map[svc.ComponentID]int, sinkNode int) (*Plan, error) {
+	p := &Plan{}
+	for _, cid := range order {
+		in, out := selIn[cid], selOut[cid]
+		eid := -1
+		for _, cand := range g.OutEdges[in] {
+			e := g.Edges[cand]
+			if e.Kind == qrg.Translation && e.To == out {
+				eid = cand
+				break
+			}
+		}
+		if eid < 0 {
+			return nil, fmt.Errorf("core: two-pass: no translation edge for component %s selection", cid)
+		}
+		e := g.Edges[eid]
+		p.Choices = append(p.Choices, Choice{
+			Comp:       cid,
+			In:         g.Nodes[in].Level,
+			Out:        g.Nodes[out].Level,
+			Req:        e.Req.Clone(),
+			Psi:        e.Weight,
+			Bottleneck: e.Bottleneck,
+		})
+	}
+	sink := g.Nodes[sinkNode]
+	p.EndToEnd = sink.Level
+	p.Rank = g.Service.RankOf(sink.Level.Name)
+	finishPlan(p)
+	if g.Snapshot != nil && p.Bottleneck != "" {
+		p.Alpha = g.Snapshot.Alpha[p.Bottleneck]
+	} else {
+		p.Alpha = 1
+	}
+	return p, nil
+}

@@ -1,0 +1,191 @@
+package core
+
+import (
+	"container/heap"
+	"math"
+
+	"qosres/internal/qrg"
+)
+
+// shortest is the result of the max-plus Dijkstra run over a QRG: for
+// each node, the minimum over all source paths of the maximum edge weight
+// along the path, plus the predecessor edge realizing it under the
+// paper's tie-breaking rule.
+type shortest struct {
+	g *qrg.Graph
+	// noTieBreak disables the paper's min(b, c) predecessor rule (for
+	// ablation): the first relaxation achieving a node's value wins.
+	noTieBreak bool
+	// dist[v] is the bottleneck value of the best source->v path.
+	dist []float64
+	// predEdge[v] is the edge ID entering v on the best path, -1 at the
+	// source and for unreachable nodes.
+	predEdge []int
+	// inWeight[v] is the weight of predEdge[v], the tie-break key.
+	inWeight []float64
+}
+
+// pqItem is a priority-queue entry (lazy deletion: stale entries are
+// skipped on pop).
+type pqItem struct {
+	node int
+	dist float64
+	tie  float64
+}
+
+type pq []pqItem
+
+func (q pq) Len() int { return len(q) }
+func (q pq) Less(i, j int) bool {
+	if q[i].dist != q[j].dist {
+		return q[i].dist < q[j].dist
+	}
+	if q[i].tie != q[j].tie {
+		return q[i].tie < q[j].tie
+	}
+	return q[i].node < q[j].node
+}
+func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// maxPlusDijkstra runs Dijkstra's algorithm with "+" redefined as "max"
+// (section 4.1.2). The resulting dist of a sink node equals the
+// contention index ψ of the bottleneck resource on the selected path.
+//
+// Tie-breaking follows the paper: when two candidate predecessors yield
+// the same node value (max(a,b) == max(a,c)), the predecessor whose edge
+// weight is smaller wins (min(b,c)); remaining ties prefer the
+// predecessor with the smaller value, then the smaller edge ID, keeping
+// the computation fully deterministic.
+func maxPlusDijkstra(g *qrg.Graph) *shortest {
+	return maxPlusDijkstraOpt(g, false)
+}
+
+// maxPlusDijkstraOpt optionally disables the tie-break rule.
+func maxPlusDijkstraOpt(g *qrg.Graph, noTieBreak bool) *shortest {
+	n := len(g.Nodes)
+	s := &shortest{
+		g:          g,
+		noTieBreak: noTieBreak,
+		dist:       make([]float64, n),
+		predEdge:   make([]int, n),
+		inWeight:   make([]float64, n),
+	}
+	for i := range s.dist {
+		s.dist[i] = math.Inf(1)
+		s.predEdge[i] = -1
+		s.inWeight[i] = math.Inf(1)
+	}
+	s.dist[g.Source] = 0
+	s.inWeight[g.Source] = 0
+	q := &pq{{node: g.Source, dist: 0, tie: 0}}
+	heap.Init(q)
+	for q.Len() > 0 {
+		it := heap.Pop(q).(pqItem)
+		u := it.node
+		if it.dist > s.dist[u] || (it.dist == s.dist[u] && it.tie > s.inWeight[u]) {
+			continue // stale entry
+		}
+		for _, eid := range g.OutEdges[u] {
+			e := g.Edges[eid]
+			v := e.To
+			nd := s.dist[u]
+			if e.Weight > nd {
+				nd = e.Weight
+			}
+			if !better(nd, e.Weight, s.dist[u], eid, s, v) {
+				continue
+			}
+			s.dist[v] = nd
+			s.predEdge[v] = eid
+			s.inWeight[v] = e.Weight
+			heap.Push(q, pqItem{node: v, dist: nd, tie: e.Weight})
+		}
+	}
+	return s
+}
+
+// better reports whether the candidate relaxation (nd via edge eid of
+// weight w from a predecessor with value predDist) improves node v under
+// the tie-break order.
+func better(nd, w, predDist float64, eid int, s *shortest, v int) bool {
+	switch {
+	case nd < s.dist[v]:
+		return true
+	case nd > s.dist[v]:
+		return false
+	}
+	if s.noTieBreak {
+		// Ablation mode: keep whatever relaxation got there first.
+		return false
+	}
+	// Equal node value: prefer the smaller incoming edge weight
+	// (the paper's min(b, c) rule).
+	cur := s.inWeight[v]
+	if w != cur {
+		return w < cur
+	}
+	// Then the smaller predecessor value.
+	var curPred float64
+	if s.predEdge[v] >= 0 {
+		curPred = s.dist[s.g.Edges[s.predEdge[v]].From]
+	}
+	if predDist != curPred {
+		return predDist < curPred
+	}
+	// Finally a stable ID order; never replace an equal-quality choice.
+	return s.predEdge[v] >= 0 && eid < s.predEdge[v]
+}
+
+// reachable reports whether node v was reached.
+func (s *shortest) reachable(v int) bool { return !math.IsInf(s.dist[v], 1) }
+
+// backtrack returns the node path and edge path from the source to v.
+func (s *shortest) backtrack(v int) (nodes []int, edges []int) {
+	for cur := v; ; {
+		nodes = append(nodes, cur)
+		eid := s.predEdge[cur]
+		if eid < 0 {
+			break
+		}
+		edges = append(edges, eid)
+		cur = s.g.Edges[eid].From
+	}
+	reverseInts(nodes)
+	reverseInts(edges)
+	return nodes, edges
+}
+
+// bottleneckEdge returns the translation edge realizing the path's
+// bottleneck value (the most downstream one when several attain it).
+func (s *shortest) bottleneckEdge(edges []int) (qrg.Edge, bool) {
+	best := -1
+	bw := -1.0
+	for _, eid := range edges {
+		e := s.g.Edges[eid]
+		if e.Kind != qrg.Translation {
+			continue
+		}
+		if e.Weight >= bw {
+			bw = e.Weight
+			best = eid
+		}
+	}
+	if best < 0 {
+		return qrg.Edge{}, false
+	}
+	return s.g.Edges[best], true
+}
+
+func reverseInts(xs []int) {
+	for i, j := 0, len(xs)-1; i < j; i, j = i+1, j-1 {
+		xs[i], xs[j] = xs[j], xs[i]
+	}
+}

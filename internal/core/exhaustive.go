@@ -1,0 +1,130 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"qosres/internal/qrg"
+	"qosres/internal/svc"
+)
+
+// Exhaustive enumerates every embedded graph of the QRG and returns the
+// exact optimum: highest end-to-end QoS rank first, then smallest Ψ_G.
+// Its cost is exponential in the number of components, so it serves as a
+// correctness and quality baseline for TwoPass on small services (the
+// ablation DESIGN.md calls out), not as a runtime algorithm.
+type Exhaustive struct{}
+
+// Name implements Planner.
+func (Exhaustive) Name() string { return "exhaustive" }
+
+// Plan implements Planner.
+func (Exhaustive) Plan(g *qrg.Graph) (*Plan, error) {
+	order, err := g.Service.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+
+	var (
+		bestRank = -1
+		bestPsi  = math.Inf(1)
+		bestSel  map[svc.ComponentID][2]int // comp -> (in, out)
+	)
+
+	selOut := make(map[svc.ComponentID]int, len(order))
+	selIn := make(map[svc.ComponentID]int, len(order))
+
+	var recurse func(i int, psi float64)
+	recurse = func(i int, psi float64) {
+		if i == len(order) {
+			sinkOut := selOut[order[len(order)-1]]
+			rank := g.Service.RankOf(g.Nodes[sinkOut].Level.Name)
+			if rank > bestRank || (rank == bestRank && psi < bestPsi) {
+				bestRank = rank
+				bestPsi = psi
+				bestSel = make(map[svc.ComponentID][2]int, len(order))
+				for _, cid := range order {
+					bestSel[cid] = [2]int{selIn[cid], selOut[cid]}
+				}
+			}
+			return
+		}
+		cid := order[i]
+		in := embeddedInNode(g, cid, selOut)
+		if in < 0 {
+			return
+		}
+		selIn[cid] = in
+		for _, eid := range g.OutEdges[in] {
+			e := g.Edges[eid]
+			if e.Kind != qrg.Translation {
+				continue
+			}
+			selOut[cid] = e.To
+			np := psi
+			if e.Weight > np {
+				np = e.Weight
+			}
+			recurse(i+1, np)
+		}
+		delete(selOut, cid)
+		delete(selIn, cid)
+	}
+	recurse(0, 0)
+
+	if bestSel == nil {
+		return nil, ErrInfeasible
+	}
+	fin := make(map[svc.ComponentID]int, len(order))
+	fout := make(map[svc.ComponentID]int, len(order))
+	for cid, s := range bestSel {
+		fin[cid], fout[cid] = s[0], s[1]
+	}
+	sinkComp, err := g.Service.Sink()
+	if err != nil {
+		return nil, err
+	}
+	return assembleDAGPlan(g, order, fin, fout, fout[sinkComp.ID])
+}
+
+// embeddedInNode determines the unique Qin node of component cid implied
+// by the upstream Qout selections, or -1 when none exists.
+func embeddedInNode(g *qrg.Graph, cid svc.ComponentID, selOut map[svc.ComponentID]int) int {
+	preds := g.Service.Preds(cid)
+	if len(preds) == 0 {
+		return g.Source
+	}
+	sort.Slice(preds, func(i, j int) bool { return preds[i] < preds[j] })
+	if len(preds) == 1 {
+		q, ok := selOut[preds[0]]
+		if !ok {
+			return -1
+		}
+		for _, eid := range g.OutEdges[q] {
+			e := g.Edges[eid]
+			if e.Kind == qrg.Equivalence && g.Nodes[e.To].Comp == cid {
+				return e.To
+			}
+		}
+		return -1
+	}
+	// Fan-in: find the combination node whose parts are exactly the
+	// upstream selections.
+	for _, n := range g.Nodes {
+		if n.Comp != cid || n.Kind != qrg.In || n.Parts == nil {
+			continue
+		}
+		match := true
+		for _, p := range preds {
+			q, ok := selOut[p]
+			if !ok || n.Parts[p] != q {
+				match = false
+				break
+			}
+		}
+		if match {
+			return n.ID
+		}
+	}
+	return -1
+}

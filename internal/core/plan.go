@@ -1,0 +1,141 @@
+// Package core implements the paper's primary contribution: the runtime
+// algorithms of section 4 that compute an end-to-end multi-resource
+// reservation plan from a QoS-Resource Graph.
+//
+//   - Basic (section 4.1): Dijkstra's algorithm on the QRG with "+"
+//     redefined as "max", selecting — among all feasible plans achieving
+//     the highest reachable end-to-end QoS — the plan whose bottleneck
+//     resource has the smallest contention index.
+//   - Tradeoff (section 4.3.1): the basic algorithm followed by the
+//     availability-change-index policy that trades end-to-end QoS level
+//     for overall reservation success rate.
+//   - Random (section 5): the contention-unaware baseline that picks a
+//     uniformly random feasible path to the highest reachable QoS level.
+//   - TwoPass (section 4.3.2): the two-pass heuristic for services whose
+//     dependency graph is a DAG with fan-in/fan-out components.
+//   - Exhaustive: an exact embedded-graph enumerator used as a quality
+//     baseline for the TwoPass heuristic in tests and ablation benches.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"qosres/internal/qos"
+	"qosres/internal/qrg"
+	"qosres/internal/svc"
+)
+
+// ErrInfeasible is returned when no feasible end-to-end reservation plan
+// exists under the snapshot the QRG was built from.
+var ErrInfeasible = errors.New("core: no feasible end-to-end reservation plan")
+
+// Choice records one component's selected (Qin, Qout) pair and the bound
+// resource requirement of its translation edge.
+type Choice struct {
+	Comp svc.ComponentID
+	In   svc.Level
+	Out  svc.Level
+	Req  qos.ResourceVector
+	// Psi is the contention index of this translation edge.
+	Psi float64
+	// Bottleneck is the edge's bottleneck resource.
+	Bottleneck string
+}
+
+// Plan is an end-to-end multi-resource reservation plan for one service
+// session.
+type Plan struct {
+	// Choices holds the per-component selections in topological order.
+	Choices []Choice
+	// EndToEnd is the selected end-to-end QoS level (the sink Qout).
+	EndToEnd svc.Level
+	// Rank is the paper-style level number of EndToEnd (higher = better).
+	Rank int
+	// Psi is the contention index of the plan's bottleneck resource —
+	// Ψ_P for chains (equation 4) or Ψ_G for embedded graphs (equation 6).
+	Psi float64
+	// Bottleneck is the plan's bottleneck resource.
+	Bottleneck string
+	// Alpha is the availability change index of the bottleneck resource.
+	Alpha float64
+	// Path lists the traversed QRG node IDs from source to sink for chain
+	// services; empty for DAG plans (which are embedded graphs, not
+	// paths).
+	Path []int
+	// PathLevels is the dash-joined level-name rendering of Path, the
+	// form used by the paper's tables 1-2.
+	PathLevels string
+}
+
+// Requirement sums the plan's per-choice requirements into the single
+// vector the session must reserve, accumulating amounts that target the
+// same concrete resource.
+func (p *Plan) Requirement() qos.ResourceVector {
+	out := make(qos.ResourceVector)
+	for _, c := range p.Choices {
+		for r, amount := range c.Req {
+			out[r] += amount
+		}
+	}
+	return out
+}
+
+// Planner computes a reservation plan from a QRG.
+type Planner interface {
+	// Name identifies the algorithm ("basic", "tradeoff", "random", ...).
+	Name() string
+	// Plan computes the end-to-end reservation plan, or ErrInfeasible.
+	Plan(g *qrg.Graph) (*Plan, error)
+}
+
+// finishPlan derives the aggregate fields of a plan from its choices.
+func finishPlan(p *Plan) *Plan {
+	p.Psi = 0
+	for _, c := range p.Choices {
+		if c.Psi >= p.Psi {
+			if c.Psi > p.Psi || p.Bottleneck == "" {
+				p.Bottleneck = c.Bottleneck
+			}
+			p.Psi = c.Psi
+		}
+	}
+	return p
+}
+
+// planFromPath converts a source-to-sink node path in the QRG into a
+// Plan. pathEdges holds the edge IDs along the path.
+func planFromPath(g *qrg.Graph, nodes []int, pathEdges []int) (*Plan, error) {
+	p := &Plan{Path: nodes, PathLevels: g.PathLevels(nodes)}
+	for _, eid := range pathEdges {
+		e := g.Edges[eid]
+		if e.Kind != qrg.Translation {
+			continue
+		}
+		from, to := g.Nodes[e.From], g.Nodes[e.To]
+		if from.Comp != to.Comp {
+			return nil, fmt.Errorf("core: translation edge %d crosses components %s->%s", eid, from.Comp, to.Comp)
+		}
+		p.Choices = append(p.Choices, Choice{
+			Comp:       from.Comp,
+			In:         from.Level,
+			Out:        to.Level,
+			Req:        e.Req.Clone(),
+			Psi:        e.Weight,
+			Bottleneck: e.Bottleneck,
+		})
+	}
+	if len(nodes) > 0 {
+		sinkNode := g.Nodes[nodes[len(nodes)-1]]
+		p.EndToEnd = sinkNode.Level
+		p.Rank = g.Service.RankOf(sinkNode.Level.Name)
+	}
+	finishPlan(p)
+	if g.Snapshot != nil {
+		p.Alpha = g.Snapshot.Alpha[p.Bottleneck]
+		if p.Bottleneck == "" {
+			p.Alpha = 1
+		}
+	}
+	return p, nil
+}

@@ -1,0 +1,488 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"qosres/internal/qos"
+	"qosres/internal/qrg"
+	"qosres/internal/workload"
+)
+
+// videoGraph builds the QRG of the paper's figure 4/5 worked example.
+func videoGraph(t *testing.T) *qrg.Graph {
+	t.Helper()
+	g, err := qrg.Build(workload.VideoService(), workload.VideoBinding(), workload.VideoSnapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestBasicReproducesFigure5(t *testing.T) {
+	g := videoGraph(t)
+
+	// The top-ranked end-to-end level Qn is infeasible under the
+	// snapshot, so it must not even appear as a sink node.
+	for _, s := range g.Sinks {
+		if g.Nodes[s.Node].Level.Name == "Qn" {
+			t.Fatal("infeasible level Qn should not be a sink node")
+		}
+	}
+
+	p, err := (Basic{}).Plan(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.EndToEnd.Name != "Qo" {
+		t.Fatalf("selected end-to-end level = %s, want Qo", p.EndToEnd.Name)
+	}
+	if p.Rank != 5 {
+		t.Fatalf("rank = %d, want 5 (second best of six)", p.Rank)
+	}
+	if math.Abs(p.Psi-0.16) > 1e-9 {
+		t.Fatalf("bottleneck contention = %v, want 0.16", p.Psi)
+	}
+	// The figure-5 tie-break: Qo is reachable at 0.16 both via Qk
+	// (incoming weight 0.14) and via Ql (incoming weight 0.16); the rule
+	// min(b, c) selects the Qk predecessor, i.e. the path through Qh.
+	if p.PathLevels != "Qa-Qc-Qf-Qh-Qk-Qo" {
+		t.Fatalf("selected path = %s, want Qa-Qc-Qf-Qh-Qk-Qo", p.PathLevels)
+	}
+}
+
+func TestBasicPlanChoicesCoverEveryComponent(t *testing.T) {
+	g := videoGraph(t)
+	p, err := (Basic{}).Plan(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Choices) != 3 {
+		t.Fatalf("choices = %d, want 3", len(p.Choices))
+	}
+	want := []string{"VideoSender", "ObjectTracker", "VideoPlayer"}
+	for i, c := range p.Choices {
+		if string(c.Comp) != want[i] {
+			t.Errorf("choice %d component = %s, want %s", i, c.Comp, want[i])
+		}
+		if len(c.Req) == 0 {
+			t.Errorf("choice %d has empty requirement", i)
+		}
+		if c.Psi < 0 || c.Psi > 1 {
+			t.Errorf("choice %d psi = %v out of (0,1]", i, c.Psi)
+		}
+	}
+}
+
+func TestPlanRequirementAccumulates(t *testing.T) {
+	g := videoGraph(t)
+	p, err := (Basic{}).Plan(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := p.Requirement()
+	// Every amount must be positive and satisfiable under the snapshot.
+	for r, amt := range req {
+		if amt <= 0 {
+			t.Errorf("requirement %s = %v", r, amt)
+		}
+		if amt > workload.VideoAvail {
+			t.Errorf("requirement %s = %v exceeds availability", r, amt)
+		}
+	}
+	if len(req) == 0 {
+		t.Fatal("empty plan requirement")
+	}
+}
+
+func TestBasicPsiMatchesMaxChoicePsi(t *testing.T) {
+	g := videoGraph(t)
+	p, err := (Basic{}).Plan(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	max := 0.0
+	for _, c := range p.Choices {
+		if c.Psi > max {
+			max = c.Psi
+		}
+	}
+	if p.Psi != max {
+		t.Fatalf("plan psi %v != max choice psi %v", p.Psi, max)
+	}
+}
+
+func TestBasicIsOptimalOnVideoExample(t *testing.T) {
+	g := videoGraph(t)
+	basic, err := (Basic{}).Plan(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := (Exhaustive{}).Plan(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if basic.Rank != exact.Rank {
+		t.Fatalf("basic rank %d != exhaustive rank %d", basic.Rank, exact.Rank)
+	}
+	if math.Abs(basic.Psi-exact.Psi) > 1e-12 {
+		t.Fatalf("basic psi %v != exhaustive psi %v", basic.Psi, exact.Psi)
+	}
+}
+
+func TestInfeasibleWhenNothingReachable(t *testing.T) {
+	// Zero availability: no translation edge survives.
+	snap := workload.VideoSnapshot()
+	for r := range snap.Avail {
+		snap.Avail[r] = 0
+	}
+	g, err := qrg.Build(workload.VideoService(), workload.VideoBinding(), snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, planner := range []Planner{Basic{}, Tradeoff{}, NewRandom(1)} {
+		if _, err := planner.Plan(g); !errors.Is(err, ErrInfeasible) {
+			t.Errorf("%s: err = %v, want ErrInfeasible", planner.Name(), err)
+		}
+	}
+}
+
+func TestRandomAlwaysReachesBestSink(t *testing.T) {
+	g := videoGraph(t)
+	r := NewRandom(7)
+	seen := map[string]bool{}
+	for i := 0; i < 200; i++ {
+		p, err := r.Plan(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.EndToEnd.Name != "Qo" {
+			t.Fatalf("random planner chose %s, want the best reachable sink Qo", p.EndToEnd.Name)
+		}
+		seen[p.PathLevels] = true
+	}
+	// Both Qa-..-Qk-Qo and Qa-..-Ql-Qo style paths exist; a uniform
+	// sampler must find more than one.
+	if len(seen) < 2 {
+		t.Fatalf("random planner only ever selected %v", seen)
+	}
+}
+
+func TestRandomIsUniformOverPaths(t *testing.T) {
+	g := videoGraph(t)
+	counts := pathCounts(g)
+	// Count the distinct source->Qo paths analytically.
+	var total float64
+	for _, s := range g.Sinks {
+		if g.Nodes[s.Node].Level.Name == "Qo" {
+			total = counts[s.Node]
+		}
+	}
+	if total < 2 {
+		t.Fatalf("expected at least 2 paths to Qo, have %v", total)
+	}
+	r := NewRandom(99)
+	hist := map[string]int{}
+	const n = 4000
+	for i := 0; i < n; i++ {
+		p, err := r.Plan(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hist[p.PathLevels]++
+	}
+	if len(hist) != int(total) {
+		t.Fatalf("sampled %d distinct paths, want %v", len(hist), total)
+	}
+	want := float64(n) / total
+	for path, got := range hist {
+		if math.Abs(float64(got)-want) > 5*math.Sqrt(want) {
+			t.Errorf("path %s sampled %d times, want ~%.0f", path, got, want)
+		}
+	}
+}
+
+func TestRandomRejectsDAGServices(t *testing.T) {
+	g, err := qrg.Build(workload.DagService(), workload.DagBinding(), workload.DagSnapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewRandom(1).Plan(g); err == nil {
+		t.Fatal("random planner must reject DAG services")
+	}
+}
+
+func TestRandomRequiresRNG(t *testing.T) {
+	g := videoGraph(t)
+	if _, err := (&Random{}).Plan(g); err == nil {
+		t.Fatal("expected error without RNG")
+	}
+}
+
+func TestTradeoffEqualsBasicWhenTrendUp(t *testing.T) {
+	// All alphas are 1.0 in the canonical snapshot, so tradeoff must
+	// behave exactly like basic.
+	g := videoGraph(t)
+	pb, err := (Basic{}).Plan(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, err := (Tradeoff{}).Plan(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pb.EndToEnd.Name != pt.EndToEnd.Name || pb.PathLevels != pt.PathLevels {
+		t.Fatalf("tradeoff diverged from basic with alpha=1: %s vs %s", pt.PathLevels, pb.PathLevels)
+	}
+}
+
+func TestTradeoffDowngradesWhenTrendDown(t *testing.T) {
+	snap := workload.VideoSnapshot()
+	// The basic plan's bottleneck resource is the tracking proxy CPU
+	// (edge Qf->Qh at 0.16). Mark its availability as trending sharply
+	// down.
+	snap.Alpha[workload.VideoResProxyCPU] = 0.5
+	g, err := qrg.Build(workload.VideoService(), workload.VideoBinding(), snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := (Tradeoff{}).Plan(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Budget = alpha * psi_s0 = 0.5*0.16 = 0.08. Only sink Qs (psi 0.10
+	// via Qa-Qd-Qg-Qj-Qm-Qs... with max(0.10, 0.08)=0.10) exceeds it;
+	// sinks with psi <= 0.08 don't exist, so the fallback picks the
+	// least-contended sink.
+	basic, err := (Basic{}).Plan(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Rank >= basic.Rank {
+		t.Fatalf("tradeoff rank %d should be below basic rank %d under a downtrend", p.Rank, basic.Rank)
+	}
+	if p.Psi >= basic.Psi {
+		t.Fatalf("tradeoff psi %v should be below basic psi %v", p.Psi, basic.Psi)
+	}
+}
+
+func TestTradeoffPolicyChoosesBudgetedSink(t *testing.T) {
+	sinks := []sinkSummary{
+		{sink: qrg.Sink{Rank: 3}, psi: 0.5, alpha: 0.8},
+		{sink: qrg.Sink{Rank: 2}, psi: 0.45},
+		{sink: qrg.Sink{Rank: 1}, psi: 0.3},
+	}
+	got := chooseTradeoffSink(sinks)
+	// Budget = 0.8*0.5 = 0.4; the first sink with psi <= 0.4 is rank 1.
+	if got.sink.Rank != 1 {
+		t.Fatalf("chose rank %d, want 1", got.sink.Rank)
+	}
+}
+
+func TestTradeoffPolicyKeepsBestWhenTrendUp(t *testing.T) {
+	sinks := []sinkSummary{
+		{sink: qrg.Sink{Rank: 3}, psi: 0.9, alpha: 1.2},
+		{sink: qrg.Sink{Rank: 2}, psi: 0.1},
+	}
+	if got := chooseTradeoffSink(sinks); got.sink.Rank != 3 {
+		t.Fatalf("chose rank %d, want 3", got.sink.Rank)
+	}
+}
+
+func TestTradeoffPolicyFallbackMinPsi(t *testing.T) {
+	sinks := []sinkSummary{
+		{sink: qrg.Sink{Rank: 3}, psi: 0.5, alpha: 0.1}, // budget 0.05
+		{sink: qrg.Sink{Rank: 2}, psi: 0.6},
+		{sink: qrg.Sink{Rank: 1}, psi: 0.2},
+	}
+	if got := chooseTradeoffSink(sinks); got.sink.Rank != 1 || got.psi != 0.2 {
+		t.Fatalf("fallback chose rank %d psi %v, want rank 1 psi 0.2", got.sink.Rank, got.psi)
+	}
+}
+
+func TestTwoPassReproducesFigure8(t *testing.T) {
+	g, err := qrg.Build(workload.DagService(), workload.DagBinding(), workload.DagSnapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := (TwoPass{}).Plan(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.EndToEnd.Name != "Qv" {
+		t.Fatalf("end-to-end = %s, want Qv", p.EndToEnd.Name)
+	}
+	byComp := map[string][2]string{}
+	for _, c := range p.Choices {
+		byComp[string(c.Comp)] = [2]string{c.In.Name, c.Out.Name}
+	}
+	// The figure-8 resolution: the fan-out component c2 converges on Qi
+	// (highest downstream Ψe 0.30) rather than Qh (0.35).
+	if byComp["c2"][1] != "Qi" {
+		t.Fatalf("c2 output = %s, want Qi (the paper's resolution)", byComp["c2"][1])
+	}
+	if byComp["c3"] != [2]string{"Qk", "Qn"} {
+		t.Fatalf("c3 selection = %v, want [Qk Qn]", byComp["c3"])
+	}
+	if byComp["c4"] != [2]string{"Qm", "Qp"} {
+		t.Fatalf("c4 selection = %v, want [Qm Qp]", byComp["c4"])
+	}
+	if math.Abs(p.Psi-0.30) > 1e-9 {
+		t.Fatalf("Ψ_G = %v, want 0.30", p.Psi)
+	}
+	if len(p.Choices) != 5 {
+		t.Fatalf("choices = %d, want 5", len(p.Choices))
+	}
+}
+
+func TestBasicDelegatesToTwoPassForDAG(t *testing.T) {
+	g, err := qrg.Build(workload.DagService(), workload.DagBinding(), workload.DagSnapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := (Basic{}).Plan(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp, err := (TwoPass{}).Plan(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.EndToEnd.Name != tp.EndToEnd.Name || p.Psi != tp.Psi {
+		t.Fatalf("basic (%s, %v) != twopass (%s, %v)", p.EndToEnd.Name, p.Psi, tp.EndToEnd.Name, tp.Psi)
+	}
+}
+
+func TestExhaustiveMatchesTwoPassOnFigure8(t *testing.T) {
+	g, err := qrg.Build(workload.DagService(), workload.DagBinding(), workload.DagSnapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	heur, err := (TwoPass{}).Plan(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := (Exhaustive{}).Plan(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact.Rank != heur.Rank {
+		t.Fatalf("exhaustive rank %d != twopass rank %d", exact.Rank, heur.Rank)
+	}
+	if exact.Psi > heur.Psi+1e-12 {
+		t.Fatalf("exhaustive psi %v worse than heuristic %v", exact.Psi, heur.Psi)
+	}
+	// On this instance the local resolution is in fact globally optimal.
+	if math.Abs(exact.Psi-heur.Psi) > 1e-12 {
+		t.Fatalf("exhaustive psi %v, twopass psi %v: expected equal on figure-8", exact.Psi, heur.Psi)
+	}
+}
+
+func TestExhaustiveOnChainMatchesBasic(t *testing.T) {
+	g := videoGraph(t)
+	b, err := (Basic{}).Plan(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := (Exhaustive{}).Plan(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Rank != e.Rank || math.Abs(b.Psi-e.Psi) > 1e-12 {
+		t.Fatalf("basic (%d, %v) != exhaustive (%d, %v)", b.Rank, b.Psi, e.Rank, e.Psi)
+	}
+}
+
+func TestTradeoffOnDAGDowngrades(t *testing.T) {
+	snap := workload.DagSnapshot()
+	// Make every resource trend down hard; the bottleneck of the best
+	// plan then forces a downgrade to the lower sink.
+	for r := range snap.Alpha {
+		snap.Alpha[r] = 0.4
+	}
+	g, err := qrg.Build(workload.DagService(), workload.DagBinding(), snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := (Tradeoff{}).Plan(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Budget = 0.4 * 0.30 = 0.12; sink Qw has pass-I value 0.15 > 0.12,
+	// so the fallback picks the smaller-psi sink: Qw at 0.15.
+	if p.EndToEnd.Name != "Qw" {
+		t.Fatalf("end-to-end = %s, want Qw", p.EndToEnd.Name)
+	}
+}
+
+func TestPlannersAreDeterministic(t *testing.T) {
+	g := videoGraph(t)
+	first, err := (Basic{}).Plan(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		p, err := (Basic{}).Plan(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.PathLevels != first.PathLevels || p.Psi != first.Psi {
+			t.Fatalf("run %d diverged: %s/%v vs %s/%v", i, p.PathLevels, p.Psi, first.PathLevels, first.Psi)
+		}
+	}
+}
+
+func TestPlannerNames(t *testing.T) {
+	names := map[string]Planner{
+		"basic":      Basic{},
+		"tradeoff":   Tradeoff{},
+		"twopass":    TwoPass{},
+		"exhaustive": Exhaustive{},
+		"random":     NewRandom(1),
+	}
+	for want, p := range names {
+		if p.Name() != want {
+			t.Errorf("Name() = %q, want %q", p.Name(), want)
+		}
+	}
+}
+
+func TestWeightHelper(t *testing.T) {
+	req := qos.ResourceVector{"a": 10, "b": 50}
+	avail := qos.ResourceVector{"a": 100, "b": 100}
+	psi, bott, ok := qrg.Weight(req, avail)
+	if !ok || psi != 0.5 || bott != "b" {
+		t.Fatalf("Weight = %v %q %v", psi, bott, ok)
+	}
+	_, _, ok = qrg.Weight(qos.ResourceVector{"a": 101}, avail)
+	if ok {
+		t.Fatal("over-requirement must be infeasible")
+	}
+	psi, _, ok = qrg.Weight(qos.ResourceVector{}, avail)
+	if !ok || psi != 0 {
+		t.Fatal("empty requirement must be feasible at zero contention")
+	}
+}
+
+func TestNoTieBreakStillOptimalButDifferentPath(t *testing.T) {
+	// Disabling the tie-break must not change the achieved rank or ψ
+	// (both paths share the bottleneck value); on the figure-5 instance
+	// it changes which predecessor of Qo is kept.
+	g := videoGraph(t)
+	with, err := (Basic{}).Plan(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := (Basic{NoTieBreak: true}).Plan(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if with.Rank != without.Rank || with.Psi != without.Psi {
+		t.Fatalf("tie-break changed optimality: (%d, %v) vs (%d, %v)",
+			with.Rank, with.Psi, without.Rank, without.Psi)
+	}
+	if with.PathLevels == without.PathLevels {
+		t.Fatalf("figure-5 tie not exercised: both chose %s", with.PathLevels)
+	}
+}

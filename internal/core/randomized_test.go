@@ -1,0 +1,442 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"qosres/internal/broker"
+	"qosres/internal/qos"
+	"qosres/internal/qrg"
+	"qosres/internal/svc"
+	"qosres/internal/workload"
+)
+
+// This file cross-validates the planners on randomized service models:
+// the max-plus Dijkstra against the exhaustive enumerator on random
+// chains, and the two-pass heuristic against the enumerator on random
+// fan-out/fan-in DAGs. The generators build structurally valid services
+// with random level counts, random supported (Qin, Qout) pairs, and
+// random requirements, then randomize availability so some edges are
+// infeasible.
+
+// randLevelSet builds n levels with distinct single-parameter vectors.
+func randLevelSet(prefix string, base, n int) []svc.Level {
+	out := make([]svc.Level, n)
+	for i := range out {
+		out[i] = svc.Level{
+			Name:   fmt.Sprintf("%s%d", prefix, i),
+			Vector: qos.MustVector(qos.P("q", float64(base+i))),
+		}
+	}
+	return out
+}
+
+// randChainService builds a random chain of k components. Component i
+// binds its single resource to "r<i>".
+func randChainService(rng *rand.Rand, k int) (*svc.Service, svc.Binding, *broker.Snapshot) {
+	var comps []*svc.Component
+	var edges []svc.Edge
+	binding := svc.Binding{}
+	avail := qos.ResourceVector{}
+	alpha := map[string]float64{}
+
+	prevOut := []svc.Level{{Name: "SRC", Vector: qos.MustVector(qos.P("q", -1))}}
+	for i := 0; i < k; i++ {
+		id := svc.ComponentID(fmt.Sprintf("c%d", i))
+		nOut := 2 + rng.Intn(3)
+		in := make([]svc.Level, len(prevOut))
+		for j, lv := range prevOut {
+			in[j] = svc.Level{Name: fmt.Sprintf("in%d_%d", i, j), Vector: lv.Vector}
+		}
+		if i == 0 {
+			in = in[:1]
+		}
+		out := randLevelSet(fmt.Sprintf("out%d_", i), i*100, nOut)
+		table := svc.TranslationTable{}
+		for _, lin := range in {
+			row := map[string]qos.ResourceVector{}
+			for _, lout := range out {
+				if rng.Float64() < 0.75 { // some pairs unsupported
+					row[lout.Name] = qos.ResourceVector{"r": 1 + rng.Float64()*99}
+				}
+			}
+			if len(row) > 0 {
+				table[lin.Name] = row
+			}
+		}
+		// Guarantee at least one supported pair so validation passes
+		// structurally; feasibility still depends on availability.
+		if len(table) == 0 {
+			table[in[0].Name] = map[string]qos.ResourceVector{
+				out[0].Name: {"r": 1 + rng.Float64()*99},
+			}
+		}
+		comps = append(comps, &svc.Component{
+			ID: id, In: in, Out: out,
+			Translate: table.Func(),
+			Resources: []string{"r"},
+		})
+		if i > 0 {
+			edges = append(edges, svc.Edge{From: svc.ComponentID(fmt.Sprintf("c%d", i-1)), To: id})
+		}
+		res := fmt.Sprintf("r%d", i)
+		binding[id] = map[string]string{"r": res}
+		avail[res] = 20 + rng.Float64()*80 // some requirements infeasible
+		alpha[res] = 0.5 + rng.Float64()
+		prevOut = out
+	}
+	ranking := make([]string, len(prevOut))
+	for i, lv := range prevOut {
+		ranking[i] = lv.Name
+	}
+	// Random preference order over the sink levels.
+	rng.Shuffle(len(ranking), func(i, j int) { ranking[i], ranking[j] = ranking[j], ranking[i] })
+
+	service, err := svc.NewService("rand-chain", comps, edges, ranking)
+	if err != nil {
+		panic(err)
+	}
+	return service, binding, &broker.Snapshot{Avail: avail, Alpha: alpha}
+}
+
+func TestRandomizedBasicMatchesExhaustiveOnChains(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	agree, infeasible := 0, 0
+	for trial := 0; trial < 1500; trial++ {
+		service, binding, snap := randChainService(rng, 2+rng.Intn(3))
+		g, err := qrg.Build(service, binding, snap)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		pb, errB := (Basic{}).Plan(g)
+		pe, errE := (Exhaustive{}).Plan(g)
+		if (errB == nil) != (errE == nil) {
+			t.Fatalf("trial %d: basic err %v, exhaustive err %v", trial, errB, errE)
+		}
+		if errB != nil {
+			if !errors.Is(errB, ErrInfeasible) {
+				t.Fatalf("trial %d: %v", trial, errB)
+			}
+			infeasible++
+			continue
+		}
+		if pb.Rank != pe.Rank {
+			t.Fatalf("trial %d: basic rank %d != exhaustive rank %d", trial, pb.Rank, pe.Rank)
+		}
+		if math.Abs(pb.Psi-pe.Psi) > 1e-9 {
+			t.Fatalf("trial %d: basic psi %v != exhaustive psi %v (sink %s)",
+				trial, pb.Psi, pe.Psi, pb.EndToEnd.Name)
+		}
+		agree++
+	}
+	if agree < 100 {
+		t.Fatalf("only %d feasible trials (%d infeasible): generator too harsh", agree, infeasible)
+	}
+}
+
+func TestRandomizedPlanInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 300; trial++ {
+		service, binding, snap := randChainService(rng, 3)
+		g, err := qrg.Build(service, binding, snap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := (Basic{}).Plan(g)
+		if err != nil {
+			continue
+		}
+		// One choice per component, in chain order.
+		if len(p.Choices) != 3 {
+			t.Fatalf("trial %d: %d choices", trial, len(p.Choices))
+		}
+		// Every choice individually satisfiable and psi consistent.
+		maxPsi := 0.0
+		for _, c := range p.Choices {
+			for r, amt := range c.Req {
+				if amt > snap.Avail[r]+1e-9 {
+					t.Fatalf("trial %d: choice %s requires %v of %s, avail %v",
+						trial, c.Comp, amt, r, snap.Avail[r])
+				}
+			}
+			if c.Psi > maxPsi {
+				maxPsi = c.Psi
+			}
+		}
+		if math.Abs(p.Psi-maxPsi) > 1e-12 {
+			t.Fatalf("trial %d: plan psi %v != max choice psi %v", trial, p.Psi, maxPsi)
+		}
+		// Adjacent choices agree on the equivalence (vector equality).
+		for i := 1; i < len(p.Choices); i++ {
+			if !p.Choices[i-1].Out.Vector.Equal(p.Choices[i].In.Vector) {
+				t.Fatalf("trial %d: choice %d output %v != choice %d input %v",
+					trial, i-1, p.Choices[i-1].Out.Vector, i, p.Choices[i].In.Vector)
+			}
+		}
+	}
+}
+
+func TestRandomizedTradeoffNeverExceedsBasic(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	downgrades := 0
+	for trial := 0; trial < 300; trial++ {
+		service, binding, snap := randChainService(rng, 3)
+		g, err := qrg.Build(service, binding, snap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pb, errB := (Basic{}).Plan(g)
+		pt, errT := (Tradeoff{}).Plan(g)
+		if (errB == nil) != (errT == nil) {
+			t.Fatalf("trial %d: feasibility disagreement", trial)
+		}
+		if errB != nil {
+			continue
+		}
+		if pt.Rank > pb.Rank {
+			t.Fatalf("trial %d: tradeoff rank %d above basic %d", trial, pt.Rank, pb.Rank)
+		}
+		if pt.Psi > pb.Psi+1e-12 {
+			t.Fatalf("trial %d: tradeoff psi %v above basic %v", trial, pt.Psi, pb.Psi)
+		}
+		if pt.Rank < pb.Rank {
+			downgrades++
+		}
+	}
+	if downgrades == 0 {
+		t.Fatal("alpha range includes downtrends; expected at least one downgrade")
+	}
+}
+
+func TestRandomizedRandomPlannerRankMatchesBasic(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	r := NewRandom(5)
+	for trial := 0; trial < 200; trial++ {
+		service, binding, snap := randChainService(rng, 3)
+		g, err := qrg.Build(service, binding, snap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pb, errB := (Basic{}).Plan(g)
+		pr, errR := r.Plan(g)
+		if (errB == nil) != (errR == nil) {
+			t.Fatalf("trial %d: feasibility disagreement", trial)
+		}
+		if errB != nil {
+			continue
+		}
+		if pr.Rank != pb.Rank {
+			t.Fatalf("trial %d: random rank %d != basic rank %d", trial, pr.Rank, pb.Rank)
+		}
+		if pr.Psi < pb.Psi-1e-12 {
+			t.Fatalf("trial %d: random psi %v below basic's optimum %v", trial, pr.Psi, pb.Psi)
+		}
+	}
+}
+
+// randDagService randomizes the figure-6 shape: c1 -> c2 -> {c3, c4} ->
+// c5 with random requirements and some unsupported pairs.
+func randDagService(rng *rand.Rand) (*svc.Service, svc.Binding, *broker.Snapshot) {
+	lv := func(name string, q float64) svc.Level {
+		return svc.Level{Name: name, Vector: qos.MustVector(qos.P("q", q))}
+	}
+	req := func() qos.ResourceVector { return qos.ResourceVector{"r": 1 + rng.Float64()*99} }
+	maybe := func(row map[string]qos.ResourceVector, name string, p float64) {
+		if rng.Float64() < p {
+			row[name] = req()
+		}
+	}
+
+	qa := lv("Qa", 0)
+	qb, qc := lv("Qb", 1), lv("Qc", 2)
+	qd, qe := lv("Qd", 1), lv("Qe", 2)
+	qh, qi := lv("Qh", 10), lv("Qi", 11)
+	qj, qk := lv("Qj", 10), lv("Qk", 11)
+	qn, qo := lv("Qn", 20), lv("Qo", 21)
+	ql, qm := lv("Ql", 10), lv("Qm", 11)
+	qp, qq := lv("Qp", 30), lv("Qq", 31)
+	qv, qw := lv("Qv", 90), lv("Qw", 91)
+
+	concat := func(name string, a, b svc.Level) svc.Level {
+		return svc.Level{Name: name, Vector: qos.ConcatAll(
+			[]string{"c3", "c4"}, []qos.Vector{a.Vector, b.Vector})}
+	}
+	fanIn := []svc.Level{
+		concat("F1", qn, qp), concat("F2", qn, qq),
+		concat("F3", qo, qp), concat("F4", qo, qq),
+	}
+
+	mkTable := func(ins []svc.Level, outs []svc.Level, p float64) svc.TranslationTable {
+		tb := svc.TranslationTable{}
+		for _, in := range ins {
+			row := map[string]qos.ResourceVector{}
+			for _, out := range outs {
+				maybe(row, out.Name, p)
+			}
+			if len(row) > 0 {
+				tb[in.Name] = row
+			}
+		}
+		if len(tb) == 0 {
+			tb[ins[0].Name] = map[string]qos.ResourceVector{outs[0].Name: req()}
+		}
+		return tb
+	}
+
+	comps := []*svc.Component{
+		{ID: "c1", In: []svc.Level{qa}, Out: []svc.Level{qb, qc},
+			Translate: mkTable([]svc.Level{qa}, []svc.Level{qb, qc}, 0.9).Func(), Resources: []string{"r"}},
+		{ID: "c2", In: []svc.Level{qd, qe}, Out: []svc.Level{qh, qi},
+			Translate: mkTable([]svc.Level{qd, qe}, []svc.Level{qh, qi}, 0.8).Func(), Resources: []string{"r"}},
+		{ID: "c3", In: []svc.Level{qj, qk}, Out: []svc.Level{qn, qo},
+			Translate: mkTable([]svc.Level{qj, qk}, []svc.Level{qn, qo}, 0.8).Func(), Resources: []string{"r"}},
+		{ID: "c4", In: []svc.Level{ql, qm}, Out: []svc.Level{qp, qq},
+			Translate: mkTable([]svc.Level{ql, qm}, []svc.Level{qp, qq}, 0.8).Func(), Resources: []string{"r"}},
+		{ID: "c5", In: fanIn, Out: []svc.Level{qv, qw},
+			Translate: mkTable(fanIn, []svc.Level{qv, qw}, 0.7).Func(), Resources: []string{"r"}},
+	}
+	service, err := svc.NewService("rand-dag", comps, []svc.Edge{
+		{From: "c1", To: "c2"},
+		{From: "c2", To: "c3"},
+		{From: "c2", To: "c4"},
+		{From: "c3", To: "c5"},
+		{From: "c4", To: "c5"},
+	}, []string{"Qv", "Qw"})
+	if err != nil {
+		panic(err)
+	}
+	binding := svc.Binding{}
+	avail := qos.ResourceVector{}
+	alpha := map[string]float64{}
+	for _, c := range comps {
+		res := "r@" + string(c.ID)
+		binding[c.ID] = map[string]string{"r": res}
+		avail[res] = 30 + rng.Float64()*70
+		alpha[res] = 1
+	}
+	return service, binding, &broker.Snapshot{Avail: avail, Alpha: alpha}
+}
+
+func TestRandomizedTwoPassAgainstExhaustive(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	var feasible, heuristicGaps, heuristicFailures int
+	for trial := 0; trial < 1500; trial++ {
+		service, binding, snap := randDagService(rng)
+		g, err := qrg.Build(service, binding, snap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ph, errH := (TwoPass{}).Plan(g)
+		pe, errE := (Exhaustive{}).Plan(g)
+		if errH == nil && errE != nil {
+			// The heuristic can never succeed where no embedded graph
+			// exists.
+			t.Fatalf("trial %d: twopass found a plan the enumerator says cannot exist", trial)
+		}
+		if errH != nil {
+			if !errors.Is(errH, ErrInfeasible) {
+				t.Fatalf("trial %d: %v", trial, errH)
+			}
+			if errE == nil {
+				// Heuristic limitation (1): a pass-I-reachable sink with
+				// no feasible embedded graph found in pass II. Allowed,
+				// but must stay rare.
+				heuristicFailures++
+			}
+			continue
+		}
+		feasible++
+		// A two-pass success means an embedded graph at that rank
+		// exists, and pass-I reachability bounds the enumerator's rank
+		// from above: the ranks must agree.
+		if pe.Rank != ph.Rank {
+			t.Fatalf("trial %d: twopass rank %d, exhaustive rank %d", trial, ph.Rank, pe.Rank)
+		}
+		if pe.Psi > ph.Psi+1e-9 {
+			t.Fatalf("trial %d: exhaustive psi %v worse than heuristic %v", trial, pe.Psi, ph.Psi)
+		}
+		// Heuristic limitation (2): the local resolution may miss the
+		// global optimum.
+		if ph.Psi > pe.Psi+1e-9 {
+			heuristicGaps++
+		}
+		// The plan must be a consistent embedded graph.
+		verifyEmbedded(t, trial, g, ph)
+	}
+	if feasible < 100 {
+		t.Fatalf("only %d feasible trials", feasible)
+	}
+	if heuristicFailures > feasible/2 {
+		t.Fatalf("heuristic failed on %d of %d solvable instances", heuristicFailures, feasible)
+	}
+	t.Logf("feasible=%d, heuristic psi gaps=%d, heuristic-only failures=%d",
+		feasible, heuristicGaps, heuristicFailures)
+}
+
+// verifyEmbedded checks the embedded-graph consistency conditions of
+// section 4.3.2 on a plan.
+func verifyEmbedded(t *testing.T, trial int, g *qrg.Graph, p *Plan) {
+	t.Helper()
+	outOf := map[svc.ComponentID]svc.Level{}
+	inOf := map[svc.ComponentID]svc.Level{}
+	for _, c := range p.Choices {
+		if _, dup := outOf[c.Comp]; dup {
+			t.Fatalf("trial %d: component %s selected twice", trial, c.Comp)
+		}
+		outOf[c.Comp] = c.Out
+		inOf[c.Comp] = c.In
+	}
+	if len(outOf) != len(g.Service.Components) {
+		t.Fatalf("trial %d: plan covers %d of %d components", trial, len(outOf), len(g.Service.Components))
+	}
+	for _, cid := range g.Service.ComponentIDs() {
+		preds := g.Service.Preds(cid)
+		switch len(preds) {
+		case 0:
+		case 1:
+			if !outOf[preds[0]].Vector.Equal(inOf[cid].Vector) {
+				t.Fatalf("trial %d: %s input != %s output", trial, cid, preds[0])
+			}
+		default:
+			// Fan-in: the selected input must be the concatenation of
+			// the selected upstream outputs.
+			labels := make([]string, 0, len(preds))
+			vectors := make([]qos.Vector, 0, len(preds))
+			for _, p := range []svc.ComponentID{"c3", "c4"} {
+				labels = append(labels, string(p))
+				vectors = append(vectors, outOf[p].Vector)
+			}
+			want := qos.ConcatAll(labels, vectors)
+			if !inOf[cid].Vector.Equal(want) {
+				t.Fatalf("trial %d: fan-in %s input %v != concat %v", trial, cid, inOf[cid].Vector, want)
+			}
+		}
+	}
+}
+
+func TestSyntheticChainBasicMatchesExhaustive(t *testing.T) {
+	// A dense Q=12 chain: ~12^3 embedded paths; the planners must agree
+	// exactly.
+	service, binding, snap := workload.SyntheticChain(3, 12)
+	g, err := qrg.Build(service, binding, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := (Basic{}).Plan(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pe, err := (Exhaustive{}).Plan(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pb.Rank != pe.Rank || math.Abs(pb.Psi-pe.Psi) > 1e-12 {
+		t.Fatalf("basic (%d, %v) != exhaustive (%d, %v)", pb.Rank, pb.Psi, pe.Rank, pe.Psi)
+	}
+	if err := ValidatePlan(g, pb); err != nil {
+		t.Fatal(err)
+	}
+}

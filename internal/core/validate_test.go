@@ -1,0 +1,182 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"qosres/internal/qrg"
+	"qosres/internal/workload"
+)
+
+func TestValidatePlanAcceptsPlannerOutput(t *testing.T) {
+	g := videoGraph(t)
+	for _, p := range []Planner{Basic{}, Tradeoff{}, NewRandom(3), Exhaustive{}} {
+		plan, err := p.Plan(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ValidatePlan(g, plan); err != nil {
+			t.Errorf("%s: %v", p.Name(), err)
+		}
+	}
+}
+
+func TestValidatePlanAcceptsDAGPlans(t *testing.T) {
+	g, err := qrg.Build(workload.DagService(), workload.DagBinding(), workload.DagSnapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []Planner{TwoPass{}, Exhaustive{}} {
+		plan, err := p.Plan(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ValidatePlan(g, plan); err != nil {
+			t.Errorf("%s: %v", p.Name(), err)
+		}
+	}
+}
+
+func TestValidatePlanDetectsCorruption(t *testing.T) {
+	g := videoGraph(t)
+	fresh := func() *Plan {
+		p, err := (Basic{}).Plan(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	cases := map[string]struct {
+		mutate func(*Plan)
+		want   string
+	}{
+		"duplicate component": {
+			func(p *Plan) { p.Choices = append(p.Choices, p.Choices[0]) },
+			"twice",
+		},
+		"missing component": {
+			func(p *Plan) { p.Choices = p.Choices[:2]; p.EndToEnd = p.Choices[1].Out; p.Rank = 0 },
+			"covers",
+		},
+		"unknown component": {
+			func(p *Plan) { p.Choices[0].Comp = "ghost" },
+			"unknown component",
+		},
+		"unsupported pair": {
+			func(p *Plan) { p.Choices[1].In, p.Choices[1].Out = p.Choices[1].Out, p.Choices[1].In },
+			"",
+		},
+		"tampered requirement": {
+			func(p *Plan) {
+				for r := range p.Choices[0].Req {
+					p.Choices[0].Req[r] *= 3
+				}
+			},
+			"requirement",
+		},
+		"wrong end-to-end": {
+			func(p *Plan) { p.EndToEnd.Name = "Qq" },
+			"end-to-end",
+		},
+		"wrong rank": {
+			func(p *Plan) { p.Rank = 99 },
+			"rank",
+		},
+		"wrong psi": {
+			func(p *Plan) { p.Psi = 0.999 },
+			"Ψ",
+		},
+	}
+	for name, tc := range cases {
+		p := fresh()
+		tc.mutate(p)
+		err := ValidatePlan(g, p)
+		if err == nil {
+			t.Errorf("%s: corruption accepted", name)
+			continue
+		}
+		if tc.want != "" && !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want mention of %q", name, err, tc.want)
+		}
+	}
+}
+
+func TestValidatePlanNilArgs(t *testing.T) {
+	if err := ValidatePlan(nil, nil); err == nil {
+		t.Fatal("nil args accepted")
+	}
+}
+
+func TestValidatePlanInfeasibleUnderNewSnapshot(t *testing.T) {
+	// A plan computed under a generous snapshot must fail validation
+	// against a drained one: the guard a caller needs before reserving a
+	// stored plan.
+	g := videoGraph(t)
+	plan, err := (Basic{}).Plan(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drained := workload.VideoSnapshot()
+	for r := range drained.Avail {
+		drained.Avail[r] = 1
+	}
+	g2, err := qrg.Build(workload.VideoService(), workload.VideoBinding(), drained)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidatePlan(g2, plan); err == nil {
+		t.Fatal("stale plan accepted against drained snapshot")
+	}
+}
+
+func TestFeasiblePlanCountsChain(t *testing.T) {
+	g := videoGraph(t)
+	counts := FeasiblePlanCounts(g)
+	byLevel := map[string]PlanCount{}
+	for _, c := range counts {
+		byLevel[c.Level] = c
+	}
+	// Hand-enumerated from the figure-4/5 instance: Qo is reachable via
+	// Qk (2 upstream paths) and Ql (2 upstream paths).
+	if got := byLevel["Qo"].Plans; got != 4 {
+		t.Fatalf("plans to Qo = %v, want 4", got)
+	}
+	if got := byLevel["Qp"].Plans; got != 2 {
+		t.Fatalf("plans to Qp = %v, want 2", got)
+	}
+	if got := byLevel["Qq"].Plans; got != 1 {
+		t.Fatalf("plans to Qq = %v, want 1", got)
+	}
+	// Counts must agree with the uniform sampler's support.
+	r := NewRandom(3)
+	seen := map[string]bool{}
+	for i := 0; i < 2000; i++ {
+		p, err := r.Plan(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[p.PathLevels] = true
+	}
+	if float64(len(seen)) != byLevel["Qo"].Plans {
+		t.Fatalf("sampler found %d paths to the best sink, counts say %v", len(seen), byLevel["Qo"].Plans)
+	}
+}
+
+func TestFeasiblePlanCountsDAG(t *testing.T) {
+	g, err := qrg.Build(workload.DagService(), workload.DagBinding(), workload.DagSnapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := FeasiblePlanCounts(g)
+	if len(counts) != 2 {
+		t.Fatalf("counts = %+v", counts)
+	}
+	// 2 (c1) x 2 (c2) upstream choices; one fan-in combo reaches Qv,
+	// three reach Qw.
+	if counts[0].Level != "Qv" || counts[0].Plans != 4 {
+		t.Fatalf("Qv count = %+v", counts[0])
+	}
+	if counts[1].Level != "Qw" || counts[1].Plans != 12 {
+		t.Fatalf("Qw count = %+v", counts[1])
+	}
+}

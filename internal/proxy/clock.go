@@ -1,0 +1,30 @@
+package proxy
+
+import (
+	"time"
+
+	"qosres/internal/broker"
+)
+
+// WallClock is a Clock driven by the host's wall time: live deployments
+// of the runtime architecture use it so broker histories and α windows
+// advance in real time. One Time Unit corresponds to TUPerSecond⁻¹
+// seconds.
+type WallClock struct {
+	start       time.Time
+	tuPerSecond float64
+}
+
+// NewWallClock creates a wall clock starting at Time 0 now, advancing
+// tuPerSecond Time Units per wall-clock second (1.0 if <= 0).
+func NewWallClock(tuPerSecond float64) *WallClock {
+	if tuPerSecond <= 0 {
+		tuPerSecond = 1
+	}
+	return &WallClock{start: time.Now(), tuPerSecond: tuPerSecond}
+}
+
+// Now implements Clock.
+func (c *WallClock) Now() broker.Time {
+	return broker.Time(time.Since(c.start).Seconds() * c.tuPerSecond)
+}

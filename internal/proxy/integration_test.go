@@ -1,0 +1,222 @@
+package proxy
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"qosres/internal/broker"
+	"qosres/internal/core"
+	"qosres/internal/qrg"
+	"qosres/internal/svc"
+	"qosres/internal/topo"
+	"qosres/internal/workload"
+)
+
+// This integration test proves the runtime architecture is a faithful
+// distributed implementation of the library path: a fixed sequence of
+// figure-9 sessions establishes once through the QoSProxy protocol
+// (goroutines + messages) and once through direct Pool calls, against
+// two identical environments. Every step must produce the same plan and
+// leave the two environments in the same state.
+
+// buildMirrorEnvs creates two identical figure-9 environments: one
+// exposed through a Runtime, one as a bare Pool.
+func buildMirrorEnvs(t *testing.T, clock Clock) (*Runtime, *broker.Pool, *broker.Pool) {
+	t.Helper()
+	topology := topo.Figure9()
+	capacities := map[string]float64{}
+	for i := 1; i <= topo.NumServers; i++ {
+		capacities[broker.LocalResourceID(workload.ResCPU, topo.ServerHost(i))] = 1500 + float64(i)*400
+	}
+	for j, l := range topology.Links() {
+		capacities[broker.LinkResourceID(l.ID)] = 1200 + float64(j)*150
+	}
+
+	mkPool := func() *broker.Pool {
+		pool := broker.NewPool(topology)
+		for i := 1; i <= topo.NumServers; i++ {
+			h := topo.ServerHost(i)
+			if _, err := pool.AddLocal(workload.ResCPU, h, capacities[broker.LocalResourceID(workload.ResCPU, h)]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, l := range topology.Links() {
+			if _, err := pool.AddLink(l.ID, capacities[broker.LinkResourceID(l.ID)]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return pool
+	}
+
+	runtimePool := mkPool()
+	directPool := mkPool()
+
+	rt := NewRuntime(clock)
+	for _, h := range topology.Hosts() {
+		if _, err := rt.AddHost(h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 1; i <= topo.NumServers; i++ {
+		h := topo.ServerHost(i)
+		b, _ := runtimePool.Get(broker.LocalResourceID(workload.ResCPU, h))
+		if err := rt.Deploy(h, b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Network brokers for every (server, proxy) pair and every
+	// (proxy, domain) pair, deployed receiver-side. Both pools create
+	// them so their Get() works.
+	deployNet := func(from, to topo.HostID) {
+		n, err := runtimePool.Network(from, to)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := directPool.Network(from, to); err != nil {
+			t.Fatal(err)
+		}
+		if err := rt.Deploy(to, n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 1; i <= topo.NumServers; i++ {
+		for j := 1; j <= topo.NumServers; j++ {
+			if i != j {
+				deployNet(topo.ServerHost(i), topo.ServerHost(j))
+			}
+		}
+	}
+	for d := 1; d <= topo.NumDomains; d++ {
+		deployNet(topo.ServerHost(topo.ProxyServerFor(d)), topo.DomainHost(d))
+	}
+	return rt, runtimePool, directPool
+}
+
+func TestRuntimeMatchesDirectLibraryPath(t *testing.T) {
+	clock := &ManualClock{}
+	rt, _, directPool := buildMirrorEnvs(t, clock)
+	rt.Start()
+	defer rt.Stop()
+
+	services := workload.Services(workload.Options{BaseScale: 20})
+
+	type sessionKey struct{ domain, service int }
+	var seq []sessionKey
+	for d := 1; d <= topo.NumDomains; d++ {
+		for s := 1; s <= 4; s++ {
+			if s != topo.ProxyServerFor(d) {
+				seq = append(seq, sessionKey{d, s})
+			}
+		}
+	}
+	// Three rounds drive the environments into contention.
+	seq = append(append(seq, seq...), seq...)
+
+	var live []*Session
+	var directHolds []*broker.MultiReservation
+	planner := core.Basic{}
+	matched := 0
+	for step, k := range seq {
+		clock.Advance(1)
+		now := clock.Now()
+		service := services[k.service]
+		binding, resources := fig9Binding(k.service, k.domain)
+
+		// Direct path.
+		snap, err := directPool.Snapshot(now, resources)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := qrg.Build(service, binding, snap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		directPlan, directErr := planner.Plan(g)
+
+		// Runtime path.
+		session, rtErr := rt.Establish(topo.ServerHost(k.service), SessionSpec{
+			Service: service, Binding: binding, Planner: planner,
+		})
+
+		if (directErr == nil) != (rtErr == nil) {
+			t.Fatalf("step %d: direct err %v, runtime err %v", step, directErr, rtErr)
+		}
+		if directErr != nil {
+			if !errors.Is(directErr, core.ErrInfeasible) {
+				t.Fatal(directErr)
+			}
+			continue
+		}
+		if session.Plan.EndToEnd.Name != directPlan.EndToEnd.Name ||
+			session.Plan.PathLevels != directPlan.PathLevels ||
+			absDiff(session.Plan.Psi, directPlan.Psi) > 1e-9 {
+			t.Fatalf("step %d: runtime plan (%s, %v) != direct plan (%s, %v)",
+				step, session.Plan.PathLevels, session.Plan.Psi, directPlan.PathLevels, directPlan.Psi)
+		}
+		matched++
+		live = append(live, session)
+		hold, err := directPool.ReserveAll(now, directPlan.Requirement())
+		if err != nil {
+			t.Fatalf("step %d: direct reserve failed after plan success: %v", step, err)
+		}
+		directHolds = append(directHolds, hold)
+	}
+	if matched < 30 {
+		t.Fatalf("only %d sessions established; contention never built up", matched)
+	}
+
+	// Both worlds drain clean.
+	clock.Advance(100)
+	for _, s := range live {
+		if err := s.Release(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, h := range directHolds {
+		if err := h.Release(clock.Now()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, b := range directPool.LocalBrokers() {
+		if b.Reservations() != 0 {
+			t.Errorf("direct %s leaked", b.Resource())
+		}
+	}
+}
+
+func fig9Binding(service, domain int) (svc.Binding, []string) {
+	server := topo.ServerHost(service)
+	proxyHost := topo.ServerHost(topo.ProxyServerFor(domain))
+	client := topo.DomainHost(domain)
+	cpuS := broker.LocalResourceID(workload.ResCPU, server)
+	cpuP := broker.LocalResourceID(workload.ResCPU, proxyHost)
+	netSP := broker.NetResourceID(server, proxyHost)
+	netPC := broker.NetResourceID(proxyHost, client)
+	return svc.Binding{
+		workload.CompServer: {workload.ResCPU: cpuS},
+		workload.CompProxy:  {workload.ResCPU: cpuP, workload.ResNet: netSP},
+		workload.CompClient: {workload.ResNet: netPC},
+	}, []string{cpuS, cpuP, netSP, netPC}
+}
+
+func absDiff(a, b float64) float64 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}
+
+func TestWallClockAdvances(t *testing.T) {
+	c := NewWallClock(1000) // 1000 TU per second: measurable quickly
+	t0 := c.Now()
+	time.Sleep(5 * time.Millisecond)
+	t1 := c.Now()
+	if t1 <= t0 {
+		t.Fatalf("wall clock did not advance: %v -> %v", t0, t1)
+	}
+	// Default scale guard.
+	if NewWallClock(0) == nil {
+		t.Fatal("nil clock")
+	}
+}

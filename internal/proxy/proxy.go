@@ -1,0 +1,339 @@
+// Package proxy implements the runtime system architecture of section 3:
+// a QoSProxy per end host coordinating the Resource Brokers deployed on
+// that host. For each distributed service session the main QoSProxy (the
+// one on the service's main server, holding the QoS-Resource Model
+// definition) runs the three-phase protocol of section 4.2:
+//
+//  1. the participating QoSProxies report the current availability (and
+//     availability change index) of the session's resources;
+//  2. the main QoSProxy executes the planning algorithm locally;
+//  3. the main QoSProxy dispatches the computed end-to-end reservation
+//     plan's segments to the participating QoSProxies, which make the
+//     actual reservations with their local Resource Brokers. A failed
+//     segment aborts the session and rolls back the segments already
+//     reserved.
+//
+// Each QoSProxy runs as its own goroutine and is driven purely by
+// message passing, mirroring the distributed deployment: the only shared
+// state between proxies is the brokers they own.
+package proxy
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"qosres/internal/broker"
+	"qosres/internal/qos"
+	"qosres/internal/svc"
+	"qosres/internal/topo"
+)
+
+// Clock supplies the current time to the runtime. Simulated deployments
+// use a manual clock; live ones a wall clock.
+type Clock interface {
+	Now() broker.Time
+}
+
+// ManualClock is a settable clock for tests and simulations.
+type ManualClock struct {
+	mu  sync.Mutex
+	now broker.Time
+}
+
+// Now implements Clock.
+func (c *ManualClock) Now() broker.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Advance moves the clock forward by d.
+func (c *ManualClock) Advance(d broker.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now += d
+}
+
+// Set positions the clock.
+func (c *ManualClock) Set(t broker.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = t
+}
+
+// message types exchanged with a QoSProxy goroutine.
+
+type availabilityRequest struct {
+	resources []string
+	reply     chan availabilityReply
+}
+
+type availabilityReply struct {
+	reports []broker.Report
+	err     error
+}
+
+type reserveRequest struct {
+	// req holds only the resources owned by this proxy.
+	req   qos.ResourceVector
+	reply chan reserveReply
+}
+
+type reserveReply struct {
+	reservation *segmentReservation
+	err         error
+}
+
+type releaseRequest struct {
+	reservation *segmentReservation
+	reply       chan error
+}
+
+// segmentReservation is one proxy's share of an end-to-end reservation.
+type segmentReservation struct {
+	owner topo.HostID
+	parts []segmentPart
+}
+
+type segmentPart struct {
+	b  broker.Broker
+	id broker.ReservationID
+}
+
+// QoSProxy is the per-host reservation coordinator.
+type QoSProxy struct {
+	host    topo.HostID
+	clock   Clock
+	brokers map[string]broker.Broker
+	// models holds, per service, the components stored at this host
+	// under the distributed model-storage approach of section 3.
+	models map[string]map[svc.ComponentID]*svc.Component
+	// skeletons holds, per service, the skeleton this host (as main
+	// QoSProxy) plans from.
+	skeletons map[string]Skeleton
+
+	requests chan interface{}
+	done     chan struct{}
+	wg       sync.WaitGroup
+}
+
+// newQoSProxy constructs (but does not start) a proxy.
+func newQoSProxy(host topo.HostID, clock Clock) *QoSProxy {
+	return &QoSProxy{
+		host:     host,
+		clock:    clock,
+		brokers:  make(map[string]broker.Broker),
+		requests: make(chan interface{}, 16),
+		done:     make(chan struct{}),
+	}
+}
+
+// Host returns the proxy's host.
+func (p *QoSProxy) Host() topo.HostID { return p.host }
+
+// Resources lists the resource IDs of the brokers deployed at this host,
+// sorted.
+func (p *QoSProxy) Resources() []string {
+	out := make([]string, 0, len(p.brokers))
+	for r := range p.brokers {
+		out = append(out, r)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// serve is the proxy goroutine: it owns all broker interactions of its
+// host.
+func (p *QoSProxy) serve() {
+	defer p.wg.Done()
+	for {
+		select {
+		case <-p.done:
+			return
+		case m := <-p.requests:
+			switch req := m.(type) {
+			case availabilityRequest:
+				req.reply <- p.handleAvailability(req)
+			case reserveRequest:
+				req.reply <- p.handleReserve(req)
+			case releaseRequest:
+				req.reply <- p.handleRelease(req)
+			case modelRequest:
+				req.reply <- p.handleModel(req)
+			}
+		}
+	}
+}
+
+func (p *QoSProxy) handleAvailability(req availabilityRequest) availabilityReply {
+	now := p.clock.Now()
+	reports := make([]broker.Report, 0, len(req.resources))
+	for _, r := range req.resources {
+		b, ok := p.brokers[r]
+		if !ok {
+			return availabilityReply{err: fmt.Errorf("proxy %s: no broker for resource %s", p.host, r)}
+		}
+		reports = append(reports, b.Report(now))
+	}
+	return availabilityReply{reports: reports}
+}
+
+func (p *QoSProxy) handleReserve(req reserveRequest) reserveReply {
+	now := p.clock.Now()
+	seg := &segmentReservation{owner: p.host}
+	for _, r := range resourceNames(req.req) {
+		amount := req.req[r]
+		if amount == 0 {
+			continue
+		}
+		b, ok := p.brokers[r]
+		if !ok {
+			p.rollback(seg, now)
+			return reserveReply{err: fmt.Errorf("proxy %s: no broker for resource %s", p.host, r)}
+		}
+		id, err := b.Reserve(now, amount)
+		if err != nil {
+			p.rollback(seg, now)
+			return reserveReply{err: err}
+		}
+		seg.parts = append(seg.parts, segmentPart{b: b, id: id})
+	}
+	return reserveReply{reservation: seg}
+}
+
+func (p *QoSProxy) rollback(seg *segmentReservation, now broker.Time) {
+	for i := len(seg.parts) - 1; i >= 0; i-- {
+		_ = seg.parts[i].b.Release(now, seg.parts[i].id)
+	}
+	seg.parts = nil
+}
+
+func (p *QoSProxy) handleRelease(req releaseRequest) error {
+	now := p.clock.Now()
+	var firstErr error
+	for i := len(req.reservation.parts) - 1; i >= 0; i-- {
+		part := req.reservation.parts[i]
+		if err := part.b.Release(now, part.id); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	req.reservation.parts = nil
+	return firstErr
+}
+
+func resourceNames(rv qos.ResourceVector) []string {
+	out := make([]string, 0, len(rv))
+	for r := range rv {
+		out = append(out, r)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Runtime is a deployment of QoSProxies over a set of hosts, plus the
+// registry mapping each resource to its owning host.
+type Runtime struct {
+	clock   Clock
+	proxies map[topo.HostID]*QoSProxy
+	owner   map[string]topo.HostID
+	mu      sync.Mutex
+	started bool
+}
+
+// NewRuntime creates an empty runtime over a clock.
+func NewRuntime(clock Clock) *Runtime {
+	return &Runtime{
+		clock:   clock,
+		proxies: make(map[topo.HostID]*QoSProxy),
+		owner:   make(map[string]topo.HostID),
+	}
+}
+
+// AddHost deploys a QoSProxy on a host. It must be called before Start.
+func (rt *Runtime) AddHost(host topo.HostID) (*QoSProxy, error) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.started {
+		return nil, errors.New("proxy: runtime already started")
+	}
+	if _, dup := rt.proxies[host]; dup {
+		return nil, fmt.Errorf("proxy: host %s already has a QoSProxy", host)
+	}
+	p := newQoSProxy(host, rt.clock)
+	rt.proxies[host] = p
+	return p, nil
+}
+
+// Deploy registers a Resource Broker at a host's proxy. Following the
+// paper's RSVP compatibility note, end-to-end network brokers should be
+// deployed at the receiver-side host.
+func (rt *Runtime) Deploy(host topo.HostID, b broker.Broker) error {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.started {
+		return errors.New("proxy: runtime already started")
+	}
+	p, ok := rt.proxies[host]
+	if !ok {
+		return fmt.Errorf("proxy: no QoSProxy on host %s", host)
+	}
+	r := b.Resource()
+	if prev, dup := rt.owner[r]; dup {
+		return fmt.Errorf("proxy: resource %s already deployed on host %s", r, prev)
+	}
+	p.brokers[r] = b
+	rt.owner[r] = host
+	return nil
+}
+
+// Owner returns the host whose proxy owns a resource.
+func (rt *Runtime) Owner(resource string) (topo.HostID, bool) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	h, ok := rt.owner[resource]
+	return h, ok
+}
+
+// Start launches every proxy goroutine.
+func (rt *Runtime) Start() {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.started {
+		return
+	}
+	rt.started = true
+	for _, p := range rt.proxies {
+		p.wg.Add(1)
+		go p.serve()
+	}
+}
+
+// Stop terminates every proxy goroutine and waits for them.
+func (rt *Runtime) Stop() {
+	rt.mu.Lock()
+	if !rt.started {
+		rt.mu.Unlock()
+		return
+	}
+	rt.started = false
+	rt.mu.Unlock()
+	for _, p := range rt.proxies {
+		close(p.done)
+	}
+	for _, p := range rt.proxies {
+		p.wg.Wait()
+	}
+}
+
+// proxyFor returns the proxy owning a resource.
+func (rt *Runtime) proxyFor(resource string) (*QoSProxy, error) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	host, ok := rt.owner[resource]
+	if !ok {
+		return nil, fmt.Errorf("proxy: resource %s deployed nowhere", resource)
+	}
+	return rt.proxies[host], nil
+}

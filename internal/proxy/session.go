@@ -1,0 +1,225 @@
+package proxy
+
+import (
+	"fmt"
+	"sync"
+
+	"qosres/internal/broker"
+	"qosres/internal/core"
+	"qosres/internal/qos"
+	"qosres/internal/qrg"
+	"qosres/internal/svc"
+	"qosres/internal/topo"
+)
+
+// SessionSpec describes one service session to establish: the service's
+// QoS-Resource Model, the session's resource binding, and the planning
+// algorithm to run at the main QoSProxy.
+type SessionSpec struct {
+	Service *svc.Service
+	Binding svc.Binding
+	Planner core.Planner
+}
+
+// Session is an established end-to-end reservation: the plan plus the
+// per-proxy reservation segments backing it.
+type Session struct {
+	Plan     *core.Plan
+	runtime  *Runtime
+	segments []*segmentReservation
+	mu       sync.Mutex
+	released bool
+}
+
+// Establish runs the full three-phase protocol of section 4.2 from the
+// main QoSProxy on mainHost:
+//
+// Phase 1 queries, in parallel, the QoSProxies owning the session's
+// resources for availability reports. Phase 2 builds the QRG and runs
+// the planner locally. Phase 3 partitions the plan's requirement by
+// owning proxy and dispatches the segments; any refusal rolls back the
+// segments already reserved and fails the session.
+func (rt *Runtime) Establish(mainHost topo.HostID, spec SessionSpec) (*Session, error) {
+	rt.mu.Lock()
+	main, ok := rt.proxies[mainHost]
+	started := rt.started
+	rt.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("proxy: no QoSProxy on main host %s", mainHost)
+	}
+	if !started {
+		return nil, fmt.Errorf("proxy: runtime not started")
+	}
+	_ = main // the main proxy runs phases 2 and 3 locally
+
+	resources, err := sessionResourceSet(spec)
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase 1: collect availability from the owning proxies, in parallel.
+	snap, err := rt.collectAvailability(resources)
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase 2: local computation at the main proxy.
+	g, err := qrg.Build(spec.Service, spec.Binding, snap)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := spec.Planner.Plan(g)
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase 3: dispatch plan segments to the participating proxies.
+	segments, err := rt.dispatch(plan.Requirement())
+	if err != nil {
+		return nil, err
+	}
+	return &Session{Plan: plan, runtime: rt, segments: segments}, nil
+}
+
+// sessionResourceSet lists the concrete resources the session's QRG can
+// touch: every binding target of every component.
+func sessionResourceSet(spec SessionSpec) ([]string, error) {
+	if spec.Service == nil || spec.Planner == nil {
+		return nil, fmt.Errorf("proxy: session spec missing service or planner")
+	}
+	seen := make(map[string]bool)
+	var out []string
+	for _, cid := range spec.Service.ComponentIDs() {
+		for _, concrete := range spec.Binding[cid] {
+			if !seen[concrete] {
+				seen[concrete] = true
+				out = append(out, concrete)
+			}
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("proxy: session binding names no resources")
+	}
+	return out, nil
+}
+
+// collectAvailability is phase 1: group the resources by owning proxy
+// and query all proxies concurrently.
+func (rt *Runtime) collectAvailability(resources []string) (*broker.Snapshot, error) {
+	groups := make(map[*QoSProxy][]string)
+	for _, r := range resources {
+		p, err := rt.proxyFor(r)
+		if err != nil {
+			return nil, err
+		}
+		groups[p] = append(groups[p], r)
+	}
+	type result struct {
+		reports []broker.Report
+		err     error
+	}
+	results := make(chan result, len(groups))
+	for p, rs := range groups {
+		go func(p *QoSProxy, rs []string) {
+			reply := make(chan availabilityReply, 1)
+			p.requests <- availabilityRequest{resources: rs, reply: reply}
+			rep := <-reply
+			results <- result{reports: rep.reports, err: rep.err}
+		}(p, rs)
+	}
+	snap := &broker.Snapshot{
+		At:    rt.clock.Now(),
+		Avail: make(qos.ResourceVector, len(resources)),
+		Alpha: make(map[string]float64, len(resources)),
+	}
+	var firstErr error
+	for range groups {
+		res := <-results
+		if res.err != nil {
+			if firstErr == nil {
+				firstErr = res.err
+			}
+			continue
+		}
+		for _, rep := range res.reports {
+			snap.Avail[rep.Resource] = rep.Avail
+			snap.Alpha[rep.Resource] = rep.Alpha
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return snap, nil
+}
+
+// dispatch is phase 3: split the requirement by owning proxy, reserve
+// each segment, and roll everything back if any proxy refuses.
+func (rt *Runtime) dispatch(req qos.ResourceVector) ([]*segmentReservation, error) {
+	segReq := make(map[*QoSProxy]qos.ResourceVector)
+	for _, r := range resourceNames(req) {
+		p, err := rt.proxyFor(r)
+		if err != nil {
+			return nil, err
+		}
+		if segReq[p] == nil {
+			segReq[p] = make(qos.ResourceVector)
+		}
+		segReq[p][r] = req[r]
+	}
+	// Deterministic dispatch order by host ID simplifies reasoning and
+	// tests; reservations themselves are serialized per proxy anyway.
+	proxies := make([]*QoSProxy, 0, len(segReq))
+	for p := range segReq {
+		proxies = append(proxies, p)
+	}
+	sortProxies(proxies)
+
+	var segments []*segmentReservation
+	for _, p := range proxies {
+		reply := make(chan reserveReply, 1)
+		p.requests <- reserveRequest{req: segReq[p], reply: reply}
+		rep := <-reply
+		if rep.err != nil {
+			rt.releaseSegments(segments)
+			return nil, fmt.Errorf("proxy: segment on %s refused: %w", p.host, rep.err)
+		}
+		segments = append(segments, rep.reservation)
+	}
+	return segments, nil
+}
+
+func sortProxies(ps []*QoSProxy) {
+	for i := 1; i < len(ps); i++ {
+		for j := i; j > 0 && ps[j].host < ps[j-1].host; j-- {
+			ps[j], ps[j-1] = ps[j-1], ps[j]
+		}
+	}
+}
+
+func (rt *Runtime) releaseSegments(segments []*segmentReservation) {
+	for i := len(segments) - 1; i >= 0; i-- {
+		seg := segments[i]
+		rt.mu.Lock()
+		p := rt.proxies[seg.owner]
+		rt.mu.Unlock()
+		reply := make(chan error, 1)
+		p.requests <- releaseRequest{reservation: seg, reply: reply}
+		<-reply
+	}
+}
+
+// Release terminates the session's reservations on every involved proxy.
+// It is idempotent.
+func (s *Session) Release() error {
+	s.mu.Lock()
+	if s.released {
+		s.mu.Unlock()
+		return nil
+	}
+	s.released = true
+	segments := s.segments
+	s.segments = nil
+	s.mu.Unlock()
+	s.runtime.releaseSegments(segments)
+	return nil
+}

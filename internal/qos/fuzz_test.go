@@ -1,0 +1,26 @@
+package qos
+
+import "testing"
+
+// FuzzResourceVectorOps ensures vector arithmetic never panics and
+// preserves basic algebraic sanity for arbitrary inputs.
+func FuzzResourceVectorOps(f *testing.F) {
+	f.Add(1.0, 2.0, 0.5)
+	f.Add(0.0, 0.0, 0.0)
+	f.Add(-3.0, 7.5, 2.0)
+	f.Fuzz(func(t *testing.T, a, b, scale float64) {
+		r := ResourceVector{"x": a, "y": b}
+		s := r.Scale(scale)
+		if len(s) != 2 {
+			t.Fatal("Scale changed the resource set")
+		}
+		sum := r.Add(r)
+		if len(sum) != 2 {
+			t.Fatal("Add changed the resource set")
+		}
+		_ = r.Clone()
+		_ = r.String()
+		_, _ = r.Compare(r.Clone())
+		_ = r.Leq(sum)
+	})
+}

@@ -1,0 +1,50 @@
+package qrg
+
+import "math"
+
+// ContentionFunc maps one resource's (requirement, availability) pair to
+// its contention index ψ. The paper adopts the simple ratio of equation
+// (2) but notes (footnote 2) that other definitions with the same
+// monotonicity — higher requirement or lower availability means higher
+// contention — plug straight into the algorithm. A ContentionFunc is
+// only consulted for feasible pairs (0 < req <= avail).
+type ContentionFunc func(req, avail float64) float64
+
+// RatioContention is the paper's definition: ψ = r_req / r_avail.
+func RatioContention(req, avail float64) float64 { return req / avail }
+
+// HeadroomContention weighs a reservation by the absolute headroom it
+// leaves: ψ = req / (req + headroom) with headroom = avail - req, i.e.
+// req/avail — except that availability left behind matters in absolute
+// terms, so the index saturates faster on nearly-drained resources:
+// ψ = req / (1 + avail - req). Unlike any monotone transform of the
+// ratio, this changes which resource is the bottleneck and which path
+// wins, making it a genuine ablation of the ψ definition.
+func HeadroomContention(req, avail float64) float64 {
+	return req / (1 + avail - req)
+}
+
+// LogContention is -log of the fraction of availability left standing:
+// ψ = -ln(1 - req/avail), the "surprise" of the reservation. It orders
+// single resources like the ratio but combines differently under the
+// path maximum when requirements are near availability.
+func LogContention(req, avail float64) float64 {
+	frac := req / avail
+	if frac >= 1 {
+		return math.Inf(1)
+	}
+	return -math.Log1p(-frac)
+}
+
+// ContentionByName resolves a configuration string to a ContentionFunc.
+func ContentionByName(name string) (ContentionFunc, bool) {
+	switch name {
+	case "", "ratio":
+		return RatioContention, true
+	case "headroom":
+		return HeadroomContention, true
+	case "log":
+		return LogContention, true
+	}
+	return nil, false
+}

@@ -1,0 +1,72 @@
+package qrg
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DOT renders the QRG in Graphviz DOT format, mirroring the layout of
+// the paper's figures 4-5 and 7-8: one cluster per service component
+// (the dotted rectangles), solid translation edges labelled with their
+// contention weights Ψ, and dashed weight-zero equivalence edges between
+// components. The source node is drawn as a diamond, sink nodes as
+// double circles annotated with their end-to-end rank.
+func (g *Graph) DOT() string {
+	var b strings.Builder
+	b.WriteString("digraph QRG {\n")
+	b.WriteString("  rankdir=LR;\n")
+	b.WriteString("  node [shape=circle, fontsize=10];\n")
+
+	sinkRank := map[int]int{}
+	for _, s := range g.Sinks {
+		sinkRank[s.Node] = s.Rank
+	}
+
+	// Group nodes by component, in topological component order when
+	// available.
+	byComp := map[string][]Node{}
+	var compOrder []string
+	if order, err := g.Service.TopoOrder(); err == nil {
+		for _, cid := range order {
+			compOrder = append(compOrder, string(cid))
+		}
+	}
+	for _, n := range g.Nodes {
+		byComp[string(n.Comp)] = append(byComp[string(n.Comp)], n)
+	}
+	if len(compOrder) == 0 {
+		for c := range byComp {
+			compOrder = append(compOrder, c)
+		}
+		sort.Strings(compOrder)
+	}
+
+	for i, comp := range compOrder {
+		nodes := byComp[comp]
+		fmt.Fprintf(&b, "  subgraph cluster_%d {\n", i)
+		fmt.Fprintf(&b, "    label=%q; style=dotted;\n", comp)
+		for _, n := range nodes {
+			attrs := []string{fmt.Sprintf("label=%q", n.Level.Name)}
+			if n.ID == g.Source {
+				attrs = append(attrs, "shape=diamond")
+			}
+			if rank, ok := sinkRank[n.ID]; ok {
+				attrs = append(attrs, "shape=doublecircle",
+					fmt.Sprintf("xlabel=\"rank %d\"", rank))
+			}
+			fmt.Fprintf(&b, "    n%d [%s];\n", n.ID, strings.Join(attrs, ", "))
+		}
+		b.WriteString("  }\n")
+	}
+
+	for _, e := range g.Edges {
+		if e.Kind == Translation {
+			fmt.Fprintf(&b, "  n%d -> n%d [label=\"%.2f\"];\n", e.From, e.To, e.Weight)
+		} else {
+			fmt.Fprintf(&b, "  n%d -> n%d [style=dashed, arrowhead=none];\n", e.From, e.To)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

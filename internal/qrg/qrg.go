@@ -1,0 +1,414 @@
+// Package qrg implements the QoS-Resource Graph of section 4.1.1. For one
+// service session, the QRG is a snapshot of the end-to-end resource
+// requirement and availability: the achievable Qin/Qout levels of every
+// participating component become nodes, translation edges connect the
+// (Qin, Qout) pairs whose resource requirement is satisfiable under the
+// current availability, and equivalence edges (weight zero) connect each
+// component's Qout nodes to the matching Qin nodes of its downstream
+// components. The weight of a translation edge is the contention index of
+// its bottleneck resource, Ψ = max_i r_i^req / r_i^avail (equations 2-3).
+package qrg
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"qosres/internal/broker"
+	"qosres/internal/qos"
+	"qosres/internal/svc"
+)
+
+// NodeKind distinguishes Qin nodes from Qout nodes.
+type NodeKind int
+
+const (
+	// In marks a Qin node.
+	In NodeKind = iota
+	// Out marks a Qout node.
+	Out
+)
+
+// String returns "in" or "out".
+func (k NodeKind) String() string {
+	if k == In {
+		return "in"
+	}
+	return "out"
+}
+
+// EdgeKind distinguishes the two QRG edge categories of section 4.1.1.
+type EdgeKind int
+
+const (
+	// Translation edges run from a Qin node to a Qout node of the same
+	// component and carry a resource requirement and a contention weight.
+	Translation EdgeKind = iota
+	// Equivalence edges run from a Qout node to a Qin node of a
+	// downstream component and carry weight zero.
+	Equivalence
+)
+
+// String returns "translation" or "equivalence".
+func (k EdgeKind) String() string {
+	if k == Translation {
+		return "translation"
+	}
+	return "equivalence"
+}
+
+// Node is a QRG node: one Qin or Qout level of one component. A Qin node
+// of a fan-in component represents one specific combination of upstream
+// Qout nodes; Parts records that combination.
+type Node struct {
+	ID    int
+	Comp  svc.ComponentID
+	Kind  NodeKind
+	Level svc.Level
+	// Parts maps each upstream component to the Qout node (by node ID)
+	// whose level this fan-in Qin node concatenates. Nil for every other
+	// node.
+	Parts map[svc.ComponentID]int
+}
+
+// Edge is a QRG edge.
+type Edge struct {
+	ID       int
+	From, To int
+	Kind     EdgeKind
+	// Weight is Ψ for translation edges, 0 for equivalence edges.
+	Weight float64
+	// Req is the concrete (bound) resource requirement of a translation
+	// edge; nil for equivalence edges.
+	Req qos.ResourceVector
+	// Bottleneck is the resource attaining Ψ on a translation edge.
+	Bottleneck string
+	// Alpha is the availability change index of the bottleneck resource
+	// at snapshot time.
+	Alpha float64
+}
+
+// Sink pairs a sink node with its end-to-end QoS rank (higher is better).
+type Sink struct {
+	Node int
+	Rank int
+}
+
+// Graph is a QoS-Resource Graph.
+type Graph struct {
+	Service *svc.Service
+	Nodes   []Node
+	Edges   []Edge
+	// OutEdges[v] lists edge IDs leaving node v; InEdges[v] those entering.
+	OutEdges [][]int
+	InEdges  [][]int
+	// Source is the node representing the original quality of the source
+	// data.
+	Source int
+	// Sinks lists the existing sink nodes ordered best-first by the
+	// service's end-to-end ranking.
+	Sinks []Sink
+	// Snapshot is the availability snapshot the graph was built from.
+	Snapshot *broker.Snapshot
+}
+
+// NodeCount and EdgeCount are convenience accessors.
+func (g *Graph) NodeCount() int { return len(g.Nodes) }
+
+// EdgeCount returns the number of edges.
+func (g *Graph) EdgeCount() int { return len(g.Edges) }
+
+// BestSink returns the highest-ranked sink node, or ok=false when the
+// graph has no sink nodes at all.
+func (g *Graph) BestSink() (Sink, bool) {
+	if len(g.Sinks) == 0 {
+		return Sink{}, false
+	}
+	return g.Sinks[0], true
+}
+
+// TranslationEdges returns the IDs of all translation edges.
+func (g *Graph) TranslationEdges() []int {
+	var out []int
+	for _, e := range g.Edges {
+		if e.Kind == Translation {
+			out = append(out, e.ID)
+		}
+	}
+	return out
+}
+
+// addNode appends a node and returns its ID.
+func (g *Graph) addNode(n Node) int {
+	n.ID = len(g.Nodes)
+	g.Nodes = append(g.Nodes, n)
+	g.OutEdges = append(g.OutEdges, nil)
+	g.InEdges = append(g.InEdges, nil)
+	return n.ID
+}
+
+// addEdge appends an edge and wires adjacency.
+func (g *Graph) addEdge(e Edge) int {
+	e.ID = len(g.Edges)
+	g.Edges = append(g.Edges, e)
+	g.OutEdges[e.From] = append(g.OutEdges[e.From], e.ID)
+	g.InEdges[e.To] = append(g.InEdges[e.To], e.ID)
+	return e.ID
+}
+
+// Weight computes the contention index Ψ of a bound requirement vector
+// against an availability vector: the maximum over resources of
+// r^req / r^avail (equation 3), together with the bottleneck resource.
+// feasible is false when some positive requirement exceeds availability
+// (equation 2's precondition r^req <= r^avail fails) or names an unknown
+// resource.
+func Weight(req, avail qos.ResourceVector) (psi float64, bottleneck string, feasible bool) {
+	return WeightWith(req, avail, RatioContention)
+}
+
+// WeightWith is Weight under an alternative per-resource contention
+// definition (footnote 2 of the paper).
+func WeightWith(req, avail qos.ResourceVector, f ContentionFunc) (psi float64, bottleneck string, feasible bool) {
+	psi = 0
+	feasible = true
+	// Iterate deterministically so bottleneck ties resolve stably.
+	for _, r := range req.Names() {
+		need := req[r]
+		if need == 0 {
+			continue
+		}
+		have, ok := avail[r]
+		if !ok || need > have {
+			return 0, r, false
+		}
+		c := f(need, have)
+		if c > psi {
+			psi = c
+			bottleneck = r
+		}
+	}
+	return psi, bottleneck, feasible
+}
+
+// BuildOptions customizes QRG construction.
+type BuildOptions struct {
+	// Contention overrides the per-resource contention index ψ; nil
+	// uses the paper's ratio definition.
+	Contention ContentionFunc
+}
+
+// Build constructs the QRG for one service session: the service model,
+// the session's resource binding (component-local resource names to
+// concrete environment resource IDs), and the availability snapshot.
+//
+// The construction handles chains, fan-out, and fan-in (DAG) dependency
+// graphs uniformly. Equivalence between an upstream Qout level and a
+// downstream Qin level is established by QoS vector equality; for fan-in
+// components the upstream Qout vectors are concatenated (labelled by
+// upstream component ID, in sorted order) before matching, as defined in
+// section 4.3.2.
+func Build(service *svc.Service, binding svc.Binding, snap *broker.Snapshot) (*Graph, error) {
+	return BuildWithOptions(service, binding, snap, BuildOptions{})
+}
+
+// BuildWithOptions is Build with non-default options.
+func BuildWithOptions(service *svc.Service, binding svc.Binding, snap *broker.Snapshot, opts BuildOptions) (*Graph, error) {
+	if service == nil {
+		return nil, fmt.Errorf("qrg: nil service")
+	}
+	if snap == nil {
+		return nil, fmt.Errorf("qrg: nil snapshot")
+	}
+	contention := opts.Contention
+	if contention == nil {
+		contention = RatioContention
+	}
+	order, err := service.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	g := &Graph{Service: service, Source: -1, Snapshot: snap}
+
+	// outNodes[comp] lists the Qout node IDs created for comp, in the
+	// component's declared level order.
+	outNodes := make(map[svc.ComponentID][]int)
+
+	for _, cid := range order {
+		comp := service.Components[cid]
+		preds := service.Preds(cid)
+		sort.Slice(preds, func(i, j int) bool { return preds[i] < preds[j] })
+
+		// 1. Create the component's Qin nodes plus incoming equivalence
+		// edges.
+		var inIDs []int
+		switch len(preds) {
+		case 0:
+			// Source component: single Qin node, the source data quality.
+			id := g.addNode(Node{Comp: cid, Kind: In, Level: comp.In[0]})
+			if g.Source != -1 {
+				return nil, fmt.Errorf("qrg: service %s has multiple source components", service.Name)
+			}
+			g.Source = id
+			inIDs = append(inIDs, id)
+		case 1:
+			// Chain / fan-out upstream: one Qin node per distinct matched
+			// input level; equivalence edges from every upstream Qout node
+			// whose vector equals it.
+			byLevel := make(map[string]int)
+			for _, up := range outNodes[preds[0]] {
+				upNode := g.Nodes[up]
+				lvl, ok := matchInLevel(comp, upNode.Level.Vector)
+				if !ok {
+					continue // dead-end upstream level; no equivalence
+				}
+				id, exists := byLevel[lvl.Name]
+				if !exists {
+					id = g.addNode(Node{Comp: cid, Kind: In, Level: lvl})
+					byLevel[lvl.Name] = id
+					inIDs = append(inIDs, id)
+				}
+				g.addEdge(Edge{From: up, To: id, Kind: Equivalence})
+			}
+		default:
+			// Fan-in: one Qin node per combination of upstream Qout
+			// nodes; the Qin vector is the labelled concatenation of the
+			// upstream Qout vectors.
+			combos := crossProduct(preds, outNodes)
+			for _, combo := range combos {
+				labels := make([]string, len(preds))
+				vectors := make([]qos.Vector, len(preds))
+				parts := make(map[svc.ComponentID]int, len(preds))
+				for i, p := range preds {
+					labels[i] = string(p)
+					vectors[i] = g.Nodes[combo[i]].Level.Vector
+					parts[p] = combo[i]
+				}
+				concat := qos.ConcatAll(labels, vectors)
+				lvl, ok := matchInLevel(comp, concat)
+				if !ok {
+					continue
+				}
+				id := g.addNode(Node{Comp: cid, Kind: In, Level: lvl, Parts: parts})
+				inIDs = append(inIDs, id)
+				for _, up := range combo {
+					g.addEdge(Edge{From: up, To: id, Kind: Equivalence})
+				}
+			}
+		}
+
+		// 2. Create Qout nodes and translation edges for every feasible
+		// (Qin, Qout) pair.
+		outByLevel := make(map[string]int)
+		for _, lvl := range comp.Out {
+			for _, inID := range inIDs {
+				inLvl := g.Nodes[inID].Level
+				req, ok := comp.Translate(inLvl, lvl)
+				if !ok {
+					continue
+				}
+				bound, err := binding.Bind(cid, req)
+				if err != nil {
+					return nil, fmt.Errorf("qrg: service %s: %v", service.Name, err)
+				}
+				psi, bottleneck, feasible := WeightWith(bound, snap.Avail, contention)
+				if !feasible {
+					continue
+				}
+				outID, exists := outByLevel[lvl.Name]
+				if !exists {
+					outID = g.addNode(Node{Comp: cid, Kind: Out, Level: lvl})
+					outByLevel[lvl.Name] = outID
+				}
+				g.addEdge(Edge{
+					From:       inID,
+					To:         outID,
+					Kind:       Translation,
+					Weight:     psi,
+					Req:        bound,
+					Bottleneck: bottleneck,
+					Alpha:      snap.Alpha[bottleneck],
+				})
+			}
+		}
+		// Record out nodes in declared level order for determinism.
+		for _, lvl := range comp.Out {
+			if id, ok := outByLevel[lvl.Name]; ok {
+				outNodes[cid] = append(outNodes[cid], id)
+			}
+		}
+	}
+
+	if g.Source == -1 {
+		return nil, fmt.Errorf("qrg: service %s produced no source node", service.Name)
+	}
+
+	// 3. Rank the sink component's Qout nodes best-first.
+	sinkComp, err := service.Sink()
+	if err != nil {
+		return nil, err
+	}
+	byName := make(map[string]int)
+	for _, id := range outNodes[sinkComp.ID] {
+		byName[g.Nodes[id].Level.Name] = id
+	}
+	for _, name := range service.EndToEndRanking {
+		if id, ok := byName[name]; ok {
+			g.Sinks = append(g.Sinks, Sink{Node: id, Rank: service.RankOf(name)})
+		}
+	}
+	return g, nil
+}
+
+// matchInLevel finds the component's declared input level whose vector
+// equals v.
+func matchInLevel(comp *svc.Component, v qos.Vector) (svc.Level, bool) {
+	for _, lvl := range comp.In {
+		if lvl.Vector.Equal(v) {
+			return lvl, true
+		}
+	}
+	return svc.Level{}, false
+}
+
+// crossProduct enumerates every combination choosing one Qout node per
+// upstream component, preserving pred order.
+func crossProduct(preds []svc.ComponentID, outNodes map[svc.ComponentID][]int) [][]int {
+	combos := [][]int{nil}
+	for _, p := range preds {
+		outs := outNodes[p]
+		if len(outs) == 0 {
+			return nil // some upstream component has no feasible output
+		}
+		next := make([][]int, 0, len(combos)*len(outs))
+		for _, c := range combos {
+			for _, o := range outs {
+				nc := make([]int, len(c)+1)
+				copy(nc, c)
+				nc[len(c)] = o
+				next = append(next, nc)
+			}
+		}
+		combos = next
+	}
+	return combos
+}
+
+// Infinity is the distance of unreachable nodes in plan computations.
+var Infinity = math.Inf(1)
+
+// PathLevels renders a node sequence as the dash-joined level names the
+// paper's tables 1-2 use, e.g. "Qa-Qc-Qf-Qi-Qm-Qp".
+func (g *Graph) PathLevels(nodes []int) string {
+	names := make([]string, len(nodes))
+	for i, id := range nodes {
+		names[i] = g.Nodes[id].Level.Name
+	}
+	out := ""
+	for i, n := range names {
+		if i > 0 {
+			out += "-"
+		}
+		out += n
+	}
+	return out
+}

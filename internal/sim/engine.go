@@ -1,0 +1,99 @@
+package sim
+
+import (
+	"container/heap"
+
+	"qosres/internal/broker"
+	"qosres/internal/proxy"
+)
+
+// eventKind discriminates scheduler events.
+type eventKind int
+
+const (
+	evArrival eventKind = iota
+	evRelease
+	evPopularity
+)
+
+// event is one scheduled simulation event. Ties on time break by
+// sequence number, keeping runs fully deterministic.
+type event struct {
+	at   broker.Time
+	seq  uint64
+	kind eventKind
+	// session payload for evRelease.
+	release *liveSession
+}
+
+// liveSession is a successfully reserved session awaiting completion.
+// Exactly one of reservation (direct mode) and proxySession (runtime
+// mode) is set.
+type liveSession struct {
+	id           uint64
+	service      string
+	class        string
+	reservation  *broker.MultiReservation
+	proxySession *proxy.Session
+}
+
+// release returns the session's resources whichever mode created it.
+func (s *liveSession) release(now broker.Time) error {
+	if s.proxySession != nil {
+		return s.proxySession.Release()
+	}
+	return s.reservation.Release(now)
+}
+
+type eventQueue struct {
+	items []event
+}
+
+func (q *eventQueue) Len() int { return len(q.items) }
+func (q *eventQueue) Less(i, j int) bool {
+	a, b := q.items[i], q.items[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+func (q *eventQueue) Swap(i, j int) { q.items[i], q.items[j] = q.items[j], q.items[i] }
+func (q *eventQueue) Push(x interface{}) {
+	q.items = append(q.items, x.(event))
+}
+func (q *eventQueue) Pop() interface{} {
+	old := q.items
+	n := len(old)
+	it := old[n-1]
+	q.items = old[:n-1]
+	return it
+}
+
+// scheduler is a deterministic discrete-event loop.
+type scheduler struct {
+	q   eventQueue
+	seq uint64
+	now broker.Time
+}
+
+func newScheduler() *scheduler {
+	s := &scheduler{}
+	heap.Init(&s.q)
+	return s
+}
+
+// at schedules an event at time t.
+func (s *scheduler) at(t broker.Time, kind eventKind, release *liveSession) {
+	s.seq++
+	heap.Push(&s.q, event{at: t, seq: s.seq, kind: kind, release: release})
+}
+
+// next pops the earliest event and advances the clock.
+func (s *scheduler) next() (event, bool) {
+	if s.q.Len() == 0 {
+		return event{}, false
+	}
+	ev := heap.Pop(&s.q).(event)
+	s.now = ev.at
+	return ev, true
+}

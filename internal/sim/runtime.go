@@ -1,0 +1,135 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"qosres/internal/broker"
+	"qosres/internal/core"
+	"qosres/internal/proxy"
+	"qosres/internal/stats"
+	"qosres/internal/topo"
+	"qosres/internal/trace"
+	"qosres/internal/workload"
+)
+
+// This file routes the simulation through the runtime architecture of
+// section 3 when Config.UseRuntime is set: QoSProxies deployed on every
+// figure-9 host, resource brokers owned by their hosts (end-to-end
+// network brokers receiver-side), and every session established via the
+// three-phase protocol. The direct path and the runtime path produce
+// identical results (see TestRuntimeModeMatchesDirect); the runtime path
+// exists so the whole evaluation exercises the message-passing
+// implementation rather than a shortcut.
+
+// simClock adapts the scheduler's clock to the proxy runtime.
+type simClock struct {
+	sched *scheduler
+}
+
+// Now implements proxy.Clock.
+func (c simClock) Now() broker.Time { return c.sched.now }
+
+// buildRuntime deploys a QoSProxy per figure-9 host and registers every
+// broker of the environment with its owning host's proxy.
+func (env *environment) buildRuntime(clock proxy.Clock) (*proxy.Runtime, error) {
+	rt := proxy.NewRuntime(clock)
+	for _, h := range env.topology.Hosts() {
+		if _, err := rt.AddHost(h); err != nil {
+			return nil, err
+		}
+	}
+	// Server CPUs at their servers; link brokers at the link's first
+	// endpoint (the router-side bandwidth broker).
+	for i := 1; i <= topo.NumServers; i++ {
+		h := topo.ServerHost(i)
+		b, ok := env.pool.Get(broker.LocalResourceID(workload.ResCPU, h))
+		if !ok {
+			return nil, fmt.Errorf("sim: missing cpu broker for %s", h)
+		}
+		if err := rt.Deploy(h, b); err != nil {
+			return nil, err
+		}
+	}
+	// End-to-end network brokers at the receiver side (the paper's RSVP
+	// compatibility rule).
+	deployNet := func(from, to topo.HostID) error {
+		n, err := env.pool.Network(from, to)
+		if err != nil {
+			return err
+		}
+		return rt.Deploy(to, n)
+	}
+	for i := 1; i <= topo.NumServers; i++ {
+		for j := 1; j <= topo.NumServers; j++ {
+			if i != j {
+				if err := deployNet(topo.ServerHost(i), topo.ServerHost(j)); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	for d := 1; d <= topo.NumDomains; d++ {
+		if err := deployNet(topo.ServerHost(topo.ProxyServerFor(d)), topo.DomainHost(d)); err != nil {
+			return nil, err
+		}
+	}
+	rt.Start()
+	return rt, nil
+}
+
+// handleArrivalRuntime is handleArrival routed through the three-phase
+// QoSProxy protocol, with the service's main server as main QoSProxy.
+func (env *environment) handleArrivalRuntime(cfg Config, rt *proxy.Runtime,
+	planner core.Planner, metrics *stats.Metrics, sched *scheduler, now broker.Time,
+	sh sessionShape) error {
+
+	class := stats.ClassOf(sh.fat, sh.long)
+	service := env.services[sh.service-1][sh.variant]
+	family := workload.FamilyOf(sh.service).String()
+	binding, _ := sessionResources(sh)
+
+	env.nextSession++
+	sid := env.nextSession
+	env.tracer.Trace(trace.Event{
+		At: now, Kind: trace.Arrival, Session: sid,
+		Service: service.Name, Class: class.String(),
+	})
+
+	session, err := rt.Establish(topo.ServerHost(sh.service), proxy.SessionSpec{
+		Service: service, Binding: binding, Planner: planner,
+	})
+	if errors.Is(err, core.ErrInfeasible) {
+		metrics.PlanFailures++
+		metrics.ObserveSessionAt(float64(now), class, false, 0)
+		metrics.ObserveService(service.Name, false, 0)
+		env.tracer.Trace(trace.Event{
+			At: now, Kind: trace.PlanFailed, Session: sid,
+			Service: service.Name, Class: class.String(),
+		})
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	plan := session.Plan
+	metrics.ObservePlan(family, plan.PathLevels, plan.Bottleneck)
+	env.tracer.Trace(trace.Event{
+		At: now, Kind: trace.Planned, Session: sid,
+		Service: service.Name, Class: class.String(),
+		Level: plan.EndToEnd.Name, Rank: plan.Rank,
+		Psi: plan.Psi, Bottleneck: plan.Bottleneck, Path: plan.PathLevels,
+	})
+	metrics.ObserveSessionAt(float64(now), class, true, plan.Rank)
+	metrics.ObserveService(service.Name, true, plan.Rank)
+	env.tracer.Trace(trace.Event{
+		At: now, Kind: trace.Reserved, Session: sid,
+		Service: service.Name, Class: class.String(),
+		Level: plan.EndToEnd.Name, Rank: plan.Rank,
+		Psi: plan.Psi, Bottleneck: plan.Bottleneck, Path: plan.PathLevels,
+	})
+	sched.at(now+sh.duration, evRelease, &liveSession{
+		id: sid, service: service.Name, class: class.String(), proxySession: session,
+	})
+	return nil
+}

@@ -1,0 +1,32 @@
+package spec
+
+import "testing"
+
+// FuzzParseBuild ensures arbitrary JSON inputs never panic the parser or
+// the model builder: they must either produce a valid model or a clean
+// error.
+func FuzzParseBuild(f *testing.F) {
+	f.Add([]byte(exampleDoc))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"name":"x","components":[{"id":"a","in":{"i":{"q":1}},"out":{"o":{"q":2}},"table":{"i":{"o":{"r":1}}},"resources":["r"]}],"ranking":["o"],"availability":{"ra":10},"binding":{"a":{"r":"ra"}}}`))
+	f.Add([]byte(`{"components":[{"id":""}]}`))
+	f.Add([]byte(`not json at all`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		doc, err := Parse(data)
+		if err != nil {
+			return
+		}
+		service, binding, snap, err := doc.Build()
+		if err != nil {
+			return
+		}
+		// A built model must be internally consistent.
+		if err := service.Validate(); err != nil {
+			t.Fatalf("Build returned invalid service: %v", err)
+		}
+		_ = binding
+		if snap == nil {
+			t.Fatal("Build returned nil snapshot without error")
+		}
+	})
+}

@@ -1,0 +1,223 @@
+package spec
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"qosres/internal/core"
+	"qosres/internal/qrg"
+	"qosres/internal/workload"
+)
+
+const exampleDoc = `{
+  "name": "media",
+  "components": [
+    {
+      "id": "Encoder",
+      "in":  {"src": {"rate": 30}},
+      "out": {"hi": {"rate": 30}, "lo": {"rate": 15}},
+      "outOrder": ["hi", "lo"],
+      "table": {"src": {"hi": {"cpu": 40}, "lo": {"cpu": 15}}},
+      "resources": ["cpu"]
+    },
+    {
+      "id": "Player",
+      "in":  {"in-hi": {"rate": 30}, "in-lo": {"rate": 15}},
+      "out": {"best": {"rate": 30, "delay": 1}, "ok": {"rate": 15, "delay": 2}},
+      "outOrder": ["best", "ok"],
+      "table": {
+        "in-hi": {"best": {"net": 60}},
+        "in-lo": {"best": {"net": 80}, "ok": {"net": 25}}
+      },
+      "resources": ["net"]
+    }
+  ],
+  "edges": [{"from": "Encoder", "to": "Player"}],
+  "ranking": ["best", "ok"],
+  "binding": {
+    "Encoder": {"cpu": "cpu@server"},
+    "Player":  {"net": "net@server"}
+  },
+  "availability": {"cpu@server": 200, "net@server": 100},
+  "alpha": {"net@server": 0.9}
+}`
+
+func TestParseBuildPlan(t *testing.T) {
+	doc, err := Parse([]byte(exampleDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	service, binding, snap, err := doc.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if service.Name != "media" || len(service.Components) != 2 {
+		t.Fatalf("service = %+v", service)
+	}
+	if snap.Alpha["net@server"] != 0.9 || snap.Alpha["cpu@server"] != 1 {
+		t.Fatalf("alpha = %v", snap.Alpha)
+	}
+	g, err := qrg.Build(service, binding, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := (core.Basic{}).Plan(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.EndToEnd.Name != "best" || plan.Psi != 0.6 {
+		t.Fatalf("plan = %s / %v", plan.EndToEnd.Name, plan.Psi)
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	if _, err := Parse([]byte("{nope")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestBuildRejectsModelErrors(t *testing.T) {
+	mutate := func(f func(*Session)) error {
+		doc, err := Parse([]byte(exampleDoc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		f(doc)
+		_, _, _, err = doc.Build()
+		return err
+	}
+	if err := mutate(func(s *Session) { s.Ranking = []string{"best"} }); err == nil {
+		t.Error("short ranking accepted")
+	}
+	if err := mutate(func(s *Session) { s.Edges[0].To = "ghost" }); err == nil {
+		t.Error("edge to unknown component accepted")
+	}
+	if err := mutate(func(s *Session) {
+		s.Components[0].Table["src"]["hi"] = map[string]float64{"mystery": 1}
+	}); err == nil {
+		t.Error("undeclared resource accepted")
+	}
+	if err := mutate(func(s *Session) {
+		s.Components[0].OutOrder = []string{"hi", "ghost"}
+	}); err == nil {
+		t.Error("bad level order accepted")
+	}
+	if err := mutate(func(s *Session) {
+		s.Components[0].OutOrder = []string{"hi"}
+	}); err == nil {
+		t.Error("short level order accepted")
+	}
+	if err := mutate(func(s *Session) {
+		s.Alpha = map[string]float64{"ghost": 0.5}
+	}); err == nil {
+		t.Error("alpha for unknown resource accepted")
+	}
+	if err := mutate(func(s *Session) {
+		s.Components[0].In["src"]["rate"] = 30
+		s.Components[0].In[""] = map[string]float64{"rate": 1}
+	}); err == nil {
+		t.Error("empty level name accepted")
+	}
+}
+
+func TestRoundTripThroughFromModel(t *testing.T) {
+	// Model -> doc -> JSON -> doc -> model must preserve planning
+	// results. Use the video service as a nontrivial fixture.
+	service := workload.VideoService()
+	binding := workload.VideoBinding()
+	snap := workload.VideoSnapshot()
+
+	doc, err := FromModel(service, binding, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := doc.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc2, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	service2, binding2, snap2, err := doc2.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	g1, err := qrg.Build(service, binding, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := qrg.Build(service2, binding2, snap2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := (core.Basic{}).Plan(g1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := (core.Basic{}).Plan(g2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.EndToEnd.Name != p2.EndToEnd.Name || p1.Psi != p2.Psi || p1.PathLevels != p2.PathLevels {
+		t.Fatalf("round trip changed the plan: %s/%v vs %s/%v", p1.PathLevels, p1.Psi, p2.PathLevels, p2.Psi)
+	}
+}
+
+func TestEncodeIsStableJSON(t *testing.T) {
+	doc, err := Parse([]byte(exampleDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := doc.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"name": "media"`) {
+		t.Fatalf("encoded doc = %s", data)
+	}
+	// Encode -> Parse -> Encode must be a fixed point.
+	doc2, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data2, err := doc2.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != string(data2) {
+		t.Fatal("Encode not idempotent")
+	}
+}
+
+func TestShippedEcommerceSpec(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("..", "..", "examples", "specs", "ecommerce.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	service, binding, snap, err := doc.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := qrg.Build(service, binding, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := (core.Basic{}).Plan(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.EndToEnd.Name != "premium" || plan.Rank != 3 {
+		t.Fatalf("plan = %s rank %d", plan.EndToEnd.Name, plan.Rank)
+	}
+	if err := core.ValidatePlan(g, plan); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,284 @@
+// Package stats collects the performance metrics of the paper's study
+// (section 5): the overall reservation success rate of all service
+// sessions, the average end-to-end QoS level of the successful sessions,
+// the same two metrics broken down by session class (normal/fat ×
+// short/long, section 5.2.3), the selected-path histograms of tables 1-2,
+// and the bottleneck-resource occurrence counts of section 5.2.2.
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Class is a session class of section 5.2.3.
+type Class int
+
+// The four session classes.
+const (
+	NormShort Class = iota
+	NormLong
+	FatShort
+	FatLong
+	numClasses
+)
+
+// String renders the paper's row labels.
+func (c Class) String() string {
+	switch c {
+	case NormShort:
+		return "Norm.-short"
+	case NormLong:
+		return "Norm.-long"
+	case FatShort:
+		return "Fat-short"
+	case FatLong:
+		return "Fat-long"
+	}
+	return fmt.Sprintf("Class(%d)", int(c))
+}
+
+// Classes lists all classes in paper order.
+func Classes() []Class { return []Class{NormShort, NormLong, FatShort, FatLong} }
+
+// ClassOf derives the class from the session's shape.
+func ClassOf(fat, long bool) Class {
+	switch {
+	case !fat && !long:
+		return NormShort
+	case !fat && long:
+		return NormLong
+	case fat && !long:
+		return FatShort
+	default:
+		return FatLong
+	}
+}
+
+// Counter accumulates attempts, successes and QoS levels for one
+// population of sessions.
+type Counter struct {
+	Attempts  int
+	Successes int
+	QoSSum    float64
+}
+
+// Observe records one session outcome; rank is the end-to-end QoS level
+// number of a successful session (ignored on failure).
+func (c *Counter) Observe(success bool, rank int) {
+	c.Attempts++
+	if success {
+		c.Successes++
+		c.QoSSum += float64(rank)
+	}
+}
+
+// SuccessRate returns successes/attempts (0 when empty).
+func (c *Counter) SuccessRate() float64 {
+	if c.Attempts == 0 {
+		return 0
+	}
+	return float64(c.Successes) / float64(c.Attempts)
+}
+
+// AvgQoS returns the average end-to-end QoS level of the successful
+// sessions (0 when none).
+func (c *Counter) AvgQoS() float64 {
+	if c.Successes == 0 {
+		return 0
+	}
+	return c.QoSSum / float64(c.Successes)
+}
+
+// Merge adds another counter into c.
+func (c *Counter) Merge(o Counter) {
+	c.Attempts += o.Attempts
+	c.Successes += o.Successes
+	c.QoSSum += o.QoSSum
+}
+
+// PathHistogram counts selected end-to-end reservation paths, keyed by
+// the dash-joined level names of tables 1-2.
+type PathHistogram struct {
+	Counts map[string]int
+	Total  int
+}
+
+// NewPathHistogram creates an empty histogram.
+func NewPathHistogram() *PathHistogram {
+	return &PathHistogram{Counts: make(map[string]int)}
+}
+
+// Observe counts one selected path.
+func (h *PathHistogram) Observe(path string) {
+	h.Counts[path]++
+	h.Total++
+}
+
+// Percent returns the selection percentage of a path.
+func (h *PathHistogram) Percent(path string) float64 {
+	if h.Total == 0 {
+		return 0
+	}
+	return 100 * float64(h.Counts[path]) / float64(h.Total)
+}
+
+// Paths returns all observed paths, most frequent first (ties by name).
+func (h *PathHistogram) Paths() []string {
+	out := make([]string, 0, len(h.Counts))
+	for p := range h.Counts {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if h.Counts[out[i]] != h.Counts[out[j]] {
+			return h.Counts[out[i]] > h.Counts[out[j]]
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// Metrics aggregates every statistic one simulation run produces.
+type Metrics struct {
+	Overall Counter
+	ByClass [numClasses]Counter
+	// ByFamily holds the selected-path histograms keyed by workload
+	// family name ("fig10a", "fig10b").
+	ByFamily map[string]*PathHistogram
+	// BottleneckCounts counts, per concrete resource, how often it was
+	// the bottleneck of a selected plan (section 5.2.2 confirms every
+	// resource becomes a bottleneck at least once).
+	BottleneckCounts map[string]int
+	// ByService breaks the overall counter down by requested service
+	// name, reflecting the shifting popularity of section 5.1.
+	ByService map[string]*Counter
+	// Timeline, when non-nil, buckets outcomes into time windows.
+	Timeline *TimeSeries
+	// PlanFailures counts sessions with no feasible plan; ReserveFailures
+	// counts sessions whose plan failed at reservation time (possible
+	// only under stale observations).
+	PlanFailures    int
+	ReserveFailures int
+}
+
+// NewMetrics creates an empty metrics sink.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		ByFamily:         make(map[string]*PathHistogram),
+		ByService:        make(map[string]*Counter),
+		BottleneckCounts: make(map[string]int),
+	}
+}
+
+// ObserveSession records one session outcome.
+func (m *Metrics) ObserveSession(class Class, success bool, rank int) {
+	m.Overall.Observe(success, rank)
+	m.ByClass[class].Observe(success, rank)
+}
+
+// ObserveSessionAt additionally buckets the outcome into the timeline
+// when one is attached.
+func (m *Metrics) ObserveSessionAt(t float64, class Class, success bool, rank int) {
+	m.ObserveSession(class, success, rank)
+	if m.Timeline != nil {
+		m.Timeline.Observe(t, success, rank)
+	}
+}
+
+// ObserveService attributes one session outcome to its service.
+func (m *Metrics) ObserveService(service string, success bool, rank int) {
+	c := m.ByService[service]
+	if c == nil {
+		c = &Counter{}
+		m.ByService[service] = c
+	}
+	c.Observe(success, rank)
+}
+
+// ObservePlan records the selected path and bottleneck of a computed
+// plan.
+func (m *Metrics) ObservePlan(family, path, bottleneck string) {
+	h := m.ByFamily[family]
+	if h == nil {
+		h = NewPathHistogram()
+		m.ByFamily[family] = h
+	}
+	if path != "" {
+		h.Observe(path)
+	}
+	if bottleneck != "" {
+		m.BottleneckCounts[bottleneck]++
+	}
+}
+
+// Class returns the counter of one class.
+func (m *Metrics) Class(c Class) *Counter { return &m.ByClass[c] }
+
+// Summary renders a one-line digest.
+func (m *Metrics) Summary() string {
+	return fmt.Sprintf("sessions=%d success=%.1f%% avgQoS=%.2f (plan failures=%d, reserve failures=%d)",
+		m.Overall.Attempts, 100*m.Overall.SuccessRate(), m.Overall.AvgQoS(),
+		m.PlanFailures, m.ReserveFailures)
+}
+
+// BottleneckResources lists every resource observed as a bottleneck,
+// sorted by name.
+func (m *Metrics) BottleneckResources() []string {
+	out := make([]string, 0, len(m.BottleneckCounts))
+	for r := range m.BottleneckCounts {
+		out = append(out, r)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Table is a minimal fixed-width text table builder for experiment
+// output.
+type Table struct {
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			if i < len(widths) {
+				for pad := len(c); pad < widths[i]; pad++ {
+					b.WriteByte(' ')
+				}
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	sep := make([]string, len(t.Header))
+	for i, w := range widths {
+		sep[i] = strings.Repeat("-", w)
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}

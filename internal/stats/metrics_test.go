@@ -1,0 +1,252 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCounterBasics(t *testing.T) {
+	var c Counter
+	if c.SuccessRate() != 0 || c.AvgQoS() != 0 {
+		t.Fatal("empty counter must report zeros")
+	}
+	c.Observe(true, 3)
+	c.Observe(true, 2)
+	c.Observe(false, 0)
+	if c.Attempts != 3 || c.Successes != 2 {
+		t.Fatalf("counter = %+v", c)
+	}
+	if math.Abs(c.SuccessRate()-2.0/3.0) > 1e-12 {
+		t.Fatalf("rate = %v", c.SuccessRate())
+	}
+	if c.AvgQoS() != 2.5 {
+		t.Fatalf("avg = %v", c.AvgQoS())
+	}
+}
+
+func TestCounterMerge(t *testing.T) {
+	a := Counter{Attempts: 2, Successes: 1, QoSSum: 3}
+	b := Counter{Attempts: 4, Successes: 3, QoSSum: 7}
+	a.Merge(b)
+	if a.Attempts != 6 || a.Successes != 4 || a.QoSSum != 10 {
+		t.Fatalf("merged = %+v", a)
+	}
+}
+
+func TestClassOf(t *testing.T) {
+	cases := []struct {
+		fat, long bool
+		want      Class
+	}{
+		{false, false, NormShort},
+		{false, true, NormLong},
+		{true, false, FatShort},
+		{true, true, FatLong},
+	}
+	for _, tc := range cases {
+		if got := ClassOf(tc.fat, tc.long); got != tc.want {
+			t.Errorf("ClassOf(%v,%v) = %v", tc.fat, tc.long, got)
+		}
+	}
+	if len(Classes()) != 4 {
+		t.Fatal("Classes() must list 4 classes")
+	}
+}
+
+func TestClassString(t *testing.T) {
+	want := map[Class]string{
+		NormShort: "Norm.-short", NormLong: "Norm.-long",
+		FatShort: "Fat-short", FatLong: "Fat-long",
+	}
+	for c, s := range want {
+		if c.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(c), c.String(), s)
+		}
+	}
+	if Class(99).String() == "" {
+		t.Error("unknown class must still render")
+	}
+}
+
+func TestPathHistogram(t *testing.T) {
+	h := NewPathHistogram()
+	h.Observe("a-b")
+	h.Observe("a-b")
+	h.Observe("a-c")
+	if h.Total != 3 {
+		t.Fatalf("total = %d", h.Total)
+	}
+	if math.Abs(h.Percent("a-b")-200.0/3.0) > 1e-9 {
+		t.Fatalf("percent = %v", h.Percent("a-b"))
+	}
+	paths := h.Paths()
+	if len(paths) != 2 || paths[0] != "a-b" {
+		t.Fatalf("paths = %v", paths)
+	}
+	empty := NewPathHistogram()
+	if empty.Percent("x") != 0 {
+		t.Fatal("empty histogram percent must be 0")
+	}
+}
+
+func TestPathHistogramTieOrder(t *testing.T) {
+	h := NewPathHistogram()
+	h.Observe("z")
+	h.Observe("a")
+	paths := h.Paths()
+	if paths[0] != "a" || paths[1] != "z" {
+		t.Fatalf("tie order = %v", paths)
+	}
+}
+
+func TestMetricsObserve(t *testing.T) {
+	m := NewMetrics()
+	m.ObserveSession(FatShort, true, 3)
+	m.ObserveSession(FatShort, false, 0)
+	m.ObserveSession(NormLong, true, 2)
+	if m.Overall.Attempts != 3 || m.Overall.Successes != 2 {
+		t.Fatalf("overall = %+v", m.Overall)
+	}
+	if m.Class(FatShort).Attempts != 2 || m.Class(NormLong).Successes != 1 {
+		t.Fatal("per-class accounting wrong")
+	}
+	m.ObservePlan("fig10a", "Qa-Qb", "cpu@H1")
+	m.ObservePlan("fig10a", "Qa-Qc", "link:L1")
+	m.ObservePlan("fig10b", "", "cpu@H1")
+	if m.ByFamily["fig10a"].Total != 2 {
+		t.Fatalf("fig10a total = %d", m.ByFamily["fig10a"].Total)
+	}
+	if m.ByFamily["fig10b"].Total != 0 {
+		t.Fatal("empty path must not be counted in histogram")
+	}
+	if m.BottleneckCounts["cpu@H1"] != 2 {
+		t.Fatalf("bottlenecks = %v", m.BottleneckCounts)
+	}
+	rs := m.BottleneckResources()
+	if len(rs) != 2 || rs[0] != "cpu@H1" || rs[1] != "link:L1" {
+		t.Fatalf("resources = %v", rs)
+	}
+	if !strings.Contains(m.Summary(), "sessions=3") {
+		t.Fatalf("summary = %q", m.Summary())
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := &Table{Header: []string{"name", "value"}}
+	tbl.AddRow("alpha", "1")
+	tbl.AddRow("a-very-long-name", "2")
+	out := tbl.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	// All rows must be aligned: the value column starts at the same
+	// offset everywhere.
+	idx := strings.Index(lines[0], "value")
+	for _, l := range lines[2:] {
+		if len(l) <= idx {
+			t.Fatalf("row too short: %q", l)
+		}
+	}
+	if !strings.Contains(lines[1], "----") {
+		t.Fatalf("separator missing: %q", lines[1])
+	}
+}
+
+func TestPropertyCounterRatesBounded(t *testing.T) {
+	f := func(outcomes []bool) bool {
+		var c Counter
+		for _, ok := range outcomes {
+			c.Observe(ok, 3)
+		}
+		r := c.SuccessRate()
+		return r >= 0 && r <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyHistogramPercentsSumTo100(t *testing.T) {
+	f := func(picks []uint8) bool {
+		if len(picks) == 0 {
+			return true
+		}
+		h := NewPathHistogram()
+		for _, p := range picks {
+			h.Observe(string(rune('a' + p%5)))
+		}
+		sum := 0.0
+		for _, p := range h.Paths() {
+			sum += h.Percent(p)
+		}
+		return math.Abs(sum-100) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestObserveService(t *testing.T) {
+	m := NewMetrics()
+	m.ObserveService("S1", true, 3)
+	m.ObserveService("S1", false, 0)
+	m.ObserveService("S2", true, 2)
+	if m.ByService["S1"].Attempts != 2 || m.ByService["S1"].Successes != 1 {
+		t.Fatalf("S1 = %+v", m.ByService["S1"])
+	}
+	if m.ByService["S2"].AvgQoS() != 2 {
+		t.Fatalf("S2 avg = %v", m.ByService["S2"].AvgQoS())
+	}
+}
+
+func TestTimeSeries(t *testing.T) {
+	ts, err := NewTimeSeries(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts.Observe(0, true, 3)
+	ts.Observe(9.99, false, 0)
+	ts.Observe(10, true, 2)
+	ts.Observe(35, true, 1)
+	ts.Observe(-5, true, 3) // clamps to first window
+	if ts.Len() != 4 {
+		t.Fatalf("windows = %d", ts.Len())
+	}
+	s, e, c := ts.Window(0)
+	if s != 0 || e != 10 || c.Attempts != 3 || c.Successes != 2 {
+		t.Fatalf("window 0 = [%g,%g) %+v", s, e, c)
+	}
+	rates := ts.Rates()
+	if len(rates) != 4 || rates[2] != 0 || rates[3] != 1 {
+		t.Fatalf("rates = %v", rates)
+	}
+	if out := ts.Table(); !strings.Contains(out, "[0, 10)") {
+		t.Fatalf("table = %q", out)
+	}
+	if _, err := NewTimeSeries(0); err == nil {
+		t.Fatal("zero width accepted")
+	}
+}
+
+func TestObserveSessionAt(t *testing.T) {
+	m := NewMetrics()
+	ts, _ := NewTimeSeries(100)
+	m.Timeline = ts
+	m.ObserveSessionAt(50, NormShort, true, 3)
+	m.ObserveSessionAt(150, FatLong, false, 0)
+	if m.Overall.Attempts != 2 {
+		t.Fatalf("overall = %+v", m.Overall)
+	}
+	if ts.Len() != 2 {
+		t.Fatalf("timeline windows = %d", ts.Len())
+	}
+	// Nil timeline must be safe.
+	m2 := NewMetrics()
+	m2.ObserveSessionAt(50, NormShort, true, 3)
+	if m2.Overall.Attempts != 1 {
+		t.Fatal("nil-timeline observe failed")
+	}
+}

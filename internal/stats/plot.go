@@ -1,0 +1,122 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Series is one named line of an ASCII chart: y-values sampled at shared
+// x-positions.
+type Series struct {
+	Name   string
+	Points map[float64]float64
+}
+
+// Plot renders a multi-series ASCII line chart, used by cmd/experiments
+// to draw the paper's figures. Each series gets a marker character; the
+// x-axis lists the sample positions, the y-axis spans [ymin, ymax]
+// (pass NaN to autoscale).
+type Plot struct {
+	Title      string
+	YLabel     string
+	Height     int // rows of the plot area; default 12
+	YMin, YMax float64
+	Series     []Series
+}
+
+// markers cycles through the plot markers in series order.
+var markers = []byte{'b', 't', 'r', '*', '+', 'x', 'o'}
+
+// String renders the chart.
+func (p *Plot) String() string {
+	height := p.Height
+	if height <= 0 {
+		height = 12
+	}
+	// Collect the shared x positions.
+	xsSet := map[float64]bool{}
+	for _, s := range p.Series {
+		for x := range s.Points {
+			xsSet[x] = true
+		}
+	}
+	xs := make([]float64, 0, len(xsSet))
+	for x := range xsSet {
+		xs = append(xs, x)
+	}
+	sort.Float64s(xs)
+	if len(xs) == 0 {
+		return p.Title + " (no data)\n"
+	}
+
+	ymin, ymax := p.YMin, p.YMax
+	if math.IsNaN(ymin) || math.IsNaN(ymax) || ymin >= ymax {
+		ymin, ymax = math.Inf(1), math.Inf(-1)
+		for _, s := range p.Series {
+			for _, y := range s.Points {
+				ymin = math.Min(ymin, y)
+				ymax = math.Max(ymax, y)
+			}
+		}
+		if ymin == ymax {
+			ymin, ymax = ymin-1, ymax+1
+		}
+		pad := (ymax - ymin) * 0.05
+		ymin -= pad
+		ymax += pad
+	}
+
+	const colWidth = 7
+	width := len(xs) * colWidth
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	rowOf := func(y float64) int {
+		frac := (y - ymin) / (ymax - ymin)
+		r := int(math.Round(float64(height-1) * (1 - frac)))
+		if r < 0 {
+			r = 0
+		}
+		if r >= height {
+			r = height - 1
+		}
+		return r
+	}
+	colOf := func(i int) int { return i*colWidth + colWidth/2 }
+
+	for si, s := range p.Series {
+		m := markers[si%len(markers)]
+		for i, x := range xs {
+			y, ok := s.Points[x]
+			if !ok {
+				continue
+			}
+			grid[rowOf(y)][colOf(i)] = m
+		}
+	}
+
+	var b strings.Builder
+	if p.Title != "" {
+		fmt.Fprintf(&b, "%s\n", p.Title)
+	}
+	for r := 0; r < height; r++ {
+		frac := 1 - float64(r)/float64(height-1)
+		label := ymin + frac*(ymax-ymin)
+		fmt.Fprintf(&b, "%8.1f |%s\n", label, string(grid[r]))
+	}
+	fmt.Fprintf(&b, "%8s +%s\n", "", strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%8s  ", "")
+	for _, x := range xs {
+		fmt.Fprintf(&b, "%*g", colWidth, x)
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "%8s  legend:", "")
+	for si, s := range p.Series {
+		fmt.Fprintf(&b, " %c=%s", markers[si%len(markers)], s.Name)
+	}
+	b.WriteByte('\n')
+	return b.String()
+}

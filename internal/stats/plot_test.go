@@ -1,0 +1,76 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestPlotRendersSeries(t *testing.T) {
+	p := &Plot{
+		Title: "demo",
+		YMin:  math.NaN(), YMax: math.NaN(),
+		Series: []Series{
+			{Name: "basic", Points: map[float64]float64{60: 98, 120: 76, 180: 65}},
+			{Name: "random", Points: map[float64]float64{60: 88, 120: 67, 180: 57}},
+		},
+	}
+	out := p.String()
+	if !strings.Contains(out, "demo") {
+		t.Fatal("title missing")
+	}
+	if !strings.Contains(out, "b=basic") || !strings.Contains(out, "t=random") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+	// Markers must appear as many times as there are points.
+	if got := strings.Count(out, "b") - strings.Count("legend: b=basic t=random", "b"); got < 3 {
+		t.Fatalf("markers for basic = %d:\n%s", got, out)
+	}
+	for _, x := range []string{"60", "120", "180"} {
+		if !strings.Contains(out, x) {
+			t.Errorf("x label %s missing", x)
+		}
+	}
+}
+
+func TestPlotOrdersByValue(t *testing.T) {
+	p := &Plot{
+		YMin: 0, YMax: 100,
+		Series: []Series{
+			{Name: "high", Points: map[float64]float64{1: 90}},
+			{Name: "low", Points: map[float64]float64{1: 10}},
+		},
+	}
+	out := p.String()
+	lines := strings.Split(out, "\n")
+	rowOf := func(marker string) int {
+		for i, l := range lines {
+			if strings.Contains(l, "|") && strings.Contains(strings.SplitN(l, "|", 2)[1], marker) {
+				return i
+			}
+		}
+		return -1
+	}
+	hi, lo := rowOf("b"), rowOf("t")
+	if hi < 0 || lo < 0 || hi >= lo {
+		t.Fatalf("high series (row %d) must render above low (row %d):\n%s", hi, lo, out)
+	}
+}
+
+func TestPlotEmpty(t *testing.T) {
+	p := &Plot{Title: "empty"}
+	if !strings.Contains(p.String(), "no data") {
+		t.Fatal("empty plot must say so")
+	}
+}
+
+func TestPlotFlatSeriesAutoscale(t *testing.T) {
+	p := &Plot{
+		YMin: math.NaN(), YMax: math.NaN(),
+		Series: []Series{{Name: "flat", Points: map[float64]float64{1: 5, 2: 5}}},
+	}
+	out := p.String()
+	if !strings.Contains(out, "b=flat") {
+		t.Fatalf("flat series failed to render:\n%s", out)
+	}
+}

@@ -1,0 +1,70 @@
+package stats
+
+import "fmt"
+
+// TimeSeries buckets session outcomes into fixed-width time windows,
+// exposing the success-rate and QoS trajectories of a run — useful for
+// watching the effect of the section 5.1 dynamic popularity shifts and
+// of transient congestion.
+type TimeSeries struct {
+	width   float64
+	buckets []Counter
+}
+
+// NewTimeSeries creates a series with the given window width (> 0).
+func NewTimeSeries(width float64) (*TimeSeries, error) {
+	if width <= 0 {
+		return nil, fmt.Errorf("stats: non-positive window width %g", width)
+	}
+	return &TimeSeries{width: width}, nil
+}
+
+// Observe records one session outcome at time t (>= 0; earlier times
+// clamp to the first window).
+func (ts *TimeSeries) Observe(t float64, success bool, rank int) {
+	idx := 0
+	if t > 0 {
+		idx = int(t / ts.width)
+	}
+	for len(ts.buckets) <= idx {
+		ts.buckets = append(ts.buckets, Counter{})
+	}
+	ts.buckets[idx].Observe(success, rank)
+}
+
+// Window returns the time bounds and counter of bucket i.
+func (ts *TimeSeries) Window(i int) (start, end float64, c Counter) {
+	return float64(i) * ts.width, float64(i+1) * ts.width, ts.buckets[i]
+}
+
+// Len returns the number of windows observed so far.
+func (ts *TimeSeries) Len() int { return len(ts.buckets) }
+
+// Rates returns the per-window success rates.
+func (ts *TimeSeries) Rates() []float64 {
+	out := make([]float64, len(ts.buckets))
+	for i := range ts.buckets {
+		out[i] = ts.buckets[i].SuccessRate()
+	}
+	return out
+}
+
+// Table renders the series as a text table with a sparkline-style bar.
+func (ts *TimeSeries) Table() string {
+	t := &Table{Header: []string{"window", "sessions", "success", "avg QoS", ""}}
+	for i := range ts.buckets {
+		s, e, c := ts.Window(i)
+		bar := ""
+		for j := 0.0; j < 40*c.SuccessRate(); j += 1 {
+			bar += "#"
+		}
+		t.AddRow(
+			fmt.Sprintf("[%g, %g)", s, e),
+			fmt.Sprintf("%d", c.Attempts),
+			fmt.Sprintf("%.1f%%", 100*c.SuccessRate()),
+			fmt.Sprintf("%.2f", c.AvgQoS()),
+			bar,
+		)
+	}
+	return t.String()
+}

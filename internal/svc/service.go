@@ -1,0 +1,319 @@
+package svc
+
+import (
+	"fmt"
+	"sort"
+
+	"qosres/internal/qos"
+)
+
+// Edge is a directed dependency edge between two service components: the
+// output of From is the input of To, and From's Qout is equivalent to
+// (or, for fan-in components, contributes to) To's Qin.
+type Edge struct {
+	From, To ComponentID
+}
+
+// Service is a distributed service: a set of collaborating service
+// components plus their dependency graph (section 2.2). The dependency
+// graph must be a connected DAG with a single source component and a
+// single sink component; the basic algorithm additionally requires it to
+// be a chain.
+type Service struct {
+	// Name identifies the service, e.g. "S1" or "VideoStreamingTracking".
+	Name string
+	// Components holds the participating components.
+	Components map[ComponentID]*Component
+	// Edges is the dependency graph.
+	Edges []Edge
+	// EndToEndRanking orders the sink component's output level names from
+	// best to worst. The paper assumes end-to-end QoS levels can be ranked
+	// in a linear order by user preference; the best level has the highest
+	// "level number" (level K for K levels, down to level 1).
+	EndToEndRanking []string
+}
+
+// NewService builds and validates a Service.
+func NewService(name string, components []*Component, edges []Edge, ranking []string) (*Service, error) {
+	s := &Service{
+		Name:            name,
+		Components:      make(map[ComponentID]*Component, len(components)),
+		Edges:           edges,
+		EndToEndRanking: ranking,
+	}
+	for _, c := range components {
+		if _, dup := s.Components[c.ID]; dup {
+			return nil, fmt.Errorf("svc: service %s has duplicate component %s", name, c.ID)
+		}
+		s.Components[c.ID] = c
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// MustService is NewService that panics on error, for static definitions.
+func MustService(name string, components []*Component, edges []Edge, ranking []string) *Service {
+	s, err := NewService(name, components, edges, ranking)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Succs returns the IDs of the components downstream of id, in edge order.
+func (s *Service) Succs(id ComponentID) []ComponentID {
+	var out []ComponentID
+	for _, e := range s.Edges {
+		if e.From == id {
+			out = append(out, e.To)
+		}
+	}
+	return out
+}
+
+// Preds returns the IDs of the components upstream of id, in edge order.
+func (s *Service) Preds(id ComponentID) []ComponentID {
+	var out []ComponentID
+	for _, e := range s.Edges {
+		if e.To == id {
+			out = append(out, e.From)
+		}
+	}
+	return out
+}
+
+// Source returns the unique source component (no incoming edges).
+func (s *Service) Source() (*Component, error) {
+	var src *Component
+	for id, c := range s.Components {
+		if len(s.Preds(id)) == 0 {
+			if src != nil {
+				return nil, fmt.Errorf("svc: service %s has multiple source components (%s, %s)", s.Name, src.ID, id)
+			}
+			src = c
+		}
+	}
+	if src == nil {
+		return nil, fmt.Errorf("svc: service %s has no source component", s.Name)
+	}
+	return src, nil
+}
+
+// Sink returns the unique sink component (no outgoing edges); its Qout is
+// the end-to-end QoS of the service.
+func (s *Service) Sink() (*Component, error) {
+	var sink *Component
+	for id, c := range s.Components {
+		if len(s.Succs(id)) == 0 {
+			if sink != nil {
+				return nil, fmt.Errorf("svc: service %s has multiple sink components (%s, %s)", s.Name, sink.ID, id)
+			}
+			sink = c
+		}
+	}
+	if sink == nil {
+		return nil, fmt.Errorf("svc: service %s has no sink component", s.Name)
+	}
+	return sink, nil
+}
+
+// TopoOrder returns the component IDs in a deterministic topological
+// order (Kahn's algorithm with lexicographic tie-breaking).
+func (s *Service) TopoOrder() ([]ComponentID, error) {
+	indeg := make(map[ComponentID]int, len(s.Components))
+	for id := range s.Components {
+		indeg[id] = 0
+	}
+	for _, e := range s.Edges {
+		indeg[e.To]++
+	}
+	var ready []ComponentID
+	for id, d := range indeg {
+		if d == 0 {
+			ready = append(ready, id)
+		}
+	}
+	sortIDs(ready)
+	order := make([]ComponentID, 0, len(s.Components))
+	for len(ready) > 0 {
+		id := ready[0]
+		ready = ready[1:]
+		order = append(order, id)
+		var newly []ComponentID
+		for _, nxt := range s.Succs(id) {
+			indeg[nxt]--
+			if indeg[nxt] == 0 {
+				newly = append(newly, nxt)
+			}
+		}
+		sortIDs(newly)
+		ready = append(ready, newly...)
+		sortIDs(ready)
+	}
+	if len(order) != len(s.Components) {
+		return nil, fmt.Errorf("svc: service %s dependency graph has a cycle", s.Name)
+	}
+	return order, nil
+}
+
+// IsChain reports whether the dependency graph is a simple chain, the
+// implicit assumption of the basic algorithm (before section 4.3.2).
+func (s *Service) IsChain() bool {
+	for id := range s.Components {
+		if len(s.Succs(id)) > 1 || len(s.Preds(id)) > 1 {
+			return false
+		}
+	}
+	_, errSrc := s.Source()
+	_, errSink := s.Sink()
+	return errSrc == nil && errSink == nil && len(s.Edges) == len(s.Components)-1
+}
+
+// Chain returns the component IDs in chain order. It fails when the
+// dependency graph is not a chain.
+func (s *Service) Chain() ([]ComponentID, error) {
+	if !s.IsChain() {
+		return nil, fmt.Errorf("svc: service %s dependency graph is not a chain", s.Name)
+	}
+	return s.TopoOrder()
+}
+
+// FanIn reports whether the component has more than one upstream
+// component (its Qin is a concatenation of upstream Qouts).
+func (s *Service) FanIn(id ComponentID) bool { return len(s.Preds(id)) > 1 }
+
+// FanOut reports whether the component has more than one downstream
+// component (its Qout feeds every adjacent component).
+func (s *Service) FanOut(id ComponentID) bool { return len(s.Succs(id)) > 1 }
+
+// Validate checks the service definition: all components valid, edges
+// referencing known components, graph acyclic and connected with a single
+// source and sink, and the end-to-end ranking exactly covering the sink's
+// output levels.
+func (s *Service) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("svc: service with empty name")
+	}
+	if len(s.Components) == 0 {
+		return fmt.Errorf("svc: service %s has no components", s.Name)
+	}
+	for _, c := range s.Components {
+		if err := c.Validate(); err != nil {
+			return err
+		}
+	}
+	seenEdge := make(map[Edge]bool, len(s.Edges))
+	for _, e := range s.Edges {
+		if _, ok := s.Components[e.From]; !ok {
+			return fmt.Errorf("svc: service %s edge references unknown component %s", s.Name, e.From)
+		}
+		if _, ok := s.Components[e.To]; !ok {
+			return fmt.Errorf("svc: service %s edge references unknown component %s", s.Name, e.To)
+		}
+		if e.From == e.To {
+			return fmt.Errorf("svc: service %s has self-loop on %s", s.Name, e.From)
+		}
+		if seenEdge[e] {
+			return fmt.Errorf("svc: service %s has duplicate edge %s->%s", s.Name, e.From, e.To)
+		}
+		seenEdge[e] = true
+	}
+	if _, err := s.TopoOrder(); err != nil {
+		return err
+	}
+	src, err := s.Source()
+	if err != nil {
+		return err
+	}
+	sink, err := s.Sink()
+	if err != nil {
+		return err
+	}
+	// Connectivity: every component reachable from the source.
+	reach := map[ComponentID]bool{src.ID: true}
+	stack := []ComponentID{src.ID}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, nxt := range s.Succs(id) {
+			if !reach[nxt] {
+				reach[nxt] = true
+				stack = append(stack, nxt)
+			}
+		}
+	}
+	if len(reach) != len(s.Components) {
+		return fmt.Errorf("svc: service %s has components unreachable from source %s", s.Name, src.ID)
+	}
+	// Source components must have exactly one input level: the original
+	// quality of the source data.
+	if len(src.In) != 1 {
+		return fmt.Errorf("svc: service %s source component %s must have exactly one input level (the source data quality), has %d", s.Name, src.ID, len(src.In))
+	}
+	// End-to-end ranking must be a permutation of the sink's output levels.
+	if len(s.EndToEndRanking) != len(sink.Out) {
+		return fmt.Errorf("svc: service %s end-to-end ranking has %d levels, sink %s has %d output levels", s.Name, len(s.EndToEndRanking), sink.ID, len(sink.Out))
+	}
+	seen := make(map[string]bool, len(s.EndToEndRanking))
+	for _, name := range s.EndToEndRanking {
+		if seen[name] {
+			return fmt.Errorf("svc: service %s end-to-end ranking repeats level %s", s.Name, name)
+		}
+		seen[name] = true
+		if _, ok := sink.OutLevel(name); !ok {
+			return fmt.Errorf("svc: service %s end-to-end ranking names unknown sink level %s", s.Name, name)
+		}
+	}
+	return nil
+}
+
+// RankOf returns the paper-style level number of an end-to-end QoS level
+// name: the best level gets K (for K levels), the worst gets 1. Unknown
+// names get 0.
+func (s *Service) RankOf(levelName string) int {
+	for i, name := range s.EndToEndRanking {
+		if name == levelName {
+			return len(s.EndToEndRanking) - i
+		}
+	}
+	return 0
+}
+
+// ComponentIDs returns all component IDs sorted lexicographically.
+func (s *Service) ComponentIDs() []ComponentID {
+	out := make([]ComponentID, 0, len(s.Components))
+	for id := range s.Components {
+		out = append(out, id)
+	}
+	sortIDs(out)
+	return out
+}
+
+func sortIDs(ids []ComponentID) {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+}
+
+// Binding maps, per component, the component's abstract resource names to
+// concrete environment resource IDs for one particular service session.
+// Example: component cP's "cpu" binds to "cpu@H1" and its "net" binds to
+// "net:H4->H1" once the session's placement is known.
+type Binding map[ComponentID]map[string]string
+
+// Bind rewrites a requirement vector keyed by abstract names into one
+// keyed by concrete resource IDs. Unbound names are an error: a session
+// must bind every resource a component can require. When two abstract
+// names bind to the same concrete resource, their amounts accumulate.
+func (b Binding) Bind(comp ComponentID, req qos.ResourceVector) (qos.ResourceVector, error) {
+	m := b[comp]
+	out := make(qos.ResourceVector, len(req))
+	for name, amount := range req {
+		concrete, ok := m[name]
+		if !ok {
+			return nil, fmt.Errorf("svc: component %s has no binding for resource %q", comp, name)
+		}
+		out[concrete] += amount
+	}
+	return out, nil
+}

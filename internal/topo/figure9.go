@@ -1,0 +1,87 @@
+package topo
+
+import "fmt"
+
+// This file builds the simulated distributed environment of figure 9 of
+// the paper: four high performance servers H1-H4, client machines in
+// eight domains D1-D8 (abstracted behind one gateway host per domain),
+// and fourteen high speed links L1-L14.
+//
+// The paper does not print the exact wiring, but it fixes two anchors:
+// there are exactly 14 links, and a session from a client in D2
+// requesting S4 uses the proxy component on H1 — i.e. the proxy host for
+// domain Di is H⌈i/2⌉, the server "closest" to the domain. We therefore
+// wire each domain to its proxy server with one access link (8 links) and
+// connect the servers with a ring plus both diagonals (6 links), giving
+// 14 links and multi-hop, link-sharing routes between servers.
+
+// Figure 9 host names.
+const (
+	H1 HostID = "H1"
+	H2 HostID = "H2"
+	H3 HostID = "H3"
+	H4 HostID = "H4"
+)
+
+// NumServers is the number of high performance servers in figure 9.
+const NumServers = 4
+
+// NumDomains is the number of client domains in figure 9.
+const NumDomains = 8
+
+// ServerHost returns the host ID of server i (1-based): H1..H4.
+func ServerHost(i int) HostID {
+	if i < 1 || i > NumServers {
+		panic(fmt.Sprintf("topo: server index %d out of range 1..%d", i, NumServers))
+	}
+	return HostID(fmt.Sprintf("H%d", i))
+}
+
+// DomainHost returns the host ID of the gateway of domain i (1-based):
+// D1..D8.
+func DomainHost(i int) HostID {
+	if i < 1 || i > NumDomains {
+		panic(fmt.Sprintf("topo: domain index %d out of range 1..%d", i, NumDomains))
+	}
+	return HostID(fmt.Sprintf("D%d", i))
+}
+
+// ProxyServerFor returns the index (1-based) of the server hosting the
+// proxy component for clients of domain i: ⌈i/2⌉, matching the paper's
+// worked example (D2 -> H1).
+func ProxyServerFor(domain int) int {
+	if domain < 1 || domain > NumDomains {
+		panic(fmt.Sprintf("topo: domain index %d out of range 1..%d", domain, NumDomains))
+	}
+	return (domain + 1) / 2
+}
+
+// Figure9 builds the figure-9 environment topology.
+func Figure9() *Topology {
+	hosts := make([]HostID, 0, NumServers+NumDomains)
+	for i := 1; i <= NumServers; i++ {
+		hosts = append(hosts, ServerHost(i))
+	}
+	for i := 1; i <= NumDomains; i++ {
+		hosts = append(hosts, DomainHost(i))
+	}
+	links := []Link{
+		// Server backbone: ring plus diagonals.
+		{ID: "L1", A: H1, B: H2},
+		{ID: "L2", A: H2, B: H3},
+		{ID: "L3", A: H3, B: H4},
+		{ID: "L4", A: H4, B: H1},
+		{ID: "L5", A: H1, B: H3},
+		{ID: "L6", A: H2, B: H4},
+	}
+	// Access links: domain Di attaches to its proxy server H⌈i/2⌉ via
+	// link L(6+i).
+	for i := 1; i <= NumDomains; i++ {
+		links = append(links, Link{
+			ID: LinkID(fmt.Sprintf("L%d", 6+i)),
+			A:  DomainHost(i),
+			B:  ServerHost(ProxyServerFor(i)),
+		})
+	}
+	return MustNew(hosts, links)
+}

@@ -1,0 +1,222 @@
+package topo
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func square() *Topology {
+	return MustNew(
+		[]HostID{"A", "B", "C", "D"},
+		[]Link{
+			{ID: "1", A: "A", B: "B"},
+			{ID: "2", A: "B", B: "C"},
+			{ID: "3", A: "C", B: "D"},
+			{ID: "4", A: "D", B: "A"},
+		})
+}
+
+func TestRouteMinHop(t *testing.T) {
+	s := square()
+	r, err := s.Route("A", "C")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r) != 2 {
+		t.Fatalf("A->C hops = %d, want 2", len(r))
+	}
+	r, err = s.Route("A", "B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r) != 1 || r[0] != "1" {
+		t.Fatalf("A->B = %v", r)
+	}
+	if h, _ := s.Hops("A", "A"); h != 0 {
+		t.Fatalf("self hops = %d", h)
+	}
+}
+
+func TestRouteDeterministic(t *testing.T) {
+	s := square()
+	first, _ := s.Route("A", "C")
+	for i := 0; i < 10; i++ {
+		again, _ := s.Route("A", "C")
+		if len(again) != len(first) {
+			t.Fatal("route length changed")
+		}
+		for j := range first {
+			if first[j] != again[j] {
+				t.Fatalf("route changed: %v vs %v", first, again)
+			}
+		}
+	}
+}
+
+func TestRouteUnknownHost(t *testing.T) {
+	s := square()
+	if _, err := s.Route("A", "Z"); err == nil {
+		t.Fatal("expected unknown host error")
+	}
+	if _, err := s.Route("Z", "A"); err == nil {
+		t.Fatal("expected unknown host error")
+	}
+}
+
+func TestRouteReturnsCopy(t *testing.T) {
+	s := square()
+	r, _ := s.Route("A", "C")
+	r[0] = "clobber"
+	again, _ := s.Route("A", "C")
+	if again[0] == "clobber" {
+		t.Fatal("Route aliases internal state")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	cases := []struct {
+		name  string
+		hosts []HostID
+		links []Link
+	}{
+		{"empty host", []HostID{""}, nil},
+		{"dup host", []HostID{"A", "A"}, nil},
+		{"empty link id", []HostID{"A", "B"}, []Link{{ID: "", A: "A", B: "B"}}},
+		{"dup link", []HostID{"A", "B"}, []Link{{ID: "1", A: "A", B: "B"}, {ID: "1", A: "A", B: "B"}}},
+		{"unknown endpoint", []HostID{"A"}, []Link{{ID: "1", A: "A", B: "Z"}}},
+		{"self loop", []HostID{"A"}, []Link{{ID: "1", A: "A", B: "A"}}},
+		{"disconnected", []HostID{"A", "B"}, nil},
+	}
+	for _, tc := range cases {
+		if _, err := New(tc.hosts, tc.links); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+}
+
+func TestLinkOther(t *testing.T) {
+	l := Link{ID: "1", A: "A", B: "B"}
+	if o, ok := l.Other("A"); !ok || o != "B" {
+		t.Fatalf("Other(A) = %v %v", o, ok)
+	}
+	if o, ok := l.Other("B"); !ok || o != "A" {
+		t.Fatalf("Other(B) = %v %v", o, ok)
+	}
+	if _, ok := l.Other("C"); ok {
+		t.Fatal("Other(C) should fail")
+	}
+}
+
+func TestFigure9Shape(t *testing.T) {
+	f := Figure9()
+	if got := len(f.Hosts()); got != NumServers+NumDomains {
+		t.Fatalf("hosts = %d, want %d", got, NumServers+NumDomains)
+	}
+	if got := len(f.Links()); got != 14 {
+		t.Fatalf("links = %d, want 14 (L1-L14)", got)
+	}
+	// The paper's worked example: a client in D2 requesting S4 uses the
+	// proxy on H1.
+	if ProxyServerFor(2) != 1 {
+		t.Fatalf("ProxyServerFor(2) = %d, want 1", ProxyServerFor(2))
+	}
+	if ProxyServerFor(7) != 4 || ProxyServerFor(8) != 4 {
+		t.Fatal("domains 7,8 must use H4")
+	}
+	// Every domain reaches its proxy server in exactly one hop.
+	for d := 1; d <= NumDomains; d++ {
+		h, err := f.Hops(DomainHost(d), ServerHost(ProxyServerFor(d)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h != 1 {
+			t.Errorf("domain %d to proxy: %d hops, want 1", d, h)
+		}
+	}
+	// Every server pair is at most 2 hops apart (ring + diagonals).
+	for i := 1; i <= NumServers; i++ {
+		for j := 1; j <= NumServers; j++ {
+			h, err := f.Hops(ServerHost(i), ServerHost(j))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if i != j && (h < 1 || h > 2) {
+				t.Errorf("H%d->H%d: %d hops", i, j, h)
+			}
+		}
+	}
+}
+
+func TestFigure9LinkNames(t *testing.T) {
+	f := Figure9()
+	for i := 1; i <= 14; i++ {
+		id := LinkID([]string{"L1", "L2", "L3", "L4", "L5", "L6", "L7", "L8", "L9", "L10", "L11", "L12", "L13", "L14"}[i-1])
+		if _, ok := f.Link(id); !ok {
+			t.Errorf("missing link %s", id)
+		}
+	}
+}
+
+func TestServerDomainHostPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { ServerHost(0) },
+		func() { ServerHost(5) },
+		func() { DomainHost(0) },
+		func() { DomainHost(9) },
+		func() { ProxyServerFor(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestPropertyRoutesSymmetricLength(t *testing.T) {
+	f := Figure9()
+	hosts := f.Hosts()
+	check := func(i, j uint8) bool {
+		a := hosts[int(i)%len(hosts)]
+		b := hosts[int(j)%len(hosts)]
+		ha, err1 := f.Hops(a, b)
+		hb, err2 := f.Hops(b, a)
+		return err1 == nil && err2 == nil && ha == hb
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyRouteEndpointsConnect(t *testing.T) {
+	f := Figure9()
+	hosts := f.Hosts()
+	check := func(i, j uint8) bool {
+		a := hosts[int(i)%len(hosts)]
+		b := hosts[int(j)%len(hosts)]
+		r, err := f.Route(a, b)
+		if err != nil {
+			return false
+		}
+		// Walk the route: it must start at a, end at b, and chain.
+		cur := a
+		for _, lid := range r {
+			l, ok := f.Link(lid)
+			if !ok {
+				return false
+			}
+			nxt, ok := l.Other(cur)
+			if !ok {
+				return false
+			}
+			cur = nxt
+		}
+		return cur == b
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

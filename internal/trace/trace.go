@@ -1,0 +1,222 @@
+// Package trace records structured session-level events from simulation
+// runs and live runtimes: arrivals, plan computations, reservation
+// outcomes, and releases. Tracers are pluggable sinks; the package
+// provides a bounded in-memory ring (for tests and postmortems) and a
+// CSV writer (for external analysis/plotting).
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+
+	"qosres/internal/broker"
+)
+
+// Kind classifies an event.
+type Kind int
+
+// Event kinds, in session lifecycle order.
+const (
+	// Arrival is a session arrival before planning.
+	Arrival Kind = iota
+	// Planned is a successfully computed reservation plan.
+	Planned
+	// PlanFailed is a session with no feasible plan.
+	PlanFailed
+	// Reserved is a successful multi-resource reservation.
+	Reserved
+	// ReserveFailed is a plan that failed at reservation time (stale
+	// observations).
+	ReserveFailed
+	// Released is a completed session returning its resources.
+	Released
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case Arrival:
+		return "arrival"
+	case Planned:
+		return "planned"
+	case PlanFailed:
+		return "plan_failed"
+	case Reserved:
+		return "reserved"
+	case ReserveFailed:
+		return "reserve_failed"
+	case Released:
+		return "released"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Event is one session-lifecycle event.
+type Event struct {
+	At      broker.Time
+	Kind    Kind
+	Session uint64
+	// Service is the requested service's name.
+	Service string
+	// Class is the paper's session class label (Norm.-short, ...).
+	Class string
+	// Level is the selected end-to-end QoS level name (Planned/Reserved).
+	Level string
+	// Rank is the paper-style level number.
+	Rank int
+	// Psi is the plan's bottleneck contention index.
+	Psi float64
+	// Bottleneck is the plan's bottleneck resource.
+	Bottleneck string
+	// Path is the dash-joined selected path (chain services).
+	Path string
+}
+
+// Tracer consumes events. Implementations must be safe for use from a
+// single simulation goroutine; the Ring is additionally safe for
+// concurrent use.
+type Tracer interface {
+	Trace(Event)
+}
+
+// Nop discards every event.
+type Nop struct{}
+
+// Trace implements Tracer.
+func (Nop) Trace(Event) {}
+
+// Ring keeps the last N events in memory.
+type Ring struct {
+	mu     sync.Mutex
+	events []Event
+	next   int
+	full   bool
+}
+
+// NewRing creates a ring holding up to n events (n >= 1).
+func NewRing(n int) *Ring {
+	if n < 1 {
+		n = 1
+	}
+	return &Ring{events: make([]Event, n)}
+}
+
+// Trace implements Tracer.
+func (r *Ring) Trace(ev Event) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.events[r.next] = ev
+	r.next = (r.next + 1) % len(r.events)
+	if r.next == 0 {
+		r.full = true
+	}
+}
+
+// Len returns the number of retained events.
+func (r *Ring) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.full {
+		return len(r.events)
+	}
+	return r.next
+}
+
+// Events returns the retained events oldest-first.
+func (r *Ring) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.full {
+		out := make([]Event, r.next)
+		copy(out, r.events[:r.next])
+		return out
+	}
+	out := make([]Event, 0, len(r.events))
+	out = append(out, r.events[r.next:]...)
+	out = append(out, r.events[:r.next]...)
+	return out
+}
+
+// CSV streams events as CSV rows to an io.Writer. Create with NewCSV;
+// call Flush (or Close) when done.
+type CSV struct {
+	mu sync.Mutex
+	w  *csv.Writer
+}
+
+// csvHeader is the column layout of CSV traces.
+var csvHeader = []string{
+	"time", "kind", "session", "service", "class",
+	"level", "rank", "psi", "bottleneck", "path",
+}
+
+// NewCSV creates a CSV tracer and writes the header row.
+func NewCSV(w io.Writer) (*CSV, error) {
+	c := &CSV{w: csv.NewWriter(w)}
+	if err := c.w.Write(csvHeader); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Trace implements Tracer. Write errors surface on Flush.
+func (c *CSV) Trace(ev Event) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_ = c.w.Write([]string{
+		strconv.FormatFloat(float64(ev.At), 'g', -1, 64),
+		ev.Kind.String(),
+		strconv.FormatUint(ev.Session, 10),
+		ev.Service,
+		ev.Class,
+		ev.Level,
+		strconv.Itoa(ev.Rank),
+		strconv.FormatFloat(ev.Psi, 'g', -1, 64),
+		ev.Bottleneck,
+		ev.Path,
+	})
+}
+
+// Flush flushes buffered rows and reports any write error.
+func (c *CSV) Flush() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.w.Flush()
+	return c.w.Error()
+}
+
+// Multi fans events out to several tracers.
+type Multi []Tracer
+
+// Trace implements Tracer.
+func (m Multi) Trace(ev Event) {
+	for _, t := range m {
+		t.Trace(ev)
+	}
+}
+
+// Counter tallies events by kind, a cheap Tracer for tests.
+type Counter struct {
+	mu     sync.Mutex
+	counts map[Kind]int
+}
+
+// NewCounter creates an empty counter.
+func NewCounter() *Counter { return &Counter{counts: map[Kind]int{}} }
+
+// Trace implements Tracer.
+func (c *Counter) Trace(ev Event) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.counts[ev.Kind]++
+}
+
+// Count returns the tally of one kind.
+func (c *Counter) Count(k Kind) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.counts[k]
+}

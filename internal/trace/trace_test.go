@@ -1,0 +1,127 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"bytes"
+)
+
+func ev(k Kind, session uint64) Event {
+	return Event{At: 1, Kind: k, Session: session, Service: "S1", Class: "Norm.-short"}
+}
+
+func TestKindStrings(t *testing.T) {
+	want := map[Kind]string{
+		Arrival: "arrival", Planned: "planned", PlanFailed: "plan_failed",
+		Reserved: "reserved", ReserveFailed: "reserve_failed", Released: "released",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), s)
+		}
+	}
+	if Kind(99).String() == "" {
+		t.Error("unknown kind must render")
+	}
+}
+
+func TestRingRetainsLastN(t *testing.T) {
+	r := NewRing(3)
+	for i := uint64(1); i <= 5; i++ {
+		r.Trace(ev(Arrival, i))
+	}
+	if r.Len() != 3 {
+		t.Fatalf("len = %d", r.Len())
+	}
+	events := r.Events()
+	for i, want := range []uint64{3, 4, 5} {
+		if events[i].Session != want {
+			t.Fatalf("events = %+v", events)
+		}
+	}
+}
+
+func TestRingPartial(t *testing.T) {
+	r := NewRing(10)
+	r.Trace(ev(Arrival, 1))
+	r.Trace(ev(Planned, 1))
+	if r.Len() != 2 {
+		t.Fatalf("len = %d", r.Len())
+	}
+	events := r.Events()
+	if len(events) != 2 || events[0].Kind != Arrival || events[1].Kind != Planned {
+		t.Fatalf("events = %+v", events)
+	}
+}
+
+func TestRingMinimumSize(t *testing.T) {
+	r := NewRing(0)
+	r.Trace(ev(Arrival, 1))
+	r.Trace(ev(Arrival, 2))
+	if r.Len() != 1 || r.Events()[0].Session != 2 {
+		t.Fatal("size-0 ring must clamp to 1 and keep the latest")
+	}
+}
+
+func TestRingConcurrent(t *testing.T) {
+	r := NewRing(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := uint64(0); i < 100; i++ {
+				r.Trace(ev(Arrival, i))
+				_ = r.Events()
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Len() != 64 {
+		t.Fatalf("len = %d", r.Len())
+	}
+}
+
+func TestCSVOutput(t *testing.T) {
+	var buf bytes.Buffer
+	c, err := NewCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Trace(Event{
+		At: 2.5, Kind: Reserved, Session: 7, Service: "S2",
+		Class: "Fat-long", Level: "Qp", Rank: 3, Psi: 0.25,
+		Bottleneck: "cpu@H1", Path: "Qa-Qb",
+	})
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "time,kind,session") {
+		t.Fatalf("header = %q", lines[0])
+	}
+	for _, want := range []string{"2.5", "reserved", "7", "S2", "Fat-long", "Qp", "3", "0.25", "cpu@H1", "Qa-Qb"} {
+		if !strings.Contains(lines[1], want) {
+			t.Errorf("row missing %q: %q", want, lines[1])
+		}
+	}
+}
+
+func TestMultiFansOut(t *testing.T) {
+	a, b := NewCounter(), NewCounter()
+	m := Multi{a, b, Nop{}}
+	m.Trace(ev(Planned, 1))
+	m.Trace(ev(Planned, 2))
+	if a.Count(Planned) != 2 || b.Count(Planned) != 2 {
+		t.Fatalf("counts = %d, %d", a.Count(Planned), b.Count(Planned))
+	}
+	if a.Count(Released) != 0 {
+		t.Fatal("wrong kind counted")
+	}
+}

@@ -1,0 +1,89 @@
+package workload
+
+import (
+	"qosres/internal/qos"
+	"qosres/internal/svc"
+)
+
+// CompressDiversity reproduces the "less diversified resource
+// requirement" setting of section 5.2.5 / figure 13: for each resource of
+// a component, the requirement values across the component's translation
+// edges keep the same average as the base table, but the ratio between
+// the highest and the lowest value is limited to ratio:1, with the
+// remaining values distributed proportionally between them.
+//
+// The compression is the affine map v' = mean + s·(v-mean) with s chosen
+// so that max'/min' == ratio; it preserves the mean exactly and the
+// relative order of all values. Resources whose spread is already within
+// the ratio are left untouched.
+func CompressDiversity(t svc.TranslationTable, ratio float64) svc.TranslationTable {
+	if ratio <= 0 {
+		return cloneTable(t)
+	}
+	// Gather per-resource statistics across every edge of the table.
+	type stat struct {
+		min, max, sum float64
+		n             int
+	}
+	stats := make(map[string]*stat)
+	for _, row := range t {
+		for _, req := range row {
+			for r, val := range req {
+				s := stats[r]
+				if s == nil {
+					s = &stat{min: val, max: val}
+					stats[r] = s
+				}
+				if val < s.min {
+					s.min = val
+				}
+				if val > s.max {
+					s.max = val
+				}
+				s.sum += val
+				s.n++
+			}
+		}
+	}
+	scale := make(map[string]float64, len(stats))
+	mean := make(map[string]float64, len(stats))
+	for r, s := range stats {
+		mean[r] = s.sum / float64(s.n)
+		if s.min <= 0 || s.max/s.min <= ratio {
+			scale[r] = 1
+			continue
+		}
+		// Solve (mean + s(max-mean)) == ratio * (mean + s(min-mean)).
+		denom := (s.max - mean[r]) - ratio*(s.min-mean[r])
+		if denom <= 0 {
+			scale[r] = 1
+			continue
+		}
+		scale[r] = (ratio - 1) * mean[r] / denom
+	}
+	out := make(svc.TranslationTable, len(t))
+	for in, row := range t {
+		nr := make(map[string]qos.ResourceVector, len(row))
+		for o, req := range row {
+			nreq := make(qos.ResourceVector, len(req))
+			for r, val := range req {
+				nreq[r] = mean[r] + scale[r]*(val-mean[r])
+			}
+			nr[o] = nreq
+		}
+		out[in] = nr
+	}
+	return out
+}
+
+func cloneTable(t svc.TranslationTable) svc.TranslationTable {
+	out := make(svc.TranslationTable, len(t))
+	for in, row := range t {
+		nr := make(map[string]qos.ResourceVector, len(row))
+		for o, req := range row {
+			nr[o] = req.Clone()
+		}
+		out[in] = nr
+	}
+	return out
+}

@@ -1,0 +1,142 @@
+package workload
+
+import (
+	"qosres/internal/broker"
+	"qosres/internal/qos"
+	"qosres/internal/svc"
+)
+
+// This file reconstructs the DAG example of section 4.3.2 (figures 6-8):
+// a five-component service c1 -> c2 -> {c3, c4} -> c5 with a fan-out
+// component (c2) and a fan-in component (c5). The requirement values are
+// chosen so that, against the canonical unit snapshot, the two-pass
+// heuristic reproduces the paper's figure-8 walk-through exactly:
+//
+//   - pass II backtracks from sink Qv through the fan-in combination
+//     (Qn, Qp), and the branches through c3 and c4 fail to converge at
+//     the fan-out component c2 (one demands Qi, the other Qh);
+//   - the local resolution fixes Qn and Qp and compares the candidates:
+//     reaching them from Qi needs highest Ψe 0.30, from Qh 0.35 — so Qi
+//     is selected, exactly the paper's numbers.
+
+// DAG example component IDs.
+const (
+	DagC1 svc.ComponentID = "c1"
+	DagC2 svc.ComponentID = "c2"
+	DagC3 svc.ComponentID = "c3"
+	DagC4 svc.ComponentID = "c4"
+	DagC5 svc.ComponentID = "c5"
+)
+
+// dagRes names the single abstract resource of every DAG-example
+// component; each component binds it to its own concrete resource with
+// availability 1, so translation-edge weights equal the requirement
+// values verbatim.
+const dagRes = "r"
+
+func dagReq(w float64) qos.ResourceVector { return qos.ResourceVector{dagRes: w} }
+
+func dagLevel(name string, q float64) svc.Level {
+	return svc.Level{Name: name, Vector: v(qos.P("q", q))}
+}
+
+// DagService builds the figure 6-8 example service.
+func DagService() *svc.Service {
+	// Distinct "q" values enforce exactly the intended equivalences.
+	qa := dagLevel("Qa", 5)
+	qb, qc := dagLevel("Qb", 2), dagLevel("Qc", 1)
+	qd, qe := dagLevel("Qd", 2), dagLevel("Qe", 1) // == Qb, Qc
+	qh, qi := dagLevel("Qh", 12), dagLevel("Qi", 11)
+	qj, qk := dagLevel("Qj", 12), dagLevel("Qk", 11) // == Qh, Qi (c3 side)
+	qn, qo := dagLevel("Qn", 23), dagLevel("Qo", 21)
+	ql, qm := dagLevel("Ql", 12), dagLevel("Qm", 11) // == Qh, Qi (c4 side)
+	qp, qq := dagLevel("Qp", 33), dagLevel("Qq", 31)
+	qv, qw := dagLevel("Qv", 99), dagLevel("Qw", 98)
+
+	// Fan-in input levels of c5: labelled concatenations of one c3
+	// output and one c4 output (labels sorted by component ID).
+	concat := func(name string, a, b svc.Level) svc.Level {
+		return svc.Level{
+			Name:   name,
+			Vector: qos.ConcatAll([]string{string(DagC3), string(DagC4)}, []qos.Vector{a.Vector, b.Vector}),
+		}
+	}
+	qr := concat("Qr", qn, qp)
+	qs := concat("Qs", qn, qq)
+	qt := concat("Qt", qo, qp)
+	qu := concat("Qu", qo, qq)
+
+	c1 := &svc.Component{
+		ID: DagC1, In: []svc.Level{qa}, Out: []svc.Level{qb, qc},
+		Translate: svc.TranslationTable{
+			"Qa": {"Qb": dagReq(0.10), "Qc": dagReq(0.20)},
+		}.Func(),
+		Resources: []string{dagRes},
+	}
+	c2 := &svc.Component{
+		ID: DagC2, In: []svc.Level{qd, qe}, Out: []svc.Level{qh, qi},
+		Translate: svc.TranslationTable{
+			"Qd": {"Qh": dagReq(0.15), "Qi": dagReq(0.25)},
+			"Qe": {"Qh": dagReq(0.10), "Qi": dagReq(0.12)},
+		}.Func(),
+		Resources: []string{dagRes},
+	}
+	c3 := &svc.Component{
+		ID: DagC3, In: []svc.Level{qj, qk}, Out: []svc.Level{qn, qo},
+		Translate: svc.TranslationTable{
+			"Qj": {"Qn": dagReq(0.35), "Qo": dagReq(0.10)},
+			"Qk": {"Qn": dagReq(0.30), "Qo": dagReq(0.12)},
+		}.Func(),
+		Resources: []string{dagRes},
+	}
+	c4 := &svc.Component{
+		ID: DagC4, In: []svc.Level{ql, qm}, Out: []svc.Level{qp, qq},
+		Translate: svc.TranslationTable{
+			"Ql": {"Qp": dagReq(0.20), "Qq": dagReq(0.11)},
+			"Qm": {"Qp": dagReq(0.28), "Qq": dagReq(0.13)},
+		}.Func(),
+		Resources: []string{dagRes},
+	}
+	c5 := &svc.Component{
+		ID: DagC5, In: []svc.Level{qr, qs, qt, qu}, Out: []svc.Level{qv, qw},
+		Translate: svc.TranslationTable{
+			"Qr": {"Qv": dagReq(0.18)},
+			"Qs": {"Qw": dagReq(0.20)},
+			"Qt": {"Qw": dagReq(0.12)},
+			"Qu": {"Qw": dagReq(0.10)},
+		}.Func(),
+		Resources: []string{dagRes},
+	}
+	return svc.MustService("DagExample",
+		[]*svc.Component{c1, c2, c3, c4, c5},
+		[]svc.Edge{
+			{From: DagC1, To: DagC2},
+			{From: DagC2, To: DagC3},
+			{From: DagC2, To: DagC4},
+			{From: DagC3, To: DagC5},
+			{From: DagC4, To: DagC5},
+		},
+		[]string{"Qv", "Qw"})
+}
+
+// DagBinding binds each component's resource to its own concrete
+// per-component resource.
+func DagBinding() svc.Binding {
+	b := svc.Binding{}
+	for _, c := range []svc.ComponentID{DagC1, DagC2, DagC3, DagC4, DagC5} {
+		b[c] = map[string]string{dagRes: "r@" + string(c)}
+	}
+	return b
+}
+
+// DagSnapshot is the canonical unit-availability snapshot under which
+// translation weights equal requirement values.
+func DagSnapshot() *broker.Snapshot {
+	avail := qos.ResourceVector{}
+	alpha := map[string]float64{}
+	for _, c := range []svc.ComponentID{DagC1, DagC2, DagC3, DagC4, DagC5} {
+		avail["r@"+string(c)] = 1
+		alpha["r@"+string(c)] = 1
+	}
+	return &broker.Snapshot{At: 0, Avail: avail, Alpha: alpha}
+}

@@ -1,0 +1,173 @@
+package workload
+
+import (
+	"qosres/internal/broker"
+	"qosres/internal/qos"
+	"qosres/internal/svc"
+)
+
+// This file reconstructs the running example of sections 2 and 4.1: the
+// distributed "Video Streaming + Tracking" service of figure 1 whose QRG
+// (figures 4-5) illustrates the basic algorithm. The requirement values
+// are chosen so that, against the canonical availability snapshot below,
+// the QRG reproduces the paper's narrative: the top-ranked end-to-end
+// level is infeasible, the algorithm settles on the second level at
+// bottleneck contention 0.16, and the predecessor tie-break rule of
+// section 4.1.2 fires on the way.
+
+// Video service component IDs (figure 1).
+const (
+	CompVideoSender   svc.ComponentID = "VideoSender"
+	CompObjectTracker svc.ComponentID = "ObjectTracker"
+	CompVideoPlayer   svc.ComponentID = "VideoPlayer"
+)
+
+// Video service abstract resource names.
+const (
+	ResDisk = "disk"
+)
+
+// Concrete resource IDs of the canonical video-example environment.
+const (
+	VideoResServerCPU  = "cpu@videoserver"
+	VideoResServerDisk = "disk@videoserver"
+	VideoResProxyCPU   = "cpu@trackingproxy"
+	VideoResNetSP      = "net:videoserver->trackingproxy"
+	VideoResClientCPU  = "cpu@client"
+	VideoResNetPC      = "net:trackingproxy->client"
+)
+
+// VideoAvail is the per-resource availability of the canonical snapshot.
+const VideoAvail = 100.0
+
+// videoReq builds a requirement whose dominant resource yields the given
+// contention weight against VideoAvail, with the secondary resource at
+// half that load.
+func videoReq(primary, secondary string, weight float64) qos.ResourceVector {
+	return qos.ResourceVector{
+		primary:   weight * VideoAvail,
+		secondary: weight * VideoAvail / 2,
+	}
+}
+
+// VideoService builds the Video Streaming + Tracking service:
+// VideoSender -> ObjectTracker -> VideoPlayer, with QoS parameters
+// following section 2.2 (frame rate, image size, trackable objects,
+// buffering delay) and six end-to-end levels ranked
+// Qn > Qo > Qp > Qq > Qs > Qr as in the figure-5 example.
+func VideoService() *svc.Service {
+	// Stream qualities [Frame_Rate, Image_Size].
+	qa := v(qos.P("Frame_Rate", 30), qos.P("Image_Size", 4))
+	qb := v(qos.P("Frame_Rate", 30), qos.P("Image_Size", 4))
+	qc := v(qos.P("Frame_Rate", 25), qos.P("Image_Size", 3))
+	qd := v(qos.P("Frame_Rate", 20), qos.P("Image_Size", 2))
+	// Tracked streams [Frame_Rate, Image_Size, Objects].
+	qh := v(qos.P("Frame_Rate", 30), qos.P("Image_Size", 4), qos.P("Objects", 3))
+	qi := v(qos.P("Frame_Rate", 25), qos.P("Image_Size", 3), qos.P("Objects", 2))
+	qj := v(qos.P("Frame_Rate", 20), qos.P("Image_Size", 2), qos.P("Objects", 1))
+	// End-to-end levels [Frame_Rate, Image_Size, Objects, Buffering_Delay].
+	e2e := func(rate, size, objects, delay float64) qos.Vector {
+		return v(qos.P("Frame_Rate", rate), qos.P("Image_Size", size),
+			qos.P("Objects", objects), qos.P("Buffering_Delay", delay))
+	}
+
+	sender := &svc.Component{
+		ID:  CompVideoSender,
+		In:  []svc.Level{{Name: "Qa", Vector: qa}},
+		Out: []svc.Level{{Name: "Qb", Vector: qb}, {Name: "Qc", Vector: qc}, {Name: "Qd", Vector: qd}},
+		Translate: svc.TranslationTable{
+			"Qa": {
+				"Qb": videoReq(ResCPU, ResDisk, 0.20),
+				"Qc": videoReq(ResCPU, ResDisk, 0.10),
+				"Qd": videoReq(ResDisk, ResCPU, 0.10),
+			},
+		}.Func(),
+		Resources: []string{ResCPU, ResDisk},
+	}
+	tracker := &svc.Component{
+		ID:  CompObjectTracker,
+		In:  []svc.Level{{Name: "Qe", Vector: qb}, {Name: "Qf", Vector: qc}, {Name: "Qg", Vector: qd}},
+		Out: []svc.Level{{Name: "Qh", Vector: qh}, {Name: "Qi", Vector: qi}, {Name: "Qj", Vector: qj}},
+		Translate: svc.TranslationTable{
+			"Qe": {"Qh": videoReq(ResNet, ResCPU, 0.12)},
+			"Qf": {
+				// Scaling the image up from the mid-quality input costs
+				// extra tracking-proxy CPU (the figure-4 note).
+				"Qh": videoReq(ResCPU, ResNet, 0.16),
+				"Qi": videoReq(ResCPU, ResNet, 0.15),
+			},
+			"Qg": {
+				"Qi": videoReq(ResCPU, ResNet, 0.12),
+				"Qj": videoReq(ResNet, ResCPU, 0.08),
+			},
+		}.Func(),
+		Resources: []string{ResCPU, ResNet},
+	}
+	player := &svc.Component{
+		ID: CompVideoPlayer,
+		In: []svc.Level{{Name: "Qk", Vector: qh}, {Name: "Ql", Vector: qi}, {Name: "Qm", Vector: qj}},
+		Out: []svc.Level{
+			{Name: "Qn", Vector: e2e(30, 4, 3, 1)},
+			{Name: "Qo", Vector: e2e(30, 4, 3, 2)},
+			{Name: "Qp", Vector: e2e(25, 3, 2, 2)},
+			{Name: "Qq", Vector: e2e(25, 3, 2, 3)},
+			{Name: "Qs", Vector: e2e(20, 2, 1, 3)},
+			{Name: "Qr", Vector: e2e(20, 2, 1, 5)},
+		},
+		Translate: svc.TranslationTable{
+			"Qk": {
+				// Qn needs more client CPU than the snapshot offers: the
+				// top end-to-end level is infeasible, exactly as in
+				// figure 5 (value Inf).
+				"Qn": qos.ResourceVector{ResCPU: 1.2 * VideoAvail, ResNet: 0.1 * VideoAvail},
+				"Qo": videoReq(ResNet, ResCPU, 0.14),
+			},
+			"Ql": {
+				"Qn": qos.ResourceVector{ResCPU: 1.5 * VideoAvail, ResNet: 0.1 * VideoAvail},
+				"Qo": videoReq(ResCPU, ResNet, 0.16),
+				"Qp": videoReq(ResNet, ResCPU, 0.15),
+				"Qr": videoReq(ResNet, ResCPU, 0.12),
+			},
+			"Qm": {
+				"Qq": videoReq(ResNet, ResCPU, 0.13),
+				"Qs": videoReq(ResNet, ResCPU, 0.08),
+			},
+		}.Func(),
+		Resources: []string{ResCPU, ResNet},
+	}
+	return svc.MustService("VideoStreamingTracking",
+		[]*svc.Component{sender, tracker, player},
+		[]svc.Edge{
+			{From: CompVideoSender, To: CompObjectTracker},
+			{From: CompObjectTracker, To: CompVideoPlayer},
+		},
+		[]string{"Qn", "Qo", "Qp", "Qq", "Qs", "Qr"})
+}
+
+// VideoBinding is the canonical binding of the video service onto the
+// example environment of figure 1: the sender on the video server, the
+// tracker on the tracking proxy (pulling the stream over the
+// server->proxy network resource), the player on the client.
+func VideoBinding() svc.Binding {
+	return svc.Binding{
+		CompVideoSender:   {ResCPU: VideoResServerCPU, ResDisk: VideoResServerDisk},
+		CompObjectTracker: {ResCPU: VideoResProxyCPU, ResNet: VideoResNetSP},
+		CompVideoPlayer:   {ResCPU: VideoResClientCPU, ResNet: VideoResNetPC},
+	}
+}
+
+// VideoSnapshot is the canonical availability snapshot (100 units of
+// every resource, no availability trend) that makes the video QRG match
+// the figure-5 weights.
+func VideoSnapshot() *broker.Snapshot {
+	avail := qos.ResourceVector{}
+	alpha := map[string]float64{}
+	for _, r := range []string{
+		VideoResServerCPU, VideoResServerDisk, VideoResProxyCPU,
+		VideoResNetSP, VideoResClientCPU, VideoResNetPC,
+	} {
+		avail[r] = VideoAvail
+		alpha[r] = 1
+	}
+	return &broker.Snapshot{At: 0, Avail: avail, Alpha: alpha}
+}

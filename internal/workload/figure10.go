@@ -1,0 +1,316 @@
+// Package workload defines the distributed services of the paper's
+// performance study (section 5.1) plus the illustrative services of
+// sections 2 and 4.3.2. Each of the four deployed services S1-S4 is a
+// chain of three components cS -> cP -> cC; services S1 and S4 use the
+// QoS-level/requirement tables of figure 10(a), S2 and S3 those of
+// figure 10(b).
+//
+// The figure bodies did not survive text extraction of the paper, so the
+// level lattices are reconstructed exactly from the path enumerations of
+// Tables 1-2 (which name every node and edge on the selected paths), and
+// the numeric requirement values are chosen to honor the properties the
+// paper states: higher output levels cost more, reaching a given output
+// level from a lower input level costs more local computation (the
+// "intrapolation" note of figure 4), and requirement diversity across
+// edges creates the resource trade-off options that drive the algorithm
+// (section 5.2.5). See DESIGN.md for the substitution note.
+package workload
+
+import (
+	"qosres/internal/qos"
+	"qosres/internal/svc"
+)
+
+// Component IDs shared by every service chain of the performance study.
+const (
+	CompServer svc.ComponentID = "cS"
+	CompProxy  svc.ComponentID = "cP"
+	CompClient svc.ComponentID = "cC"
+)
+
+// Abstract resource names used by the components: cS requires the
+// server's local resource hS; cP requires the proxy's local resource hP
+// and the server->proxy network resource lPS; cC requires the
+// proxy->client network resource lCP.
+const (
+	ResCPU = "cpu"
+	ResNet = "net"
+)
+
+// Family selects which figure-10 table a service uses.
+type Family int
+
+const (
+	// FamilyA is figure 10(a), used by services S1 and S4.
+	FamilyA Family = iota
+	// FamilyB is figure 10(b), used by services S2 and S3.
+	FamilyB
+)
+
+// String names the family.
+func (f Family) String() string {
+	if f == FamilyA {
+		return "fig10a"
+	}
+	return "fig10b"
+}
+
+// FamilyOf returns the table family of service Si per section 5.1.
+func FamilyOf(serviceIndex int) Family {
+	switch serviceIndex {
+	case 1, 4:
+		return FamilyA
+	default:
+		return FamilyB
+	}
+}
+
+// v is a terse vector literal helper.
+func v(ps ...qos.Param) qos.Vector { return qos.MustVector(ps...) }
+
+func rr(cpu, net float64) qos.ResourceVector {
+	out := qos.ResourceVector{}
+	if cpu > 0 {
+		out[ResCPU] = cpu
+	}
+	if net > 0 {
+		out[ResNet] = net
+	}
+	return out
+}
+
+// --- Figure 10(a): services S1, S4 -----------------------------------
+//
+// Level lattice (from Table 1):
+//
+//	cS:  Qa -> {Qb, Qc, Qd}
+//	cP:  {Qe,Qf,Qg} (== Qb,Qc,Qd) -> {Qh, Qi, Qj, Qk}
+//	cC:  {Ql,Qm,Qn,Qo} (== Qh,Qi,Qj,Qk) -> {Qp > Qq > Qr}
+
+// levelsA returns the level definitions of figure 10(a). QoS vectors only
+// need to make equivalent levels equal; their parameter values are
+// nominal (frame rate, image size, trackable objects, buffering delay).
+func levelsA() (src svc.Level, sOut, pIn, pOut, cIn, cOut []svc.Level) {
+	// Stream qualities produced by the server.
+	qb := v(qos.P("rate", 30), qos.P("size", 4))
+	qc := v(qos.P("rate", 25), qos.P("size", 3))
+	qd := v(qos.P("rate", 20), qos.P("size", 2))
+	// Proxy outputs add the number of trackable objects.
+	qh := v(qos.P("rate", 30), qos.P("size", 4), qos.P("objects", 3))
+	qi := v(qos.P("rate", 25), qos.P("size", 3), qos.P("objects", 3))
+	qj := v(qos.P("rate", 20), qos.P("size", 2), qos.P("objects", 2))
+	qk := v(qos.P("rate", 15), qos.P("size", 2), qos.P("objects", 1))
+	// End-to-end levels add the buffering delay.
+	qp := v(qos.P("rate", 25), qos.P("size", 3), qos.P("objects", 3), qos.P("delay", 2))
+	qq := v(qos.P("rate", 20), qos.P("size", 2), qos.P("objects", 2), qos.P("delay", 3))
+	qr := v(qos.P("rate", 15), qos.P("size", 1), qos.P("objects", 1), qos.P("delay", 5))
+
+	src = svc.Level{Name: "Qa", Vector: v(qos.P("rate", 30), qos.P("size", 4))}
+	sOut = []svc.Level{{Name: "Qb", Vector: qb}, {Name: "Qc", Vector: qc}, {Name: "Qd", Vector: qd}}
+	pIn = []svc.Level{{Name: "Qe", Vector: qb}, {Name: "Qf", Vector: qc}, {Name: "Qg", Vector: qd}}
+	pOut = []svc.Level{{Name: "Qh", Vector: qh}, {Name: "Qi", Vector: qi}, {Name: "Qj", Vector: qj}, {Name: "Qk", Vector: qk}}
+	cIn = []svc.Level{{Name: "Ql", Vector: qh}, {Name: "Qm", Vector: qi}, {Name: "Qn", Vector: qj}, {Name: "Qo", Vector: qk}}
+	cOut = []svc.Level{{Name: "Qp", Vector: qp}, {Name: "Qq", Vector: qq}, {Name: "Qr", Vector: qr}}
+	return
+}
+
+// TablesA returns the base translation tables of figure 10(a), one per
+// component. Callers receive fresh copies safe to scale or compress.
+//
+// The values encode the location trade-off that makes contention
+// awareness matter: a path through a high-quality intermediate stream
+// loads the server CPU and the server->proxy link but needs little proxy
+// CPU (no upscaling) and little proxy->client bandwidth; a path through
+// a low-quality intermediate is cheap upstream but pays upscaling CPU at
+// the proxy and correction bandwidth on the proxy->client link. Every
+// source-to-sink path is therefore Pareto-optimal under some
+// availability profile, which is what lets the algorithm spread load
+// (Table 1) as resources take turns being the bottleneck.
+func TablesA() (server, proxy, client svc.TranslationTable) {
+	server = svc.TranslationTable{
+		"Qa": {
+			"Qb": rr(12, 0),
+			"Qc": rr(6, 0),
+			"Qd": rr(2, 0),
+		},
+	}
+	proxy = svc.TranslationTable{
+		// High-quality input: the stream from the server is large (high
+		// lPS bandwidth) but tracking needs no upscaling CPU.
+		"Qe": {
+			"Qh": rr(3, 12),
+			"Qi": rr(2.5, 12),
+		},
+		// Mid-quality input: moderate bandwidth; reaching the top output
+		// requires the hypothetical image intrapolation, at high CPU.
+		"Qf": {
+			"Qh": rr(14, 7),
+			"Qi": rr(5, 7),
+			"Qj": rr(3, 7),
+			"Qk": rr(2.5, 7),
+		},
+		// Low-quality input: small stream; upscaling to mid outputs
+		// costs CPU.
+		"Qg": {
+			"Qj": rr(9, 3),
+			"Qk": rr(4, 3),
+		},
+	}
+	client = svc.TranslationTable{
+		// Delivering a given end-to-end level from a lower-quality
+		// intermediate stream costs extra proxy->client bandwidth
+		// (interpolation/correction data), so netPC pulls against the
+		// upstream savings.
+		"Ql": {"Qp": rr(0, 8)},
+		"Qm": {"Qp": rr(0, 11), "Qq": rr(0, 6)},
+		"Qn": {"Qp": rr(0, 15), "Qq": rr(0, 7.5), "Qr": rr(0, 5)},
+		"Qo": {"Qq": rr(0, 9), "Qr": rr(0, 4)},
+	}
+	return
+}
+
+// RankingA orders the end-to-end levels of figure 10(a) best-first:
+// Qp > Qq > Qr (levels 3, 2, 1).
+func RankingA() []string { return []string{"Qp", "Qq", "Qr"} }
+
+// --- Figure 10(b): services S2, S3 -----------------------------------
+//
+// Level lattice (from Table 2):
+//
+//	cS:  Qa -> {Qb, Qc}
+//	cP:  {Qd,Qe} (== Qb,Qc) -> {Qf, Qg, Qh}
+//	cC:  {Qi,Qj,Qk} (== Qf,Qg,Qh) -> {Ql > Qm > Qn}
+
+func levelsB() (src svc.Level, sOut, pIn, pOut, cIn, cOut []svc.Level) {
+	qb := v(qos.P("rate", 30), qos.P("size", 4))
+	qc := v(qos.P("rate", 20), qos.P("size", 2))
+	qf := v(qos.P("rate", 30), qos.P("size", 4), qos.P("objects", 3))
+	qg := v(qos.P("rate", 25), qos.P("size", 3), qos.P("objects", 2))
+	qh := v(qos.P("rate", 20), qos.P("size", 2), qos.P("objects", 1))
+	ql := v(qos.P("rate", 30), qos.P("size", 4), qos.P("objects", 3), qos.P("delay", 2))
+	qm := v(qos.P("rate", 25), qos.P("size", 3), qos.P("objects", 2), qos.P("delay", 3))
+	qn := v(qos.P("rate", 20), qos.P("size", 2), qos.P("objects", 1), qos.P("delay", 5))
+
+	src = svc.Level{Name: "Qa", Vector: v(qos.P("rate", 30), qos.P("size", 4))}
+	sOut = []svc.Level{{Name: "Qb", Vector: qb}, {Name: "Qc", Vector: qc}}
+	pIn = []svc.Level{{Name: "Qd", Vector: qb}, {Name: "Qe", Vector: qc}}
+	pOut = []svc.Level{{Name: "Qf", Vector: qf}, {Name: "Qg", Vector: qg}, {Name: "Qh", Vector: qh}}
+	cIn = []svc.Level{{Name: "Qi", Vector: qf}, {Name: "Qj", Vector: qg}, {Name: "Qk", Vector: qh}}
+	cOut = []svc.Level{{Name: "Ql", Vector: ql}, {Name: "Qm", Vector: qm}, {Name: "Qn", Vector: qn}}
+	return
+}
+
+// TablesB returns the base translation tables of figure 10(b), built on
+// the same location trade-off as TablesA.
+func TablesB() (server, proxy, client svc.TranslationTable) {
+	server = svc.TranslationTable{
+		"Qa": {
+			"Qb": rr(10, 0),
+			"Qc": rr(3, 0),
+		},
+	}
+	proxy = svc.TranslationTable{
+		"Qd": {
+			"Qf": rr(3, 11),
+			"Qg": rr(2.5, 11),
+			"Qh": rr(2, 11),
+		},
+		"Qe": {
+			"Qf": rr(13, 4),
+			"Qg": rr(7, 4),
+			"Qh": rr(3, 4),
+		},
+	}
+	client = svc.TranslationTable{
+		"Qi": {"Ql": rr(0, 7), "Qm": rr(0, 5)},
+		"Qj": {"Ql": rr(0, 10), "Qm": rr(0, 6), "Qn": rr(0, 4)},
+		"Qk": {"Ql": rr(0, 14), "Qm": rr(0, 8), "Qn": rr(0, 4.5)},
+	}
+	return
+}
+
+// RankingB orders the end-to-end levels of figure 10(b) best-first:
+// Ql > Qm > Qn (levels 3, 2, 1).
+func RankingB() []string { return []string{"Ql", "Qm", "Qn"} }
+
+// Options configure service construction.
+type Options struct {
+	// BaseScale multiplies every requirement in the tables, calibrating
+	// overall load against the environment's capacities. <=0 means 1.
+	BaseScale float64
+	// DiversityRatio, when > 0, compresses each component's per-resource
+	// requirement spread to at most this max:min ratio while preserving
+	// the average, reproducing the "less diversified" setting of
+	// figure 13 (the paper uses 3).
+	DiversityRatio float64
+}
+
+func (o Options) apply(t svc.TranslationTable) svc.TranslationTable {
+	out := t
+	if o.DiversityRatio > 0 {
+		out = CompressDiversity(out, o.DiversityRatio)
+	}
+	if o.BaseScale > 0 && o.BaseScale != 1 {
+		out = out.Scale(o.BaseScale)
+	}
+	return out
+}
+
+// Chain builds the three-component chain service of the performance
+// study for the given family, applying the options to its tables.
+func Chain(name string, f Family, opts Options) *svc.Service {
+	var (
+		src                        svc.Level
+		sOut, pIn, pOut, cIn, cOut []svc.Level
+		ts, tp, tc                 svc.TranslationTable
+		ranking                    []string
+	)
+	if f == FamilyA {
+		src, sOut, pIn, pOut, cIn, cOut = levelsA()
+		ts, tp, tc = TablesA()
+		ranking = RankingA()
+	} else {
+		src, sOut, pIn, pOut, cIn, cOut = levelsB()
+		ts, tp, tc = TablesB()
+		ranking = RankingB()
+	}
+	ts, tp, tc = opts.apply(ts), opts.apply(tp), opts.apply(tc)
+
+	server := &svc.Component{
+		ID:        CompServer,
+		In:        []svc.Level{src},
+		Out:       sOut,
+		Translate: ts.Func(),
+		Resources: []string{ResCPU},
+	}
+	proxy := &svc.Component{
+		ID:        CompProxy,
+		In:        pIn,
+		Out:       pOut,
+		Translate: tp.Func(),
+		Resources: []string{ResCPU, ResNet},
+	}
+	client := &svc.Component{
+		ID:        CompClient,
+		In:        cIn,
+		Out:       cOut,
+		Translate: tc.Func(),
+		Resources: []string{ResNet},
+	}
+	return svc.MustService(name, []*svc.Component{server, proxy, client}, []svc.Edge{
+		{From: CompServer, To: CompProxy},
+		{From: CompProxy, To: CompClient},
+	}, ranking)
+}
+
+// Services builds the four deployed services S1-S4 of figure 9, indexed
+// 1..4.
+func Services(opts Options) map[int]*svc.Service {
+	out := make(map[int]*svc.Service, 4)
+	for i := 1; i <= 4; i++ {
+		out[i] = Chain(serviceName(i), FamilyOf(i), opts)
+	}
+	return out
+}
+
+func serviceName(i int) string { return "S" + string(rune('0'+i)) }

@@ -1,0 +1,83 @@
+package workload
+
+import (
+	"fmt"
+
+	"qosres/internal/broker"
+	"qosres/internal/qos"
+	"qosres/internal/svc"
+)
+
+// SyntheticChain builds a dense chain service with k components and q
+// QoS levels per component side, every (Qin, Qout) pair supported: the
+// worst case for the runtime algorithm's O(K·Q²) complexity claim
+// (section 4.2). Requirements grow with the output level index so all
+// edges are feasible against the companion snapshot and weights vary.
+func SyntheticChain(k, q int) (*svc.Service, svc.Binding, *broker.Snapshot) {
+	if k < 1 || q < 1 {
+		panic(fmt.Sprintf("workload: SyntheticChain(%d, %d) out of range", k, q))
+	}
+	var comps []*svc.Component
+	var edges []svc.Edge
+	binding := svc.Binding{}
+	avail := qos.ResourceVector{}
+	alpha := map[string]float64{}
+
+	mkLevels := func(comp int, side string, base int) []svc.Level {
+		out := make([]svc.Level, q)
+		for i := range out {
+			out[i] = svc.Level{
+				Name:   fmt.Sprintf("c%d%s%d", comp, side, i),
+				Vector: qos.MustVector(qos.P("q", float64(base+i))),
+			}
+		}
+		return out
+	}
+
+	for c := 0; c < k; c++ {
+		id := svc.ComponentID(fmt.Sprintf("c%d", c))
+		var in []svc.Level
+		if c == 0 {
+			in = []svc.Level{{Name: "src", Vector: qos.MustVector(qos.P("q", -1))}}
+		} else {
+			// Input levels share the upstream output vectors.
+			in = make([]svc.Level, q)
+			for i := range in {
+				in[i] = svc.Level{
+					Name:   fmt.Sprintf("c%din%d", c, i),
+					Vector: qos.MustVector(qos.P("q", float64((c-1)*1000+i))),
+				}
+			}
+		}
+		out := mkLevels(c, "out", c*1000)
+		table := svc.TranslationTable{}
+		for ii, lin := range in {
+			row := map[string]qos.ResourceVector{}
+			for oi, lout := range out {
+				// Vary requirements so edge weights differ; keep all
+				// feasible against availability 1000.
+				row[lout.Name] = qos.ResourceVector{"r": float64(1 + (ii*7+oi*13)%97)}
+			}
+			table[lin.Name] = row
+		}
+		comps = append(comps, &svc.Component{
+			ID: id, In: in, Out: out,
+			Translate: table.Func(),
+			Resources: []string{"r"},
+		})
+		if c > 0 {
+			edges = append(edges, svc.Edge{From: svc.ComponentID(fmt.Sprintf("c%d", c-1)), To: id})
+		}
+		res := fmt.Sprintf("r%d", c)
+		binding[id] = map[string]string{"r": res}
+		avail[res] = 1000
+		alpha[res] = 1
+	}
+
+	ranking := make([]string, q)
+	for i := 0; i < q; i++ {
+		ranking[i] = fmt.Sprintf("c%dout%d", k-1, q-1-i)
+	}
+	service := svc.MustService(fmt.Sprintf("synthetic-k%d-q%d", k, q), comps, edges, ranking)
+	return service, binding, &broker.Snapshot{Avail: avail, Alpha: alpha}
+}

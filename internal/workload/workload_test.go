@@ -1,0 +1,304 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"qosres/internal/qos"
+	"qosres/internal/svc"
+)
+
+func TestFamilyOf(t *testing.T) {
+	if FamilyOf(1) != FamilyA || FamilyOf(4) != FamilyA {
+		t.Fatal("S1/S4 must use figure 10(a)")
+	}
+	if FamilyOf(2) != FamilyB || FamilyOf(3) != FamilyB {
+		t.Fatal("S2/S3 must use figure 10(b)")
+	}
+	if FamilyA.String() != "fig10a" || FamilyB.String() != "fig10b" {
+		t.Fatal("family names wrong")
+	}
+}
+
+func TestChainServicesValidate(t *testing.T) {
+	for i := 1; i <= 4; i++ {
+		s := Chain("S", FamilyOf(i), Options{})
+		if err := s.Validate(); err != nil {
+			t.Fatalf("S%d: %v", i, err)
+		}
+		if !s.IsChain() {
+			t.Fatalf("S%d not a chain", i)
+		}
+		if len(s.EndToEndRanking) != 3 {
+			t.Fatalf("S%d ranking = %v", i, s.EndToEndRanking)
+		}
+	}
+}
+
+func TestServicesBuildsAllFour(t *testing.T) {
+	ss := Services(Options{BaseScale: 2})
+	if len(ss) != 4 {
+		t.Fatalf("services = %d", len(ss))
+	}
+	for i := 1; i <= 4; i++ {
+		if ss[i] == nil || ss[i].Name != "S"+string(rune('0'+i)) {
+			t.Fatalf("service %d = %+v", i, ss[i])
+		}
+	}
+}
+
+// tableEntries flattens a table into (in, out, resource, value) tuples.
+func tableEntries(tb svc.TranslationTable) map[[3]string]float64 {
+	out := map[[3]string]float64{}
+	for in, row := range tb {
+		for o, req := range row {
+			for r, v := range req {
+				out[[3]string{in, o, r}] = v
+			}
+		}
+	}
+	return out
+}
+
+func TestTablesAMatchTable1Paths(t *testing.T) {
+	// Every (proxy, client) edge named in the paper's Table 1 paths must
+	// exist in the reconstructed figure 10(a).
+	_, proxy, client := TablesA()
+	proxyPairs := [][2]string{
+		{"Qe", "Qh"}, {"Qf", "Qh"}, {"Qe", "Qi"}, {"Qf", "Qi"},
+		{"Qf", "Qj"}, {"Qg", "Qj"}, {"Qf", "Qk"}, {"Qg", "Qk"},
+	}
+	for _, p := range proxyPairs {
+		if _, ok := proxy[p[0]][p[1]]; !ok {
+			t.Errorf("figure 10(a) proxy edge %s->%s missing", p[0], p[1])
+		}
+	}
+	clientPairs := [][2]string{
+		{"Ql", "Qp"}, {"Qm", "Qp"}, {"Qn", "Qp"},
+		{"Qm", "Qq"}, {"Qn", "Qq"}, {"Qo", "Qq"},
+	}
+	for _, p := range clientPairs {
+		if _, ok := client[p[0]][p[1]]; !ok {
+			t.Errorf("figure 10(a) client edge %s->%s missing", p[0], p[1])
+		}
+	}
+}
+
+func TestTablesBMatchTable2Paths(t *testing.T) {
+	server, proxy, client := TablesB()
+	if _, ok := server["Qa"]["Qb"]; !ok {
+		t.Error("Qa->Qb missing")
+	}
+	if _, ok := server["Qa"]["Qc"]; !ok {
+		t.Error("Qa->Qc missing")
+	}
+	for _, in := range []string{"Qd", "Qe"} {
+		for _, out := range []string{"Qf", "Qg", "Qh"} {
+			if _, ok := proxy[in][out]; !ok {
+				t.Errorf("figure 10(b) proxy edge %s->%s missing", in, out)
+			}
+		}
+	}
+	for _, in := range []string{"Qi", "Qj", "Qk"} {
+		if _, ok := client[in]["Ql"]; !ok {
+			t.Errorf("client edge %s->Ql missing", in)
+		}
+		if _, ok := client[in]["Qm"]; !ok {
+			t.Errorf("client edge %s->Qm missing", in)
+		}
+	}
+}
+
+func TestOptionsScale(t *testing.T) {
+	base := Chain("S", FamilyA, Options{})
+	scaled := Chain("S", FamilyA, Options{BaseScale: 3})
+	in, _ := base.Components[CompServer].InLevel("Qa")
+	outB, _ := base.Components[CompServer].OutLevel("Qb")
+	rb, ok := base.Components[CompServer].Translate(in, outB)
+	if !ok {
+		t.Fatal("base translate failed")
+	}
+	rs, ok := scaled.Components[CompServer].Translate(in, outB)
+	if !ok {
+		t.Fatal("scaled translate failed")
+	}
+	if math.Abs(rs[ResCPU]-3*rb[ResCPU]) > 1e-12 {
+		t.Fatalf("scale: %v vs %v", rs[ResCPU], rb[ResCPU])
+	}
+}
+
+func TestCompressDiversityPreservesMeanAndLimitsRatio(t *testing.T) {
+	_, proxy, _ := TablesA()
+	compressed := CompressDiversity(proxy, 3)
+
+	for _, resource := range []string{ResCPU, ResNet} {
+		var baseVals, compVals []float64
+		be := tableEntries(proxy)
+		ce := tableEntries(compressed)
+		for k, v := range be {
+			if k[2] != resource {
+				continue
+			}
+			baseVals = append(baseVals, v)
+			compVals = append(compVals, ce[k])
+		}
+		if len(baseVals) == 0 {
+			t.Fatalf("no %s entries", resource)
+		}
+		mean := func(xs []float64) float64 {
+			s := 0.0
+			for _, x := range xs {
+				s += x
+			}
+			return s / float64(len(xs))
+		}
+		if math.Abs(mean(baseVals)-mean(compVals)) > 1e-9 {
+			t.Errorf("%s mean changed: %v -> %v", resource, mean(baseVals), mean(compVals))
+		}
+		min, max := compVals[0], compVals[0]
+		for _, v := range compVals {
+			if v < min {
+				min = v
+			}
+			if v > max {
+				max = v
+			}
+		}
+		if min <= 0 {
+			t.Errorf("%s compressed to non-positive value %v", resource, min)
+		}
+		if max/min > 3+1e-9 {
+			t.Errorf("%s ratio = %v, want <= 3", resource, max/min)
+		}
+	}
+}
+
+func TestCompressDiversityKeepsOrder(t *testing.T) {
+	_, proxy, _ := TablesA()
+	compressed := CompressDiversity(proxy, 3)
+	be := tableEntries(proxy)
+	ce := tableEntries(compressed)
+	for k1, v1 := range be {
+		for k2, v2 := range be {
+			if k1[2] != k2[2] {
+				continue
+			}
+			if v1 < v2 && ce[k1] > ce[k2]+1e-12 {
+				t.Fatalf("order violated: %v vs %v", k1, k2)
+			}
+		}
+	}
+}
+
+func TestCompressDiversityNoOpWhenWithinRatio(t *testing.T) {
+	tb := svc.TranslationTable{
+		"a": {"b": qos.ResourceVector{"r": 2}, "c": qos.ResourceVector{"r": 4}},
+	}
+	out := CompressDiversity(tb, 3)
+	if out["a"]["b"]["r"] != 2 || out["a"]["c"]["r"] != 4 {
+		t.Fatalf("within-ratio table changed: %v", out)
+	}
+	// ratio <= 0 clones.
+	cl := CompressDiversity(tb, 0)
+	cl["a"]["b"]["r"] = 99
+	if tb["a"]["b"]["r"] != 2 {
+		t.Fatal("CompressDiversity(0) aliased the input")
+	}
+}
+
+func TestVideoServiceStructure(t *testing.T) {
+	s := VideoService()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !s.IsChain() {
+		t.Fatal("video service must be a chain")
+	}
+	if len(s.EndToEndRanking) != 6 {
+		t.Fatalf("ranking = %v", s.EndToEndRanking)
+	}
+	if s.RankOf("Qn") != 6 || s.RankOf("Qr") != 1 {
+		t.Fatal("video ranking wrong")
+	}
+	b := VideoBinding()
+	for _, cid := range s.ComponentIDs() {
+		comp := s.Components[cid]
+		for _, r := range comp.Resources {
+			if _, ok := b[cid][r]; !ok {
+				t.Errorf("binding missing %s/%s", cid, r)
+			}
+		}
+	}
+	snap := VideoSnapshot()
+	if len(snap.Avail) != 6 {
+		t.Fatalf("snapshot resources = %d", len(snap.Avail))
+	}
+}
+
+func TestDagServiceStructure(t *testing.T) {
+	s := DagService()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.IsChain() {
+		t.Fatal("dag service must not be a chain")
+	}
+	if !s.FanOut(DagC2) {
+		t.Fatal("c2 must fan out")
+	}
+	if !s.FanIn(DagC5) {
+		t.Fatal("c5 must fan in")
+	}
+	snap := DagSnapshot()
+	if len(snap.Avail) != 5 {
+		t.Fatalf("snapshot resources = %d", len(snap.Avail))
+	}
+	b := DagBinding()
+	if b[DagC3]["r"] != "r@c3" {
+		t.Fatalf("binding = %v", b)
+	}
+}
+
+func TestIntrapolationCostsMore(t *testing.T) {
+	// The figure-4 property: reaching the same Qout from a lower Qin
+	// costs more proxy CPU (image intrapolation).
+	_, proxy, _ := TablesA()
+	if proxy["Qf"]["Qh"][ResCPU] <= proxy["Qe"]["Qh"][ResCPU] {
+		t.Fatal("upscaling Qf->Qh must cost more CPU than Qe->Qh")
+	}
+	if proxy["Qg"]["Qj"][ResCPU] <= proxy["Qf"]["Qj"][ResCPU] {
+		t.Fatal("upscaling Qg->Qj must cost more CPU than Qf->Qj")
+	}
+}
+
+func TestHigherQualityInputCostsMoreBandwidth(t *testing.T) {
+	_, proxy, _ := TablesA()
+	if proxy["Qe"]["Qh"][ResNet] <= proxy["Qf"]["Qh"][ResNet] {
+		t.Fatal("higher-quality input stream must need more server->proxy bandwidth")
+	}
+	if proxy["Qf"]["Qj"][ResNet] <= proxy["Qg"]["Qj"][ResNet] {
+		t.Fatal("mid-quality input stream must need more bandwidth than low")
+	}
+}
+
+func TestSyntheticChainShape(t *testing.T) {
+	service, binding, snap := SyntheticChain(3, 8)
+	if err := service.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !service.IsChain() || len(service.Components) != 3 {
+		t.Fatal("synthetic service malformed")
+	}
+	if len(service.EndToEndRanking) != 8 {
+		t.Fatalf("ranking = %d levels", len(service.EndToEndRanking))
+	}
+	if len(binding) != 3 || len(snap.Avail) != 3 {
+		t.Fatalf("binding/snapshot sizes = %d/%d", len(binding), len(snap.Avail))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for invalid sizes")
+		}
+	}()
+	SyntheticChain(0, 5)
+}
