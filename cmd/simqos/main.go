@@ -1,22 +1,36 @@
 // Command simqos runs one simulation of the paper's reservation-enabled
 // environment and prints the key metrics: overall reservation success
-// rate, average end-to-end QoS level, the per-class breakdown, and the
-// selected-path histograms.
+// rate, average end-to-end QoS level, the per-class breakdown, the
+// selected-path histograms, and the planner stage-latency percentiles.
 //
 // Usage:
 //
 //	simqos -alg basic -rate 100 -seed 1 [-duration 10800] [-stale 0]
 //	       [-scale 4] [-diversity 0]
+//	       [-metrics :9090] [-hold] [-trace run.jsonl] [-spans]
+//
+// With -metrics the process serves a live exposition endpoint while the
+// simulation runs (and, with -hold, after it finishes):
+//
+//	/metrics        Prometheus text format 0.0.4
+//	/snapshot       the same registry as indented JSON
+//	/debug/pprof/   the standard net/http/pprof handlers
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
+	"os/signal"
+	"sort"
 
 	"qosres/internal/broker"
+	"qosres/internal/obs"
 	"qosres/internal/sim"
 	"qosres/internal/stats"
+	"qosres/internal/trace"
 )
 
 func main() {
@@ -32,6 +46,10 @@ func main() {
 		contention = flag.String("contention", "ratio", "contention index: ratio, headroom, or log")
 		useRuntime = flag.Bool("runtime", false, "route sessions through the QoSProxy runtime architecture")
 		timeline   = flag.Float64("timeline", 0, "print a success-rate timeline with this window width (TUs)")
+		metrics    = flag.String("metrics", "", "serve /metrics, /snapshot and /debug/pprof on this address (e.g. :9090)")
+		hold       = flag.Bool("hold", false, "with -metrics: keep serving after the run until interrupted")
+		traceOut   = flag.String("trace", "", "write the event trace as JSON lines to this file (- for stdout)")
+		spans      = flag.Bool("spans", false, "with -trace: include planner stage span events")
 	)
 	flag.Parse()
 
@@ -44,10 +62,44 @@ func main() {
 	cfg.UseRuntime = *useRuntime
 	cfg.TimelineWindow = *timeline
 
+	reg := obs.New()
+	cfg.Obs = reg
+
+	if *traceOut != "" {
+		var w *os.File
+		if *traceOut == "-" {
+			w = os.Stdout
+		} else {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			w = f
+		}
+		sink := trace.NewJSONL(w)
+		defer func() {
+			if err := sink.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "simqos: trace:", err)
+			}
+		}()
+		cfg.Tracer = sink
+		cfg.TraceSpans = *spans
+	}
+
+	if *metrics != "" {
+		ln, err := net.Listen("tcp", *metrics)
+		if err != nil {
+			fatal(err)
+		}
+		srv := &http.Server{Handler: obs.NewMux(reg)}
+		go srv.Serve(ln)
+		fmt.Fprintf(os.Stderr, "simqos: serving /metrics, /snapshot and /debug/pprof on %s\n", ln.Addr())
+	}
+
 	res, err := sim.Run(cfg)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "simqos:", err)
-		os.Exit(1)
+		fatal(err)
 	}
 	m := res.Metrics
 	fmt.Printf("algorithm=%s rate=%g/60TU duration=%gTU seed=%d staleE=%g\n",
@@ -68,6 +120,9 @@ func main() {
 	fmt.Printf("\nbottleneck resources observed: %d of %d\n",
 		len(m.BottleneckCounts), len(res.Capacities))
 
+	printStageLatencies(reg)
+	printUtilization(reg)
+
 	if m.Timeline != nil {
 		fmt.Printf("\nsuccess-rate timeline (window %g TUs):\n%s", *timeline, m.Timeline.Table())
 	}
@@ -80,4 +135,84 @@ func main() {
 			}
 		}
 	}
+
+	if *metrics != "" && *hold {
+		fmt.Fprintln(os.Stderr, "simqos: run finished; holding metrics endpoint open (interrupt to exit)")
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, os.Interrupt)
+		<-ch
+	}
+}
+
+// printStageLatencies renders the planner stage-latency histograms as a
+// percentile table in microseconds of wall-clock time per session.
+func printStageLatencies(reg *obs.Registry) {
+	st := obs.NewPlanStages(reg)
+	rows := []struct {
+		name string
+		h    *obs.Histogram
+	}{
+		{obs.StageSnapshot, st.Snapshot},
+		{obs.StageBuild, st.Build},
+		{obs.StagePlan, st.Plan},
+		{obs.StageReserve, st.Reserve},
+		{obs.StageEstablish, st.Establish},
+	}
+	tbl := &stats.Table{Header: []string{"stage", "count", "p50 µs", "p90 µs", "p99 µs"}}
+	for _, r := range rows {
+		if r.h.Count() == 0 {
+			continue
+		}
+		tbl.AddRow(r.name,
+			fmt.Sprintf("%d", r.h.Count()),
+			fmt.Sprintf("%.1f", 1e6*r.h.Quantile(0.5)),
+			fmt.Sprintf("%.1f", 1e6*r.h.Quantile(0.9)),
+			fmt.Sprintf("%.1f", 1e6*r.h.Quantile(0.99)))
+	}
+	fmt.Printf("\nplanner stage latency:\n%s", tbl)
+}
+
+// printUtilization summarizes the end-of-run per-resource utilization
+// gauges: the most loaded resources first.
+func printUtilization(reg *obs.Registry) {
+	snap := reg.Snapshot()
+	type util struct {
+		resource string
+		value    float64
+	}
+	var us []util
+	for _, g := range snap.Gauges {
+		if g.Name == obs.MetricUtilization {
+			us = append(us, util{g.Labels["resource"], g.Value})
+		}
+	}
+	if len(us) == 0 {
+		return
+	}
+	sort.Slice(us, func(i, j int) bool {
+		if us[i].value != us[j].value {
+			return us[i].value > us[j].value
+		}
+		return us[i].resource < us[j].resource
+	})
+	const top = 8
+	fmt.Printf("\nend-of-run resource utilization (top %d of %d):\n", min(top, len(us)), len(us))
+	for i, u := range us {
+		if i == top {
+			break
+		}
+		fmt.Printf("  %-28s %5.1f%%\n", u.resource, 100*u.value)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "simqos:", err)
+	os.Exit(1)
 }

@@ -12,10 +12,11 @@ import (
 // CSV writers for every experiment, for external plotting pipelines.
 // Each writer emits a header row and one record per data point.
 
-// WriteFig11CSV emits rate, algorithm, success_rate, avg_qos rows.
+// WriteFig11CSV emits rate, algorithm, success_rate, avg_qos rows plus
+// the run's planning-stage latency percentiles in microseconds.
 func WriteFig11CSV(w io.Writer, rows []Fig11Row) error {
 	cw := csv.NewWriter(w)
-	if err := cw.Write([]string{"rate", "algorithm", "success_rate", "avg_qos"}); err != nil {
+	if err := cw.Write([]string{"rate", "algorithm", "success_rate", "avg_qos", "plan_p50_us", "plan_p99_us"}); err != nil {
 		return err
 	}
 	for _, r := range rows {
@@ -24,6 +25,8 @@ func WriteFig11CSV(w io.Writer, rows []Fig11Row) error {
 			string(r.Algorithm),
 			fmt.Sprintf("%.6f", r.SuccessRate),
 			fmt.Sprintf("%.6f", r.AvgQoS),
+			fmt.Sprintf("%.1f", 1e6*r.PlanP50),
+			fmt.Sprintf("%.1f", 1e6*r.PlanP99),
 		})
 	}
 	cw.Flush()

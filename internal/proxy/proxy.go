@@ -25,6 +25,7 @@ import (
 	"sync"
 
 	"qosres/internal/broker"
+	"qosres/internal/obs"
 	"qosres/internal/qos"
 	"qosres/internal/svc"
 	"qosres/internal/topo"
@@ -240,6 +241,9 @@ type Runtime struct {
 	owner   map[string]topo.HostID
 	mu      sync.Mutex
 	started bool
+	// stages, when non-nil, receives per-phase latency observations of
+	// every Establish call (see Instrument).
+	stages *obs.PlanStages
 }
 
 // NewRuntime creates an empty runtime over a clock.
@@ -248,7 +252,30 @@ func NewRuntime(clock Clock) *Runtime {
 		clock:   clock,
 		proxies: make(map[topo.HostID]*QoSProxy),
 		owner:   make(map[string]topo.HostID),
+		stages:  &obs.PlanStages{},
 	}
+}
+
+// Instrument attaches stage-latency histograms: every Establish then
+// records its phase-1 availability collection, QRG build, planning and
+// phase-3 dispatch durations into the corresponding histograms. Call
+// before Start; a nil argument (or one built from a nil registry)
+// leaves the runtime unobserved at no cost.
+func (rt *Runtime) Instrument(stages *obs.PlanStages) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if stages == nil {
+		stages = &obs.PlanStages{}
+	}
+	rt.stages = stages
+}
+
+// planStages returns the attached stage histograms (never nil; the
+// default set is inert).
+func (rt *Runtime) planStages() *obs.PlanStages {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.stages
 }
 
 // AddHost deploys a QoSProxy on a host. It must be called before Start.

@@ -6,6 +6,7 @@ import (
 
 	"qosres/internal/broker"
 	"qosres/internal/core"
+	"qosres/internal/obs"
 	"qosres/internal/qos"
 	"qosres/internal/qrg"
 	"qosres/internal/svc"
@@ -56,25 +57,34 @@ func (rt *Runtime) Establish(mainHost topo.HostID, spec SessionSpec) (*Session, 
 	if err != nil {
 		return nil, err
 	}
+	stages := rt.planStages()
 
 	// Phase 1: collect availability from the owning proxies, in parallel.
+	sp := obs.StartSpan(stages.Snapshot)
 	snap, err := rt.collectAvailability(resources)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
 
 	// Phase 2: local computation at the main proxy.
+	sp = obs.StartSpan(stages.Build)
 	g, err := qrg.Build(spec.Service, spec.Binding, snap)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
+	sp = obs.StartSpan(stages.Plan)
 	plan, err := spec.Planner.Plan(g)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
 
 	// Phase 3: dispatch plan segments to the participating proxies.
+	sp = obs.StartSpan(stages.Reserve)
 	segments, err := rt.dispatch(plan.Requirement())
+	sp.End()
 	if err != nil {
 		return nil, err
 	}

@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"qosres/internal/broker"
+	"qosres/internal/obs"
 	"qosres/internal/qrg"
 	"qosres/internal/trace"
 	"qosres/internal/workload"
@@ -76,6 +77,15 @@ type Config struct {
 	// Tracer, when non-nil, receives a structured event stream of every
 	// session's lifecycle (see package trace).
 	Tracer trace.Tracer
+	// Obs, when non-nil, receives runtime metrics: session-event
+	// counters, planning stage-latency histograms, per-resource
+	// utilization and α gauges, and the Ψ distribution of accepted plans
+	// (see package obs). A nil registry costs nothing on the hot path.
+	Obs *obs.Registry
+	// TraceSpans additionally emits planning-stage timings as
+	// trace.Span events to the Tracer (wall-clock durations). Useful
+	// only with a non-nil Tracer.
+	TraceSpans bool
 	// NoTieBreak disables the basic algorithm's section 4.1.2
 	// predecessor tie-break rule (ablation).
 	NoTieBreak bool

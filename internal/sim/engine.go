@@ -30,9 +30,12 @@ type event struct {
 // Exactly one of reservation (direct mode) and proxySession (runtime
 // mode) is set.
 type liveSession struct {
-	id           uint64
-	service      string
-	class        string
+	id      uint64
+	service string
+	class   string
+	// resources are the session's concrete resource IDs, kept for
+	// post-release utilization gauge refreshes.
+	resources    []string
 	reservation  *broker.MultiReservation
 	proxySession *proxy.Session
 }

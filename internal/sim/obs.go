@@ -1,0 +1,130 @@
+package sim
+
+import (
+	"strconv"
+	"time"
+
+	"qosres/internal/broker"
+	"qosres/internal/core"
+	"qosres/internal/obs"
+	"qosres/internal/trace"
+)
+
+// instruments bundles the pre-registered metric handles of one run. The
+// zero value (from a nil registry) is fully inert: every handle is nil
+// and every method returns immediately, so the hot path pays nothing
+// when observability is off.
+type instruments struct {
+	reg    *obs.Registry
+	stages *obs.PlanStages
+
+	arrivals, planned, planFailed *obs.Counter
+	reserved, reserveFailed       *obs.Counter
+	released                      *obs.Counter
+	rollbacks                     *obs.Counter
+	psi                           *obs.Histogram
+	simTime                       *obs.Gauge
+}
+
+const (
+	eventsHelp = "Session lifecycle events by kind."
+	utilHelp   = "Reserved fraction of the resource's capacity (0..1)."
+	alphaHelp  = "Last observed availability change index per resource."
+)
+
+// newInstruments registers the run's metrics. A nil registry yields an
+// inert value.
+func newInstruments(r *obs.Registry) instruments {
+	in := instruments{reg: r, stages: obs.NewPlanStages(r)}
+	ev := func(kind trace.Kind) *obs.Counter {
+		return r.Counter(obs.MetricSessionEvents, eventsHelp, "event", kind.String())
+	}
+	in.arrivals = ev(trace.Arrival)
+	in.planned = ev(trace.Planned)
+	in.planFailed = ev(trace.PlanFailed)
+	in.reserved = ev(trace.Reserved)
+	in.reserveFailed = ev(trace.ReserveFailed)
+	in.released = ev(trace.Released)
+	in.rollbacks = r.Counter(obs.MetricRollbacks,
+		"Multi-resource reservations rolled back after a partial failure.")
+	in.psi = r.Histogram(obs.MetricPlanPsi,
+		"Bottleneck contention index of accepted plans.",
+		obs.LinearBuckets(0.05, 0.05, 20))
+	in.simTime = r.Gauge(obs.MetricSimTime, "Current simulation clock in TUs.")
+	return in
+}
+
+// enabled reports whether the run records metrics.
+func (in instruments) enabled() bool { return in.reg.Enabled() }
+
+// observeAcceptedPlan records Ψ and the end-to-end QoS rank of an
+// accepted plan.
+func (in instruments) observeAcceptedPlan(p *core.Plan) {
+	if in.reg == nil {
+		return
+	}
+	in.psi.Observe(p.Psi)
+	in.reg.Counter(obs.MetricPlanRank, "Accepted plans by end-to-end QoS level rank.",
+		"rank", strconv.Itoa(p.Rank)).Inc()
+}
+
+// sampleAlpha refreshes the per-resource α gauges from a snapshot.
+func (in instruments) sampleAlpha(snap *broker.Snapshot) {
+	if in.reg == nil {
+		return
+	}
+	for r, a := range snap.Alpha {
+		in.reg.Gauge(obs.MetricAlpha, alphaHelp, "resource", r).Set(a)
+	}
+}
+
+// sampleUtilization refreshes the utilization gauges of the named
+// resources from the pool's live brokers.
+func (in instruments) sampleUtilization(pool *broker.Pool, resources []string) {
+	if in.reg == nil {
+		return
+	}
+	for _, r := range resources {
+		b, ok := pool.Get(r)
+		if !ok {
+			continue
+		}
+		cap := b.Capacity()
+		if cap <= 0 {
+			continue
+		}
+		in.reg.Gauge(obs.MetricUtilization, utilHelp, "resource", r).Set(1 - b.Available()/cap)
+	}
+}
+
+// stageTimer times one planning stage; inert when neither metrics nor
+// span tracing is enabled, in which case it never reads the clock.
+type stageTimer struct {
+	t0 time.Time
+	on bool
+}
+
+// startStage begins timing if the run observes stages at all.
+func (env *environment) startStage() stageTimer {
+	if !env.timed {
+		return stageTimer{}
+	}
+	return stageTimer{t0: time.Now(), on: true}
+}
+
+// endStage records the elapsed wall-clock time into the stage histogram
+// and, when span tracing is on, emits a trace.Span event.
+func (env *environment) endStage(st stageTimer, h *obs.Histogram, stage string,
+	now broker.Time, sid uint64, service, class string) {
+	if !st.on {
+		return
+	}
+	d := time.Since(st.t0).Seconds()
+	h.Observe(d)
+	if env.traceSpans {
+		env.tracer.Trace(trace.Event{
+			At: now, Kind: trace.Span, Session: sid,
+			Service: service, Class: class, Stage: stage, Duration: d,
+		})
+	}
+}

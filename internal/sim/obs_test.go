@@ -1,0 +1,191 @@
+package sim
+
+import (
+	"testing"
+
+	"qosres/internal/obs"
+	"qosres/internal/trace"
+)
+
+// TestRunRecordsMetrics checks that an instrumented run populates the
+// registry: session-event counters that reconcile with the metrics,
+// stage-latency histograms for every planning stage, Ψ observations,
+// and per-resource utilization/α gauges.
+func TestRunRecordsMetrics(t *testing.T) {
+	reg := obs.New()
+	cfg := quickConfig(AlgTradeoff, 150)
+	cfg.Obs = reg
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := res.Metrics
+
+	count := func(event string) float64 {
+		return reg.Counter(obs.MetricSessionEvents, "", "event", event).Value()
+	}
+	if got := count("arrival"); got != float64(m.Overall.Attempts) {
+		t.Errorf("arrivals counter = %g, metrics attempts = %d", got, m.Overall.Attempts)
+	}
+	if got := count("reserved"); got != float64(m.Overall.Successes) {
+		t.Errorf("reserved counter = %g, metrics successes = %d", got, m.Overall.Successes)
+	}
+	if got := count("plan_failed"); got != float64(m.PlanFailures) {
+		t.Errorf("plan_failed counter = %g, metrics = %d", got, m.PlanFailures)
+	}
+	if got := count("released"); got <= 0 || got > count("reserved") {
+		t.Errorf("released counter = %g out of range", got)
+	}
+
+	st := obs.NewPlanStages(reg)
+	for name, h := range map[string]*obs.Histogram{
+		"snapshot": st.Snapshot, "qrg_build": st.Build,
+		"plan": st.Plan, "reserve": st.Reserve,
+	} {
+		if h.Count() == 0 {
+			t.Errorf("stage %s recorded no observations", name)
+		}
+		if p99 := h.Quantile(0.99); p99 <= 0 {
+			t.Errorf("stage %s p99 = %g", name, p99)
+		}
+	}
+
+	if psi := reg.Histogram(obs.MetricPlanPsi, "", nil); psi.Count() != uint64(m.Overall.Successes) {
+		t.Errorf("psi observations = %d, successes = %d", psi.Count(), m.Overall.Successes)
+	}
+
+	snap := reg.Snapshot()
+	var utils, alphas int
+	for _, g := range snap.Gauges {
+		switch g.Name {
+		case obs.MetricUtilization:
+			utils++
+			if g.Value < 0 || g.Value > 1 {
+				t.Errorf("utilization %s = %g out of [0,1]", g.Labels["resource"], g.Value)
+			}
+		case obs.MetricAlpha:
+			alphas++
+		}
+	}
+	if utils == 0 || alphas == 0 {
+		t.Fatalf("gauges missing: %d utilization, %d alpha", utils, alphas)
+	}
+}
+
+// TestRuntimeModeRecordsStages checks that runtime-mode runs record the
+// same stage vocabulary through the three-phase protocol, plus the
+// end-to-end establish stage.
+func TestRuntimeModeRecordsStages(t *testing.T) {
+	reg := obs.New()
+	cfg := quickConfig(AlgBasic, 120)
+	cfg.UseRuntime = true
+	cfg.Obs = reg
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	st := obs.NewPlanStages(reg)
+	for name, h := range map[string]*obs.Histogram{
+		"snapshot": st.Snapshot, "qrg_build": st.Build, "plan": st.Plan,
+		"reserve": st.Reserve, "establish": st.Establish,
+	} {
+		if h.Count() == 0 {
+			t.Errorf("runtime mode: stage %s recorded no observations", name)
+		}
+	}
+}
+
+// TestObsDoesNotPerturbResults is the guard that instrumentation is
+// observation-only: an instrumented run and a bare run of the same
+// config produce identical metrics.
+func TestObsDoesNotPerturbResults(t *testing.T) {
+	bare, err := Run(quickConfig(AlgTradeoff, 150))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := quickConfig(AlgTradeoff, 150)
+	cfg.Obs = obs.New()
+	cfg.TraceSpans = true
+	cfg.Tracer = trace.NewCounter()
+	instrumented, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bare.Metrics.Overall != instrumented.Metrics.Overall {
+		t.Fatalf("instrumentation changed results: %+v vs %+v",
+			bare.Metrics.Overall, instrumented.Metrics.Overall)
+	}
+}
+
+// TestRuntimeTraceParity asserts that a UseRuntime run emits the same
+// event-kind tallies per session stream as the direct path, via
+// trace.Counter.Counts.
+func TestRuntimeTraceParity(t *testing.T) {
+	for _, alg := range []Algorithm{AlgBasic, AlgTradeoff, AlgRandom} {
+		direct := quickConfig(alg, 150)
+		dc := trace.NewCounter()
+		direct.Tracer = dc
+
+		viaRuntime := quickConfig(alg, 150)
+		viaRuntime.UseRuntime = true
+		rc := trace.NewCounter()
+		viaRuntime.Tracer = rc
+
+		if _, err := Run(direct); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Run(viaRuntime); err != nil {
+			t.Fatal(err)
+		}
+		dCounts, rCounts := dc.Counts(), rc.Counts()
+		if len(dCounts) == 0 || dCounts[trace.Arrival] == 0 {
+			t.Fatalf("%s: direct run traced nothing: %v", alg, dCounts)
+		}
+		for _, k := range trace.Kinds() {
+			if dCounts[k] != rCounts[k] {
+				t.Errorf("%s: kind %s: direct %d events, runtime %d",
+					alg, k, dCounts[k], rCounts[k])
+			}
+		}
+	}
+}
+
+// TestTraceSpansEmitted checks the opt-in Span event stream: spans
+// carry a stage name and a positive duration, and stay absent by
+// default.
+func TestTraceSpansEmitted(t *testing.T) {
+	cfg := quickConfig(AlgBasic, 120)
+	cfg.Duration = 300
+	ring := trace.NewRing(4096)
+	cfg.Tracer = ring
+	cfg.TraceSpans = true
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	stages := map[string]int{}
+	for _, ev := range ring.Events() {
+		if ev.Kind != trace.Span {
+			continue
+		}
+		if ev.Stage == "" || ev.Duration < 0 {
+			t.Fatalf("malformed span event %+v", ev)
+		}
+		stages[ev.Stage]++
+	}
+	for _, want := range []string{"snapshot", "qrg_build", "plan"} {
+		if stages[want] == 0 {
+			t.Errorf("no span events for stage %s (got %v)", want, stages)
+		}
+	}
+
+	// Default: no span events.
+	cfg2 := quickConfig(AlgBasic, 120)
+	cfg2.Duration = 300
+	c := trace.NewCounter()
+	cfg2.Tracer = c
+	if _, err := Run(cfg2); err != nil {
+		t.Fatal(err)
+	}
+	if c.Count(trace.Span) != 0 {
+		t.Fatalf("span events emitted without TraceSpans: %d", c.Count(trace.Span))
+	}
+}

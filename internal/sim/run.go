@@ -7,6 +7,7 @@ import (
 
 	"qosres/internal/broker"
 	"qosres/internal/core"
+	"qosres/internal/obs"
 	"qosres/internal/proxy"
 	"qosres/internal/qrg"
 	"qosres/internal/stats"
@@ -90,6 +91,9 @@ func Run(cfg Config) (*Result, error) {
 			if err := ev.release.release(now); err != nil {
 				return nil, fmt.Errorf("sim: release at %g: %v", float64(now), err)
 			}
+			env.ins.released.Inc()
+			env.ins.simTime.Set(float64(now))
+			env.ins.sampleUtilization(env.pool, ev.release.resources)
 			env.tracer.Trace(trace.Event{
 				At: now, Kind: trace.Released, Session: ev.release.id,
 				Service: ev.release.service, Class: ev.release.class,
@@ -141,6 +145,13 @@ type environment struct {
 	meanGap     broker.Time
 	nextSession uint64
 	tracer      trace.Tracer
+	// ins holds the run's metric handles; inert when Config.Obs is nil.
+	ins instruments
+	// traceSpans emits planning-stage Span events to the tracer.
+	traceSpans bool
+	// timed is true when either metrics or span tracing needs stage
+	// wall-clock timings.
+	timed bool
 }
 
 // buildEnvironment draws capacities, registers all brokers, pre-creates
@@ -156,6 +167,9 @@ func buildEnvironment(cfg Config, rng *rand.Rand) (*environment, error) {
 	if env.tracer == nil {
 		env.tracer = trace.Nop{}
 	}
+	env.ins = newInstruments(cfg.Obs)
+	env.traceSpans = cfg.TraceSpans && cfg.Tracer != nil
+	env.timed = env.ins.enabled() || env.traceSpans
 	env.pool = broker.NewPoolWindow(env.topology, cfg.AlphaWindow)
 
 	capDraw := func() float64 {
@@ -317,11 +331,14 @@ func (env *environment) handleArrival(cfg Config, rng *rand.Rand, planner core.P
 
 	env.nextSession++
 	sid := env.nextSession
+	env.ins.arrivals.Inc()
+	env.ins.simTime.Set(float64(now))
 	env.tracer.Trace(trace.Event{
 		At: now, Kind: trace.Arrival, Session: sid,
 		Service: service.Name, Class: class.String(),
 	})
 
+	stSnap := env.startStage()
 	var snap *broker.Snapshot
 	var err error
 	if cfg.StaleE > 0 {
@@ -340,14 +357,22 @@ func (env *environment) handleArrival(cfg Config, rng *rand.Rand, planner core.P
 	if err != nil {
 		return err
 	}
+	env.endStage(stSnap, env.ins.stages.Snapshot, obs.StageSnapshot, now, sid, service.Name, class.String())
+	env.ins.sampleAlpha(snap)
 
+	stBuild := env.startStage()
 	contention, _ := qrg.ContentionByName(cfg.Contention)
 	g, err := qrg.BuildWithOptions(service, binding, snap, qrg.BuildOptions{Contention: contention})
 	if err != nil {
 		return err
 	}
+	env.endStage(stBuild, env.ins.stages.Build, obs.StageBuild, now, sid, service.Name, class.String())
+
+	stPlan := env.startStage()
 	plan, err := planner.Plan(g)
+	env.endStage(stPlan, env.ins.stages.Plan, obs.StagePlan, now, sid, service.Name, class.String())
 	if errors.Is(err, core.ErrInfeasible) {
+		env.ins.planFailed.Inc()
 		metrics.PlanFailures++
 		metrics.ObserveSessionAt(float64(now), class, false, 0)
 		metrics.ObserveService(service.Name, false, 0)
@@ -360,6 +385,7 @@ func (env *environment) handleArrival(cfg Config, rng *rand.Rand, planner core.P
 	if err != nil {
 		return err
 	}
+	env.ins.planned.Inc()
 	metrics.ObservePlan(family, plan.PathLevels, plan.Bottleneck)
 	env.tracer.Trace(trace.Event{
 		At: now, Kind: trace.Planned, Session: sid,
@@ -368,13 +394,17 @@ func (env *environment) handleArrival(cfg Config, rng *rand.Rand, planner core.P
 		Psi: plan.Psi, Bottleneck: plan.Bottleneck, Path: plan.PathLevels,
 	})
 
+	stRes := env.startStage()
 	res, err := env.pool.ReserveAll(now, plan.Requirement())
+	env.endStage(stRes, env.ins.stages.Reserve, obs.StageReserve, now, sid, service.Name, class.String())
 	if err != nil {
 		if !errors.Is(err, broker.ErrInsufficient) {
 			return err
 		}
 		// Only possible under stale observations: the plan looked
 		// feasible against the (old) snapshot but the resources moved.
+		env.ins.reserveFailed.Inc()
+		env.ins.rollbacks.Inc()
 		metrics.ReserveFailures++
 		metrics.ObserveSessionAt(float64(now), class, false, 0)
 		metrics.ObserveService(service.Name, false, 0)
@@ -386,6 +416,9 @@ func (env *environment) handleArrival(cfg Config, rng *rand.Rand, planner core.P
 		})
 		return nil
 	}
+	env.ins.reserved.Inc()
+	env.ins.observeAcceptedPlan(plan)
+	env.ins.sampleUtilization(env.pool, resources)
 	metrics.ObserveSessionAt(float64(now), class, true, plan.Rank)
 	metrics.ObserveService(service.Name, true, plan.Rank)
 	env.tracer.Trace(trace.Event{
@@ -395,7 +428,8 @@ func (env *environment) handleArrival(cfg Config, rng *rand.Rand, planner core.P
 		Psi: plan.Psi, Bottleneck: plan.Bottleneck, Path: plan.PathLevels,
 	})
 	sched.at(now+sh.duration, evRelease, &liveSession{
-		id: sid, service: service.Name, class: class.String(), reservation: res,
+		id: sid, service: service.Name, class: class.String(),
+		resources: resources, reservation: res,
 	})
 	return nil
 }

@@ -6,6 +6,7 @@ import (
 
 	"qosres/internal/broker"
 	"qosres/internal/core"
+	"qosres/internal/obs"
 	"qosres/internal/proxy"
 	"qosres/internal/stats"
 	"qosres/internal/topo"
@@ -34,6 +35,12 @@ func (c simClock) Now() broker.Time { return c.sched.now }
 // broker of the environment with its owning host's proxy.
 func (env *environment) buildRuntime(clock proxy.Clock) (*proxy.Runtime, error) {
 	rt := proxy.NewRuntime(clock)
+	if env.ins.enabled() {
+		// The three-phase protocol records into the same stage
+		// histograms as the direct path, so both execution modes share
+		// one latency vocabulary.
+		rt.Instrument(env.ins.stages)
+	}
 	for _, h := range env.topology.Hosts() {
 		if _, err := rt.AddHost(h); err != nil {
 			return nil, err
@@ -87,19 +94,27 @@ func (env *environment) handleArrivalRuntime(cfg Config, rt *proxy.Runtime,
 	class := stats.ClassOf(sh.fat, sh.long)
 	service := env.services[sh.service-1][sh.variant]
 	family := workload.FamilyOf(sh.service).String()
-	binding, _ := sessionResources(sh)
+	binding, resources := sessionResources(sh)
 
 	env.nextSession++
 	sid := env.nextSession
+	env.ins.arrivals.Inc()
+	env.ins.simTime.Set(float64(now))
 	env.tracer.Trace(trace.Event{
 		At: now, Kind: trace.Arrival, Session: sid,
 		Service: service.Name, Class: class.String(),
 	})
 
+	// The per-phase stage histograms are recorded inside Establish (see
+	// Runtime.Instrument in buildRuntime); the sim layer only times the
+	// protocol end to end.
+	stEst := env.startStage()
 	session, err := rt.Establish(topo.ServerHost(sh.service), proxy.SessionSpec{
 		Service: service, Binding: binding, Planner: planner,
 	})
+	env.endStage(stEst, env.ins.stages.Establish, obs.StageEstablish, now, sid, service.Name, class.String())
 	if errors.Is(err, core.ErrInfeasible) {
+		env.ins.planFailed.Inc()
 		metrics.PlanFailures++
 		metrics.ObserveSessionAt(float64(now), class, false, 0)
 		metrics.ObserveService(service.Name, false, 0)
@@ -113,6 +128,7 @@ func (env *environment) handleArrivalRuntime(cfg Config, rt *proxy.Runtime,
 		return err
 	}
 	plan := session.Plan
+	env.ins.planned.Inc()
 	metrics.ObservePlan(family, plan.PathLevels, plan.Bottleneck)
 	env.tracer.Trace(trace.Event{
 		At: now, Kind: trace.Planned, Session: sid,
@@ -120,6 +136,9 @@ func (env *environment) handleArrivalRuntime(cfg Config, rt *proxy.Runtime,
 		Level: plan.EndToEnd.Name, Rank: plan.Rank,
 		Psi: plan.Psi, Bottleneck: plan.Bottleneck, Path: plan.PathLevels,
 	})
+	env.ins.reserved.Inc()
+	env.ins.observeAcceptedPlan(plan)
+	env.ins.sampleUtilization(env.pool, resources)
 	metrics.ObserveSessionAt(float64(now), class, true, plan.Rank)
 	metrics.ObserveService(service.Name, true, plan.Rank)
 	env.tracer.Trace(trace.Event{
@@ -129,7 +148,8 @@ func (env *environment) handleArrivalRuntime(cfg Config, rt *proxy.Runtime,
 		Psi: plan.Psi, Bottleneck: plan.Bottleneck, Path: plan.PathLevels,
 	})
 	sched.at(now+sh.duration, evRelease, &liveSession{
-		id: sid, service: service.Name, class: class.String(), proxySession: session,
+		id: sid, service: service.Name, class: class.String(),
+		resources: resources, proxySession: session,
 	})
 	return nil
 }

@@ -33,6 +33,9 @@ const (
 	ReserveFailed
 	// Released is a completed session returning its resources.
 	Released
+	// Span is a planning-stage timing observation (see the Stage and
+	// Duration event fields); emitted only when span tracing is enabled.
+	Span
 )
 
 // String names the kind.
@@ -50,29 +53,71 @@ func (k Kind) String() string {
 		return "reserve_failed"
 	case Released:
 		return "released"
+	case Span:
+		return "span"
 	}
 	return fmt.Sprintf("Kind(%d)", int(k))
 }
 
+// Kinds lists every event kind in lifecycle order.
+func Kinds() []Kind {
+	return []Kind{Arrival, Planned, PlanFailed, Reserved, ReserveFailed, Released, Span}
+}
+
+// KindFromString parses a Kind's String rendering.
+func KindFromString(s string) (Kind, bool) {
+	for _, k := range Kinds() {
+		if k.String() == s {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
+// MarshalJSON renders the kind as its string name, keeping JSONL traces
+// machine-readable without magic numbers.
+func (k Kind) MarshalJSON() ([]byte, error) {
+	return []byte(strconv.Quote(k.String())), nil
+}
+
+// UnmarshalJSON parses a string kind name.
+func (k *Kind) UnmarshalJSON(data []byte) error {
+	s, err := strconv.Unquote(string(data))
+	if err != nil {
+		return fmt.Errorf("trace: kind must be a JSON string: %w", err)
+	}
+	parsed, ok := KindFromString(s)
+	if !ok {
+		return fmt.Errorf("trace: unknown event kind %q", s)
+	}
+	*k = parsed
+	return nil
+}
+
 // Event is one session-lifecycle event.
 type Event struct {
-	At      broker.Time
-	Kind    Kind
-	Session uint64
+	At      broker.Time `json:"at"`
+	Kind    Kind        `json:"kind"`
+	Session uint64      `json:"session"`
 	// Service is the requested service's name.
-	Service string
+	Service string `json:"service,omitempty"`
 	// Class is the paper's session class label (Norm.-short, ...).
-	Class string
+	Class string `json:"class,omitempty"`
 	// Level is the selected end-to-end QoS level name (Planned/Reserved).
-	Level string
+	Level string `json:"level,omitempty"`
 	// Rank is the paper-style level number.
-	Rank int
+	Rank int `json:"rank,omitempty"`
 	// Psi is the plan's bottleneck contention index.
-	Psi float64
+	Psi float64 `json:"psi,omitempty"`
 	// Bottleneck is the plan's bottleneck resource.
-	Bottleneck string
+	Bottleneck string `json:"bottleneck,omitempty"`
 	// Path is the dash-joined selected path (chain services).
-	Path string
+	Path string `json:"path,omitempty"`
+	// Stage names the planning stage of a Span event (see package obs
+	// for the stage vocabulary).
+	Stage string `json:"stage,omitempty"`
+	// Duration is the wall-clock seconds a Span event's stage took.
+	Duration float64 `json:"duration,omitempty"`
 }
 
 // Tracer consumes events. Implementations must be safe for use from a
@@ -141,16 +186,18 @@ func (r *Ring) Events() []Event {
 }
 
 // CSV streams events as CSV rows to an io.Writer. Create with NewCSV;
-// call Flush (or Close) when done.
+// call Flush (or Close) when done. The first write error is latched and
+// reported by every subsequent Flush/Close.
 type CSV struct {
-	mu sync.Mutex
-	w  *csv.Writer
+	mu  sync.Mutex
+	w   *csv.Writer
+	err error
 }
 
 // csvHeader is the column layout of CSV traces.
 var csvHeader = []string{
 	"time", "kind", "session", "service", "class",
-	"level", "rank", "psi", "bottleneck", "path",
+	"level", "rank", "psi", "bottleneck", "path", "stage", "duration",
 }
 
 // NewCSV creates a CSV tracer and writes the header row.
@@ -162,11 +209,15 @@ func NewCSV(w io.Writer) (*CSV, error) {
 	return c, nil
 }
 
-// Trace implements Tracer. Write errors surface on Flush.
+// Trace implements Tracer. Write errors are latched and surface on
+// Flush or Close; once a write has failed, further events are dropped.
 func (c *CSV) Trace(ev Event) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	_ = c.w.Write([]string{
+	if c.err != nil {
+		return
+	}
+	c.err = c.w.Write([]string{
 		strconv.FormatFloat(float64(ev.At), 'g', -1, 64),
 		ev.Kind.String(),
 		strconv.FormatUint(ev.Session, 10),
@@ -177,16 +228,25 @@ func (c *CSV) Trace(ev Event) {
 		strconv.FormatFloat(ev.Psi, 'g', -1, 64),
 		ev.Bottleneck,
 		ev.Path,
+		ev.Stage,
+		strconv.FormatFloat(ev.Duration, 'g', -1, 64),
 	})
 }
 
-// Flush flushes buffered rows and reports any write error.
+// Flush flushes buffered rows and reports the first write error.
 func (c *CSV) Flush() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.w.Flush()
+	if c.err != nil {
+		return c.err
+	}
 	return c.w.Error()
 }
+
+// Close flushes buffered rows and reports the first write error. The
+// underlying writer is not closed (the tracer did not open it).
+func (c *CSV) Close() error { return c.Flush() }
 
 // Multi fans events out to several tracers.
 type Multi []Tracer
@@ -219,4 +279,16 @@ func (c *Counter) Count(k Kind) int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.counts[k]
+}
+
+// Counts returns a copied snapshot of every kind's tally. Kinds never
+// observed are absent from the map.
+func (c *Counter) Counts() map[Kind]int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[Kind]int, len(c.counts))
+	for k, n := range c.counts {
+		out[k] = n
+	}
+	return out
 }

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Repository verification gate: static checks, a full build, and the
+# test suite under the race detector. Run before every push.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go test -race ./..."
+go test -race ./...
+
+echo "verify: OK"
