@@ -45,6 +45,7 @@ func main() {
 		paths      = flag.Bool("paths", false, "print selected-path histograms")
 		contention = flag.String("contention", "ratio", "contention index: ratio, headroom, or log")
 		useRuntime = flag.Bool("runtime", false, "route sessions through the QoSProxy runtime architecture")
+		admitRetry = flag.Int("admit-retries", 3, "with -runtime: max replanning retries after a commit-time refusal")
 		timeline   = flag.Float64("timeline", 0, "print a success-rate timeline with this window width (TUs)")
 		metrics    = flag.String("metrics", "", "serve /metrics, /snapshot and /debug/pprof on this address (e.g. :9090)")
 		hold       = flag.Bool("hold", false, "with -metrics: keep serving after the run until interrupted")
@@ -60,6 +61,7 @@ func main() {
 	cfg.Workload.DiversityRatio = *diversity
 	cfg.Contention = *contention
 	cfg.UseRuntime = *useRuntime
+	cfg.MaxAdmitRetries = *admitRetry
 	cfg.TimelineWindow = *timeline
 
 	reg := obs.New()
@@ -121,6 +123,7 @@ func main() {
 		len(m.BottleneckCounts), len(res.Capacities))
 
 	printStageLatencies(reg)
+	printAdmission(reg)
 	printUtilization(reg)
 
 	if m.Timeline != nil {
@@ -170,6 +173,45 @@ func printStageLatencies(reg *obs.Registry) {
 			fmt.Sprintf("%.1f", 1e6*r.h.Quantile(0.99)))
 	}
 	fmt.Printf("\nplanner stage latency:\n%s", tbl)
+}
+
+// printAdmission summarizes the admission-path counters: commit-time
+// refusals of stale-snapshot plans, the replanning retries they caused,
+// and rolled-back reservation attempts. Printed only when at least one
+// counter moved (single-threaded accurate-observation runs never roll
+// back, so the table would be all zeroes).
+func printAdmission(reg *obs.Registry) {
+	value := func(name string) float64 {
+		var v float64
+		for _, c := range reg.Snapshot().Counters {
+			if c.Name == name {
+				v += c.Value
+			}
+		}
+		return v
+	}
+	rows := []struct {
+		label string
+		value float64
+	}{
+		{"stale-snapshot rejections", value(obs.MetricAdmitStaleRejects)},
+		{"admission retries", value(obs.MetricAdmitRetries)},
+		{"reservation rollbacks", value(obs.MetricRollbacks)},
+	}
+	any := false
+	for _, r := range rows {
+		if r.value > 0 {
+			any = true
+		}
+	}
+	if !any {
+		return
+	}
+	tbl := &stats.Table{Header: []string{"admission event", "count"}}
+	for _, r := range rows {
+		tbl.AddRow(r.label, fmt.Sprintf("%.0f", r.value))
+	}
+	fmt.Printf("\nadmission (validate-at-commit):\n%s", tbl)
 }
 
 // printUtilization summarizes the end-of-run per-resource utilization

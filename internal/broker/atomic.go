@@ -1,0 +1,135 @@
+package broker
+
+import (
+	"fmt"
+	"sort"
+
+	"qosres/internal/qos"
+)
+
+// This file implements the validate-at-commit reservation protocol used
+// by the admission path under concurrent session establishment.
+//
+// The paper's three-phase protocol is inherently time-of-check/time-of-
+// use: availability is snapshotted (phase 1), a plan is computed against
+// the snapshot (phase 2), and only then are reservations made (phase 3).
+// Under concurrency the availability can change between snapshot and
+// reserve, so phase 3 must re-validate the planned requirement against
+// the brokers' *current* state — and it must do so atomically across
+// every broker of the plan, or two sessions can interleave their partial
+// reservations and refuse each other even though either would fit alone.
+//
+// ReserveAtomic provides that commit: it resolves every requirement to
+// its underlying Local brokers (end-to-end Network resources expand to
+// their route links), locks all of them in ascending resource-ID order
+// (the package-wide multi-lock order, making the commit deadlock-free),
+// validates each broker's aggregate demand against its availability, and
+// only then creates every hold. A refusal therefore leaves no residue at
+// all, and a success can never over-commit any broker.
+
+// atomicPart is one requirement entry of an atomic reservation plan.
+type atomicPart struct {
+	local  *Local   // set for local/link resources
+	net    *Network // set for end-to-end network resources
+	amount float64
+}
+
+// ReserveAtomic reserves every (resource, amount) pair of req
+// all-or-nothing against the brokers returned by resolve: either every
+// hold (including every per-link hold of network resources) is created,
+// or none is and the bottleneck's ErrInsufficient is returned. Unlike
+// sequential reserve-then-rollback, validation happens before any state
+// changes, so concurrent callers never observe — or fail because of —
+// partial reservations, and no broker can ever exceed its capacity.
+//
+// Deadlock freedom: this is the only code path in the package that holds
+// more than one Local mutex at a time, and it always acquires them in
+// ascending resource-ID order.
+func ReserveAtomic(now Time, resolve func(string) (Broker, bool), req qos.ResourceVector) (*MultiReservation, error) {
+	var parts []atomicPart
+	// demand aggregates the total amount required from each underlying
+	// Local broker; the same link can back several network resources of
+	// one plan (shared route segments) and must satisfy their sum.
+	demand := make(map[*Local]float64)
+	var locals []*Local
+	need := func(l *Local, amount float64) {
+		if _, seen := demand[l]; !seen {
+			locals = append(locals, l)
+		}
+		demand[l] += amount
+	}
+	for _, r := range req.Names() {
+		amount := req[r]
+		if amount == 0 {
+			continue
+		}
+		if amount < 0 {
+			return nil, fmt.Errorf("broker: resource %s: negative reservation %g", r, amount)
+		}
+		b, ok := resolve(r)
+		if !ok {
+			return nil, fmt.Errorf("broker: reserve of unknown resource %s", r)
+		}
+		switch t := b.(type) {
+		case *Local:
+			need(t, amount)
+			parts = append(parts, atomicPart{local: t, amount: amount})
+		case *Network:
+			for _, l := range t.links {
+				need(l, amount)
+			}
+			parts = append(parts, atomicPart{net: t, amount: amount})
+		default:
+			return nil, fmt.Errorf("broker: resource %s: %T does not support atomic reservation", r, b)
+		}
+	}
+
+	sort.Slice(locals, func(i, j int) bool { return locals[i].resource < locals[j].resource })
+	for _, l := range locals {
+		l.mu.Lock()
+	}
+	unlock := func() {
+		for i := len(locals) - 1; i >= 0; i-- {
+			locals[i].mu.Unlock()
+		}
+	}
+
+	// Validate every broker before committing to any: the whole plan is
+	// admitted against current availability, or refused without residue.
+	for _, l := range locals {
+		if avail := l.capacity - l.reserved; demand[l] > avail+availEpsilon {
+			unlock()
+			return nil, fmt.Errorf("broker: resource %s: need %g, have %g: %w",
+				l.resource, demand[l], avail, ErrInsufficient)
+		}
+	}
+
+	// Commit: every hold is now guaranteed to fit.
+	m := &MultiReservation{}
+	for _, p := range parts {
+		if p.local != nil {
+			m.parts = append(m.parts, multiPart{broker: p.local, id: p.local.reserveLocked(now, p.amount)})
+			continue
+		}
+		held := make([]linkHold, len(p.net.links))
+		for i, l := range p.net.links {
+			held[i] = linkHold{link: l, id: l.reserveLocked(now, p.amount)}
+		}
+		m.parts = append(m.parts, multiPart{broker: p.net, id: p.net.adopt(held)})
+	}
+	unlock()
+	return m, nil
+}
+
+// ReserveAllAtomic is ReserveAll with commit-time validation: the whole
+// requirement is checked against every involved broker's current
+// availability under the global lock order before any hold is created.
+// See ReserveAtomic for the protocol.
+func (p *Pool) ReserveAllAtomic(now Time, req qos.ResourceVector) (*MultiReservation, error) {
+	m, err := ReserveAtomic(now, p.Get, req)
+	if err != nil {
+		return nil, err
+	}
+	m.pool = p
+	return m, nil
+}

@@ -210,12 +210,20 @@ func (b *Local) Reserve(now Time, amount float64) (ReservationID, error) {
 	if amount > avail+availEpsilon {
 		return 0, fmt.Errorf("broker: resource %s: need %g, have %g: %w", b.resource, amount, avail, ErrInsufficient)
 	}
+	return b.reserveLocked(now, amount), nil
+}
+
+// reserveLocked creates a hold without checking availability. Callers
+// must hold b.mu and have validated that amount fits; the atomic
+// multi-resource commit path validates every broker of a plan before
+// committing any of them.
+func (b *Local) reserveLocked(now Time, amount float64) ReservationID {
 	b.nextID++
 	id := b.nextID
 	b.holds[id] = amount
 	b.reserved += amount
 	b.logChangeLocked(now)
-	return id, nil
+	return id
 }
 
 // Release implements Broker.

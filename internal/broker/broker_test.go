@@ -247,3 +247,35 @@ func TestPropertyAvailabilityNeverNegativeOrExceedsCapacity(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestAlphaFirstReportIsOne(t *testing.T) {
+	b, _ := NewLocal("r", 100)
+	// The very first report has an empty averaging window; α must be the
+	// neutral 1.0, not a division by zero.
+	rep := b.Report(5)
+	if rep.Alpha != 1 {
+		t.Fatalf("alpha of first report = %v, want 1", rep.Alpha)
+	}
+}
+
+func TestAlphaAllZeroWindowWithRecoveredAvailability(t *testing.T) {
+	// Regression guard for the α = r_avail / r_avg division: a window
+	// whose reports are all zero combined with a *nonzero* current
+	// availability would yield +Inf without the zero-average guard.
+	b, _ := NewLocalWindow("r", 100, 3)
+	id, err := b.Reserve(0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Report(0) // avail 0 enters the window
+	if err := b.Release(1, id); err != nil {
+		t.Fatal(err)
+	}
+	rep := b.Report(1) // avail 100, window average 0
+	if math.IsInf(rep.Alpha, 0) || math.IsNaN(rep.Alpha) {
+		t.Fatalf("alpha = %v, want finite", rep.Alpha)
+	}
+	if rep.Alpha != 1 {
+		t.Fatalf("alpha with all-zero window = %v, want 1 (guard)", rep.Alpha)
+	}
+}

@@ -147,20 +147,43 @@ func (n *Network) Reserve(now Time, amount float64) (ReservationID, error) {
 	for _, l := range n.links {
 		id, err := l.Reserve(now, amount)
 		if err != nil {
-			for _, h := range held {
-				// Rollback cannot fail: the holds were just created.
-				_ = h.link.Release(now, h.id)
-			}
+			n.rollbackLinkHolds(now, held, err)
 			return 0, fmt.Errorf("broker: resource %s: link %s refused: %w", n.resource, l.Resource(), err)
 		}
 		held = append(held, linkHold{link: l, id: id})
 	}
+	return n.adopt(held), nil
+}
+
+// rollbackLinkHolds releases link holds created moments ago by a
+// mid-route refusal. These holds were never published in n.holds, so a
+// failed release means the hold vanished from its link broker — state
+// corruption that would silently leak link bandwidth if ignored. Rather
+// than assume "rollback cannot fail", the failure is checked explicitly
+// and escalated to a panic carrying the full diagnostic state.
+func (n *Network) rollbackLinkHolds(now Time, held []linkHold, cause error) {
+	for i := len(held) - 1; i >= 0; i-- {
+		h := held[i]
+		if err := h.link.Release(now, h.id); err != nil {
+			panic(fmt.Sprintf(
+				"broker: resource %s: rollback of link %s hold %d failed: %v (refusal being rolled back: %v)",
+				n.resource, h.link.Resource(), h.id, err, cause))
+		}
+	}
+}
+
+// adopt publishes a set of per-link holds as one end-to-end
+// reservation and returns its ID. The atomic multi-resource commit
+// path calls it while still holding the link brokers' mutexes; that is
+// safe because n.mu is only ever acquired after (never before) link
+// mutexes anywhere in the package.
+func (n *Network) adopt(held []linkHold) ReservationID {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.nextID++
 	id := n.nextID
 	n.holds[id] = held
-	return id, nil
+	return id
 }
 
 // Release implements Broker.

@@ -2,6 +2,8 @@ package broker
 
 import (
 	"errors"
+	"math"
+	"strings"
 	"testing"
 
 	"qosres/internal/topo"
@@ -165,4 +167,85 @@ func TestNetworkSharedLinkContention(t *testing.T) {
 	if nB.Available() != 70 {
 		t.Fatalf("after release net:B avail = %v", nB.Available())
 	}
+}
+
+func TestNetworkAlphaFirstReportIsOne(t *testing.T) {
+	n, err := NewNetwork("net:A->B", threeLinks(t, 100, 60, 80))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep := n.Report(2); rep.Alpha != 1 {
+		t.Fatalf("alpha of first report = %v, want 1", rep.Alpha)
+	}
+}
+
+func TestNetworkAlphaAllZeroWindowWithRecoveredAvailability(t *testing.T) {
+	// Same regression guard as the Local case, through the route-minimum
+	// availability: all-zero window reports plus recovered availability
+	// must give the neutral α, not +Inf.
+	n, err := NewNetworkWindow("net:A->B", threeLinks(t, 100, 60, 80), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := n.Reserve(0, 60) // saturates the bottleneck link
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Report(0) // route minimum 0 enters the window
+	if err := n.Release(1, id); err != nil {
+		t.Fatal(err)
+	}
+	rep := n.Report(1)
+	if math.IsInf(rep.Alpha, 0) || math.IsNaN(rep.Alpha) {
+		t.Fatalf("alpha = %v, want finite", rep.Alpha)
+	}
+	if rep.Alpha != 1 {
+		t.Fatalf("alpha with all-zero window = %v, want 1 (guard)", rep.Alpha)
+	}
+}
+
+func TestNetworkReserveLastLinkRefusalRollsBackAllHolds(t *testing.T) {
+	// The failure at the *last* link forces rollback of every earlier
+	// hold on the route, not just one.
+	links := threeLinks(t, 100, 80, 30)
+	n, _ := NewNetwork("net:A->B", links)
+	if _, err := n.Reserve(1, 50); !errors.Is(err, ErrInsufficient) {
+		t.Fatalf("err = %v, want ErrInsufficient", err)
+	}
+	for i, l := range links {
+		if got, want := l.Available(), []float64{100, 80, 30}[i]; got != want {
+			t.Errorf("link %d avail = %v after rollback, want %v", i, got, want)
+		}
+		if l.Reservations() != 0 {
+			t.Errorf("link %d leaked a reservation", i)
+		}
+	}
+	if n.Reservations() != 0 {
+		t.Fatalf("network broker holds %d reservations after refusal", n.Reservations())
+	}
+}
+
+func TestNetworkRollbackFailurePanicsWithDiagnostics(t *testing.T) {
+	// White-box: rollbackLinkHolds must escalate a failed release of a
+	// just-created hold — silent continuation would leak link bandwidth
+	// invisibly. A bogus hold ID simulates the impossible-by-design state
+	// corruption.
+	links := threeLinks(t, 100, 80, 60)
+	n, _ := NewNetwork("net:A->B", links)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("rollback of an unknown hold did not panic")
+		}
+		msg, ok := r.(string)
+		if !ok {
+			t.Fatalf("panic value %T, want string", r)
+		}
+		for _, want := range []string{"net:A->B", "rollback", "refusal being rolled back"} {
+			if !strings.Contains(msg, want) {
+				t.Errorf("panic %q missing %q", msg, want)
+			}
+		}
+	}()
+	n.rollbackLinkHolds(1, []linkHold{{link: links[0], id: 999}}, ErrInsufficient)
 }

@@ -114,6 +114,7 @@ func passI(g *qrg.Graph) *dagValues {
 func bottleneckAlpha(g *qrg.Graph, d *dagValues, v int) float64 {
 	alpha := 1.0
 	bw := -1.0
+	bestEdge := -1
 	seen := make(map[int]bool)
 	stack := []int{v}
 	for len(stack) > 0 {
@@ -125,9 +126,16 @@ func bottleneckAlpha(g *qrg.Graph, d *dagValues, v int) float64 {
 		seen[u] = true
 		node := g.Nodes[u]
 		if node.Parts != nil {
+			// Walk the fan-in parts in sorted node order, and break weight
+			// ties on the lowest edge ID: both keep the selected α
+			// independent of map iteration order, so equal-Ψ plans report
+			// a stable bottleneck trend under the tradeoff policy.
+			outs := make([]int, 0, len(node.Parts))
 			for _, out := range node.Parts {
-				stack = append(stack, out)
+				outs = append(outs, out)
 			}
+			sort.Ints(outs)
+			stack = append(stack, outs...)
 			continue
 		}
 		eid := d.pred[u]
@@ -135,8 +143,10 @@ func bottleneckAlpha(g *qrg.Graph, d *dagValues, v int) float64 {
 			continue
 		}
 		e := g.Edges[eid]
-		if e.Kind == qrg.Translation && e.Weight > bw {
+		if e.Kind == qrg.Translation &&
+			(e.Weight > bw || (e.Weight == bw && eid < bestEdge)) {
 			bw = e.Weight
+			bestEdge = eid
 			alpha = e.Alpha
 		}
 		stack = append(stack, e.From)

@@ -17,6 +17,14 @@ import (
 // against unit availability).
 func buildDiamond(t *testing.T, t1, t2, t3, t4 svc.TranslationTable) *qrg.Graph {
 	t.Helper()
+	return buildDiamondAlpha(t, t1, t2, t3, t4, nil)
+}
+
+// buildDiamondAlpha is buildDiamond with per-component α overrides for
+// the resource snapshot (default 1).
+func buildDiamondAlpha(t *testing.T, t1, t2, t3, t4 svc.TranslationTable,
+	alphas map[svc.ComponentID]float64) *qrg.Graph {
+	t.Helper()
 	lv := func(name string, q float64) svc.Level {
 		return svc.Level{Name: name, Vector: qos.MustVector(qos.P("q", q))}
 	}
@@ -61,7 +69,11 @@ func buildDiamond(t *testing.T, t1, t2, t3, t4 svc.TranslationTable) *qrg.Graph 
 	for _, c := range comps {
 		binding[c.ID] = map[string]string{"r": "r@" + string(c.ID)}
 		avail["r@"+string(c.ID)] = 1
-		alpha["r@"+string(c.ID)] = 1
+		a := 1.0
+		if v, ok := alphas[c.ID]; ok {
+			a = v
+		}
+		alpha["r@"+string(c.ID)] = a
 	}
 	g, err := qrg.Build(service, binding, &broker.Snapshot{Avail: avail, Alpha: alpha})
 	if err != nil {
@@ -217,3 +229,42 @@ func figure8Graph(t *testing.T) *qrg.Graph {
 func dagFixtureService() *svc.Service      { return workload.DagService() }
 func dagFixtureBinding() svc.Binding       { return workload.DagBinding() }
 func dagFixtureSnapshot() *broker.Snapshot { return workload.DagSnapshot() }
+
+func TestBottleneckAlphaDeterministicOnWeightTies(t *testing.T) {
+	// Both fan-in branches carry the same bottleneck weight 0.4 but
+	// different α (c2's resource trends down, c3's up). bottleneckAlpha
+	// walks the fan-in Parts map; without the sorted walk and the
+	// lowest-edge-ID tie-break the reported α would depend on map
+	// iteration order. Rebuild and replan repeatedly: the α (and the
+	// whole plan) must never change.
+	plan := func() *Plan {
+		g := buildDiamondAlpha(t,
+			svc.TranslationTable{"Qa": {"X1": rv(0.1)}},
+			svc.TranslationTable{"B1": {"Y1": rv(0.4)}},
+			svc.TranslationTable{"C1": {"Z1": rv(0.4)}},
+			svc.TranslationTable{"F11": {"S1": rv(0.2)}},
+			map[svc.ComponentID]float64{"c2": 0.5, "c3": 1.5},
+		)
+		p, err := (TwoPass{}).Plan(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	first := plan()
+	for i := 0; i < 50; i++ {
+		p := plan()
+		if p.Alpha != first.Alpha {
+			t.Fatalf("run %d: alpha = %v, first run %v (map-order dependent)", i, p.Alpha, first.Alpha)
+		}
+		if p.Psi != first.Psi || p.EndToEnd.Name != first.EndToEnd.Name {
+			t.Fatalf("run %d: plan (%v, %s) differs from first (%v, %s)",
+				i, p.Psi, p.EndToEnd.Name, first.Psi, first.EndToEnd.Name)
+		}
+	}
+	// The tie must resolve to one of the tied branches' α, not the
+	// neutral default.
+	if first.Alpha != 0.5 && first.Alpha != 1.5 {
+		t.Fatalf("alpha = %v, want a tied branch's α", first.Alpha)
+	}
+}

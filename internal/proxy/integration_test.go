@@ -7,6 +7,7 @@ import (
 
 	"qosres/internal/broker"
 	"qosres/internal/core"
+	"qosres/internal/obs"
 	"qosres/internal/qrg"
 	"qosres/internal/svc"
 	"qosres/internal/topo"
@@ -219,4 +220,197 @@ func TestWallClockAdvances(t *testing.T) {
 	if NewWallClock(0) == nil {
 		t.Fatal("nil clock")
 	}
+}
+
+// stealPlanner wraps a planner and, on its first Plan call, reserves
+// capacity directly on a target broker. Planning runs between the
+// phase-1 snapshot and the phase-3 commit, so the steal deterministically
+// reproduces the TOCTOU race: a concurrent session winning the resource
+// after this session's snapshot was taken.
+type stealPlanner struct {
+	inner  core.Planner
+	target *broker.Local
+	amount float64
+	calls  int
+}
+
+func (p *stealPlanner) Name() string { return "steal" }
+
+func (p *stealPlanner) Plan(g *qrg.Graph) (*core.Plan, error) {
+	p.calls++
+	if p.calls == 1 {
+		if _, err := p.target.Reserve(0, p.amount); err != nil {
+			return nil, err
+		}
+	}
+	return p.inner.Plan(g)
+}
+
+// TestEstablishCommitRefusalRollsBackEverything pins the fail-fast
+// contract: when the planned requirement no longer fits at commit time
+// and the policy allows no retry, Establish fails with
+// broker.ErrInsufficient and leaves zero residual holds on every broker
+// of the plan — including the ones that individually had room.
+func TestEstablishCommitRefusalRollsBackEverything(t *testing.T) {
+	rt, _, brokers := twoHostWorld(t)
+	rt.SetAdmitPolicy(AdmitPolicy{MaxRetries: 0})
+	reg := obs.New()
+	admit := obs.NewAdmitMetrics(reg)
+	rt.InstrumentAdmission(admit)
+	service, binding := pipelineService(t)
+
+	// The basic planner picks lo→best (cpu@X 10, cpu@Y 35, net 25, Ψ
+	// 0.35). Stealing 80 net units mid-plan leaves 20 < 25 at commit.
+	planner := &stealPlanner{inner: core.Basic{}, target: brokers["net:X->Y"], amount: 80}
+	_, err := rt.Establish("X", SessionSpec{Service: service, Binding: binding, Planner: planner})
+	if !errors.Is(err, broker.ErrInsufficient) {
+		t.Fatalf("err = %v, want broker.ErrInsufficient through the retry-exhausted wrapper", err)
+	}
+	if planner.calls != 1 {
+		t.Fatalf("planner ran %d times under MaxRetries=0, want 1", planner.calls)
+	}
+	// The cpu brokers had room; the atomic commit must not have touched
+	// them. The only reservation anywhere is the steal itself.
+	if got := brokers["cpu@X"].Available(); got != 100 {
+		t.Errorf("cpu@X = %v after refusal, want 100", got)
+	}
+	if got := brokers["cpu@Y"].Available(); got != 100 {
+		t.Errorf("cpu@Y = %v after refusal, want 100", got)
+	}
+	if got := brokers["net:X->Y"].Available(); got != 20 {
+		t.Errorf("net = %v after refusal, want 20 (steal only)", got)
+	}
+	for r, b := range brokers {
+		want := 0
+		if r == "net:X->Y" {
+			want = 1 // the steal
+		}
+		if b.Reservations() != want {
+			t.Errorf("%s holds %d reservations, want %d", r, b.Reservations(), want)
+		}
+	}
+	if v := admit.StaleRejects.Value(); v != 1 {
+		t.Errorf("stale rejects = %v, want 1", v)
+	}
+	if v := admit.Rollbacks.Value(); v != 1 {
+		t.Errorf("rollbacks = %v, want 1", v)
+	}
+	if v := admit.Retries.Value(); v != 0 {
+		t.Errorf("retries = %v, want 0 under fail-fast", v)
+	}
+}
+
+// TestEstablishRetriesWithFreshSnapshot pins the replanning contract:
+// after a commit-time refusal the runtime takes a fresh snapshot, plans
+// against the post-race availability, and commits the degraded level.
+func TestEstablishRetriesWithFreshSnapshot(t *testing.T) {
+	rt, _, brokers := twoHostWorld(t)
+	rt.SetAdmitPolicy(AdmitPolicy{MaxRetries: 2})
+	reg := obs.New()
+	admit := obs.NewAdmitMetrics(reg)
+	rt.InstrumentAdmission(admit)
+	service, binding := pipelineService(t)
+
+	// Attempt 1 plans lo→best (net 25) and is refused: the steal leaves
+	// net at 20. Attempt 2's fresh snapshot rules out both "best" paths
+	// (net 40 and 25 > 20) and plans lo→ok (cpu@X 10, cpu@Y 8, net 10),
+	// which commits.
+	planner := &stealPlanner{inner: core.Basic{}, target: brokers["net:X->Y"], amount: 80}
+	s, err := rt.Establish("X", SessionSpec{Service: service, Binding: binding, Planner: planner})
+	if err != nil {
+		t.Fatalf("Establish with retries: %v", err)
+	}
+	if s.Plan.EndToEnd.Name != "ok" {
+		t.Fatalf("retried plan level = %s, want ok (degraded after the race)", s.Plan.EndToEnd.Name)
+	}
+	if planner.calls != 2 {
+		t.Fatalf("planner ran %d times, want 2 (original + one retry)", planner.calls)
+	}
+	if got := brokers["cpu@X"].Available(); got != 90 {
+		t.Errorf("cpu@X = %v, want 90", got)
+	}
+	if got := brokers["cpu@Y"].Available(); got != 92 {
+		t.Errorf("cpu@Y = %v, want 92", got)
+	}
+	if got := brokers["net:X->Y"].Available(); got != 10 {
+		t.Errorf("net = %v, want 10 (80 stolen + 10 committed)", got)
+	}
+	if v := admit.Retries.Value(); v != 1 {
+		t.Errorf("retries = %v, want 1", v)
+	}
+	if v := admit.StaleRejects.Value(); v != 1 {
+		t.Errorf("stale rejects = %v, want 1", v)
+	}
+	if err := s.Release(); err != nil {
+		t.Fatal(err)
+	}
+	if got := brokers["net:X->Y"].Available(); got != 20 {
+		t.Errorf("net = %v after release, want 20", got)
+	}
+}
+
+// TestEstablishRetryExhaustionKeepsErrInsufficient pins the error
+// contract: when every attempt is refused at commit time and the retry
+// budget runs out, the terminal error still matches
+// broker.ErrInsufficient via errors.Is, so callers classify it without
+// string matching.
+func TestEstablishRetryExhaustionKeepsErrInsufficient(t *testing.T) {
+	rt, _, brokers := twoHostWorld(t)
+	rt.SetAdmitPolicy(AdmitPolicy{MaxRetries: 1})
+	reg := obs.New()
+	admit := obs.NewAdmitMetrics(reg)
+	rt.InstrumentAdmission(admit)
+	service, binding := pipelineService(t)
+
+	// Attempt 1 snapshots net=100 and plans lo→best (net 25); the drain
+	// leaves 24 < 25 → refused. Attempt 2 snapshots 24 and plans lo→ok
+	// (net 10); the drain leaves 5 < 10 → refused again. The budget (1
+	// retry) is exhausted with a commit refusal both times.
+	planner := &drainPlanner{inner: core.Basic{}, target: brokers["net:X->Y"], leave: []float64{24, 5}}
+	_, err := rt.Establish("X", SessionSpec{Service: service, Binding: binding, Planner: planner})
+	if !errors.Is(err, broker.ErrInsufficient) {
+		t.Fatalf("terminal err = %v, want broker.ErrInsufficient", err)
+	}
+	if planner.calls != 2 {
+		t.Fatalf("planner ran %d times, want 2 (MaxRetries=1)", planner.calls)
+	}
+	if v := admit.StaleRejects.Value(); v != 2 {
+		t.Errorf("stale rejects = %v, want 2", v)
+	}
+	if v := admit.Retries.Value(); v != 1 {
+		t.Errorf("retries = %v, want 1", v)
+	}
+	// Only the drains remain; the session itself left nothing behind.
+	if got, want := brokers["cpu@X"].Available(), 100.0; got != want {
+		t.Errorf("cpu@X = %v after exhaustion, want %v", got, want)
+	}
+	if got, want := brokers["cpu@Y"].Available(), 100.0; got != want {
+		t.Errorf("cpu@Y = %v after exhaustion, want %v", got, want)
+	}
+	if got, want := brokers["net:X->Y"].Available(), 5.0; got != want {
+		t.Errorf("net = %v after exhaustion, want %v (drains only)", got, want)
+	}
+}
+
+// drainPlanner reserves the target broker down to leave[i] units on its
+// i-th Plan call, so each fresh snapshot is stale again by commit time.
+type drainPlanner struct {
+	inner  core.Planner
+	target *broker.Local
+	leave  []float64
+	calls  int
+}
+
+func (p *drainPlanner) Name() string { return "drain" }
+
+func (p *drainPlanner) Plan(g *qrg.Graph) (*core.Plan, error) {
+	if p.calls < len(p.leave) {
+		if take := p.target.Available() - p.leave[p.calls]; take > 0 {
+			if _, err := p.target.Reserve(0, take); err != nil {
+				return nil, err
+			}
+		}
+	}
+	p.calls++
+	return p.inner.Plan(g)
 }

@@ -7,15 +7,24 @@
 //  1. the participating QoSProxies report the current availability (and
 //     availability change index) of the session's resources;
 //  2. the main QoSProxy executes the planning algorithm locally;
-//  3. the main QoSProxy dispatches the computed end-to-end reservation
-//     plan's segments to the participating QoSProxies, which make the
-//     actual reservations with their local Resource Brokers. A failed
-//     segment aborts the session and rolls back the segments already
-//     reserved.
+//  3. the main QoSProxy commits the computed end-to-end reservation
+//     plan against the participating Resource Brokers.
 //
-// Each QoSProxy runs as its own goroutine and is driven purely by
-// message passing, mirroring the distributed deployment: the only shared
-// state between proxies is the brokers they own.
+// Phase 3 uses a validate-at-commit protocol rather than the naive
+// per-proxy segment dispatch: because the protocol is inherently
+// time-of-check/time-of-use (availability can change between the phase-1
+// snapshot and the reserve), the commit re-validates every broker's
+// current availability against the planned requirement atomically —
+// all-or-nothing across the plan's brokers, deadlock-free via the sorted
+// resource-ID lock ordering of broker.ReserveAtomic. A refusal leaves
+// zero residual holds; Establish then retries planning against a fresh
+// snapshot under the runtime's bounded AdmitPolicy.
+//
+// Each QoSProxy runs as its own goroutine and is driven by message
+// passing for phase 1 and model storage, mirroring the distributed
+// deployment; the phase-3 commit goes to the (concurrency-safe) brokers
+// directly, since cross-proxy atomicity cannot be expressed as
+// independent per-proxy messages without a two-phase commit.
 package proxy
 
 import (
@@ -26,7 +35,6 @@ import (
 
 	"qosres/internal/broker"
 	"qosres/internal/obs"
-	"qosres/internal/qos"
 	"qosres/internal/svc"
 	"qosres/internal/topo"
 )
@@ -74,33 +82,6 @@ type availabilityRequest struct {
 type availabilityReply struct {
 	reports []broker.Report
 	err     error
-}
-
-type reserveRequest struct {
-	// req holds only the resources owned by this proxy.
-	req   qos.ResourceVector
-	reply chan reserveReply
-}
-
-type reserveReply struct {
-	reservation *segmentReservation
-	err         error
-}
-
-type releaseRequest struct {
-	reservation *segmentReservation
-	reply       chan error
-}
-
-// segmentReservation is one proxy's share of an end-to-end reservation.
-type segmentReservation struct {
-	owner topo.HostID
-	parts []segmentPart
-}
-
-type segmentPart struct {
-	b  broker.Broker
-	id broker.ReservationID
 }
 
 // QoSProxy is the per-host reservation coordinator.
@@ -157,10 +138,6 @@ func (p *QoSProxy) serve() {
 			switch req := m.(type) {
 			case availabilityRequest:
 				req.reply <- p.handleAvailability(req)
-			case reserveRequest:
-				req.reply <- p.handleReserve(req)
-			case releaseRequest:
-				req.reply <- p.handleRelease(req)
 			case modelRequest:
 				req.reply <- p.handleModel(req)
 			}
@@ -181,58 +158,6 @@ func (p *QoSProxy) handleAvailability(req availabilityRequest) availabilityReply
 	return availabilityReply{reports: reports}
 }
 
-func (p *QoSProxy) handleReserve(req reserveRequest) reserveReply {
-	now := p.clock.Now()
-	seg := &segmentReservation{owner: p.host}
-	for _, r := range resourceNames(req.req) {
-		amount := req.req[r]
-		if amount == 0 {
-			continue
-		}
-		b, ok := p.brokers[r]
-		if !ok {
-			p.rollback(seg, now)
-			return reserveReply{err: fmt.Errorf("proxy %s: no broker for resource %s", p.host, r)}
-		}
-		id, err := b.Reserve(now, amount)
-		if err != nil {
-			p.rollback(seg, now)
-			return reserveReply{err: err}
-		}
-		seg.parts = append(seg.parts, segmentPart{b: b, id: id})
-	}
-	return reserveReply{reservation: seg}
-}
-
-func (p *QoSProxy) rollback(seg *segmentReservation, now broker.Time) {
-	for i := len(seg.parts) - 1; i >= 0; i-- {
-		_ = seg.parts[i].b.Release(now, seg.parts[i].id)
-	}
-	seg.parts = nil
-}
-
-func (p *QoSProxy) handleRelease(req releaseRequest) error {
-	now := p.clock.Now()
-	var firstErr error
-	for i := len(req.reservation.parts) - 1; i >= 0; i-- {
-		part := req.reservation.parts[i]
-		if err := part.b.Release(now, part.id); err != nil && firstErr == nil {
-			firstErr = err
-		}
-	}
-	req.reservation.parts = nil
-	return firstErr
-}
-
-func resourceNames(rv qos.ResourceVector) []string {
-	out := make([]string, 0, len(rv))
-	for r := range rv {
-		out = append(out, r)
-	}
-	sort.Strings(out)
-	return out
-}
-
 // Runtime is a deployment of QoSProxies over a set of hosts, plus the
 // registry mapping each resource to its owning host.
 type Runtime struct {
@@ -244,15 +169,23 @@ type Runtime struct {
 	// stages, when non-nil, receives per-phase latency observations of
 	// every Establish call (see Instrument).
 	stages *obs.PlanStages
+	// admit receives admission-path counter increments (see
+	// InstrumentAdmission); always non-nil, inert by default.
+	admit *obs.AdmitMetrics
+	// policy bounds the validate-at-commit retry loop of Establish.
+	policy AdmitPolicy
 }
 
-// NewRuntime creates an empty runtime over a clock.
+// NewRuntime creates an empty runtime over a clock with the default
+// admission policy.
 func NewRuntime(clock Clock) *Runtime {
 	return &Runtime{
 		clock:   clock,
 		proxies: make(map[topo.HostID]*QoSProxy),
 		owner:   make(map[string]topo.HostID),
 		stages:  &obs.PlanStages{},
+		admit:   &obs.AdmitMetrics{},
+		policy:  DefaultAdmitPolicy,
 	}
 }
 
@@ -276,6 +209,53 @@ func (rt *Runtime) planStages() *obs.PlanStages {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	return rt.stages
+}
+
+// InstrumentAdmission attaches admission counters: every Establish then
+// counts its commit-time refusals, rollbacks, and replanning retries.
+// A nil argument (or one built from a nil registry) leaves the runtime
+// unobserved at no cost.
+func (rt *Runtime) InstrumentAdmission(m *obs.AdmitMetrics) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if m == nil {
+		m = &obs.AdmitMetrics{}
+	}
+	rt.admit = m
+}
+
+// SetAdmitPolicy replaces the validate-at-commit retry policy applied
+// by Establish. Negative MaxRetries is treated as zero (a single
+// attempt, no replanning).
+func (rt *Runtime) SetAdmitPolicy(p AdmitPolicy) {
+	if p.MaxRetries < 0 {
+		p.MaxRetries = 0
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.policy = p
+}
+
+// admitState returns the current policy and counters under one lock.
+func (rt *Runtime) admitState() (AdmitPolicy, *obs.AdmitMetrics) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.policy, rt.admit
+}
+
+// brokerFor resolves a resource to its deployed broker. The owner and
+// per-proxy broker maps are frozen once Start has been called (Deploy
+// refuses afterwards), so reading them here cannot race with the proxy
+// goroutines.
+func (rt *Runtime) brokerFor(resource string) (broker.Broker, bool) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	host, ok := rt.owner[resource]
+	if !ok {
+		return nil, false
+	}
+	b, ok := rt.proxies[host].brokers[resource]
+	return b, ok
 }
 
 // AddHost deploys a QoSProxy on a host. It must be called before Start.

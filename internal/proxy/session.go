@@ -1,8 +1,10 @@
 package proxy
 
 import (
+	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"qosres/internal/broker"
 	"qosres/internal/core"
@@ -22,14 +24,49 @@ type SessionSpec struct {
 	Planner core.Planner
 }
 
+// AdmitPolicy bounds the validate-at-commit retry loop of Establish.
+// When a computed plan is refused at commit time (its phase-1 snapshot
+// went stale), Establish replans against a fresh snapshot up to
+// MaxRetries more times, sleeping Backoff<<attempt between attempts.
+type AdmitPolicy struct {
+	// MaxRetries is the number of replanning attempts after the first
+	// refusal; 0 means a single attempt, fail-fast.
+	MaxRetries int
+	// Backoff is the base sleep before retry attempt 1; attempt k waits
+	// Backoff<<(k-1), capped at maxAdmitBackoff. Zero disables sleeping,
+	// which is what simulated (manual-clock) deployments want.
+	Backoff time.Duration
+}
+
+// DefaultAdmitPolicy retries replanning up to three times with no
+// backoff sleep.
+var DefaultAdmitPolicy = AdmitPolicy{MaxRetries: 3}
+
+// maxAdmitBackoff caps the exponential backoff between admission
+// attempts.
+const maxAdmitBackoff = 100 * time.Millisecond
+
+// wait sleeps before retry attempt k (1-based). A zero Backoff is a
+// no-op so simulated time is never mixed with wall-clock sleeps.
+func (p AdmitPolicy) wait(attempt int) {
+	if p.Backoff <= 0 {
+		return
+	}
+	d := p.Backoff << uint(attempt-1)
+	if d > maxAdmitBackoff || d <= 0 {
+		d = maxAdmitBackoff
+	}
+	time.Sleep(d)
+}
+
 // Session is an established end-to-end reservation: the plan plus the
-// per-proxy reservation segments backing it.
+// multi-resource reservation backing it.
 type Session struct {
-	Plan     *core.Plan
-	runtime  *Runtime
-	segments []*segmentReservation
-	mu       sync.Mutex
-	released bool
+	Plan        *core.Plan
+	runtime     *Runtime
+	reservation *broker.MultiReservation
+	mu          sync.Mutex
+	released    bool
 }
 
 // Establish runs the full three-phase protocol of section 4.2 from the
@@ -37,12 +74,17 @@ type Session struct {
 //
 // Phase 1 queries, in parallel, the QoSProxies owning the session's
 // resources for availability reports. Phase 2 builds the QRG and runs
-// the planner locally. Phase 3 partitions the plan's requirement by
-// owning proxy and dispatches the segments; any refusal rolls back the
-// segments already reserved and fails the session.
+// the planner locally. Phase 3 commits the plan's requirement with
+// validate-at-commit semantics (broker.ReserveAtomic): every involved
+// broker's availability is re-checked against the requirement under the
+// package-wide lock order, and the holds are created all-or-nothing. A
+// refusal leaves zero residual holds; because it means the phase-1
+// snapshot went stale under concurrent admission, Establish then
+// replans against a fresh snapshot, bounded by the runtime's
+// AdmitPolicy.
 func (rt *Runtime) Establish(mainHost topo.HostID, spec SessionSpec) (*Session, error) {
 	rt.mu.Lock()
-	main, ok := rt.proxies[mainHost]
+	_, ok := rt.proxies[mainHost]
 	started := rt.started
 	rt.mu.Unlock()
 	if !ok {
@@ -51,44 +93,65 @@ func (rt *Runtime) Establish(mainHost topo.HostID, spec SessionSpec) (*Session, 
 	if !started {
 		return nil, fmt.Errorf("proxy: runtime not started")
 	}
-	_ = main // the main proxy runs phases 2 and 3 locally
 
 	resources, err := sessionResourceSet(spec)
 	if err != nil {
 		return nil, err
 	}
 	stages := rt.planStages()
+	policy, admit := rt.admitState()
 
-	// Phase 1: collect availability from the owning proxies, in parallel.
-	sp := obs.StartSpan(stages.Snapshot)
-	snap, err := rt.collectAvailability(resources)
-	sp.End()
-	if err != nil {
-		return nil, err
-	}
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		// Phase 1: collect availability from the owning proxies, in
+		// parallel. Each attempt takes a fresh snapshot: retrying against
+		// the stale one would just recompute the refused plan.
+		sp := obs.StartSpan(stages.Snapshot)
+		snap, err := rt.collectAvailability(resources)
+		sp.End()
+		if err != nil {
+			return nil, err
+		}
 
-	// Phase 2: local computation at the main proxy.
-	sp = obs.StartSpan(stages.Build)
-	g, err := qrg.Build(spec.Service, spec.Binding, snap)
-	sp.End()
-	if err != nil {
-		return nil, err
-	}
-	sp = obs.StartSpan(stages.Plan)
-	plan, err := spec.Planner.Plan(g)
-	sp.End()
-	if err != nil {
-		return nil, err
-	}
+		// Phase 2: local computation at the main proxy.
+		sp = obs.StartSpan(stages.Build)
+		g, err := qrg.Build(spec.Service, spec.Binding, snap)
+		sp.End()
+		if err != nil {
+			return nil, err
+		}
+		sp = obs.StartSpan(stages.Plan)
+		plan, err := spec.Planner.Plan(g)
+		sp.End()
+		if err != nil {
+			// Planning failure against a fresh snapshot is not staleness;
+			// retrying cannot help.
+			return nil, err
+		}
 
-	// Phase 3: dispatch plan segments to the participating proxies.
-	sp = obs.StartSpan(stages.Reserve)
-	segments, err := rt.dispatch(plan.Requirement())
-	sp.End()
-	if err != nil {
-		return nil, err
+		// Phase 3: validate-at-commit reserve across the plan's brokers.
+		sp = obs.StartSpan(stages.Reserve)
+		res, err := broker.ReserveAtomic(rt.clock.Now(), rt.brokerFor, plan.Requirement())
+		sp.End()
+		if err == nil {
+			return &Session{Plan: plan, runtime: rt, reservation: res}, nil
+		}
+		if !errors.Is(err, broker.ErrInsufficient) {
+			return nil, fmt.Errorf("proxy: commit failed: %w", err)
+		}
+		// The plan fit its snapshot but not the brokers' current state:
+		// a concurrent admission won the race. Count the refusal (the
+		// atomic commit left nothing to roll back, but the attempt itself
+		// is a rolled-back admission) and replan if the policy allows.
+		admit.StaleRejects.Inc()
+		admit.Rollbacks.Inc()
+		lastErr = err
+		if attempt >= policy.MaxRetries {
+			return nil, fmt.Errorf("proxy: admission refused after %d attempt(s): %w", attempt+1, lastErr)
+		}
+		admit.Retries.Inc()
+		policy.wait(attempt + 1)
 	}
-	return &Session{Plan: plan, runtime: rt, segments: segments}, nil
 }
 
 // sessionResourceSet lists the concrete resources the session's QRG can
@@ -162,64 +225,7 @@ func (rt *Runtime) collectAvailability(resources []string) (*broker.Snapshot, er
 	return snap, nil
 }
 
-// dispatch is phase 3: split the requirement by owning proxy, reserve
-// each segment, and roll everything back if any proxy refuses.
-func (rt *Runtime) dispatch(req qos.ResourceVector) ([]*segmentReservation, error) {
-	segReq := make(map[*QoSProxy]qos.ResourceVector)
-	for _, r := range resourceNames(req) {
-		p, err := rt.proxyFor(r)
-		if err != nil {
-			return nil, err
-		}
-		if segReq[p] == nil {
-			segReq[p] = make(qos.ResourceVector)
-		}
-		segReq[p][r] = req[r]
-	}
-	// Deterministic dispatch order by host ID simplifies reasoning and
-	// tests; reservations themselves are serialized per proxy anyway.
-	proxies := make([]*QoSProxy, 0, len(segReq))
-	for p := range segReq {
-		proxies = append(proxies, p)
-	}
-	sortProxies(proxies)
-
-	var segments []*segmentReservation
-	for _, p := range proxies {
-		reply := make(chan reserveReply, 1)
-		p.requests <- reserveRequest{req: segReq[p], reply: reply}
-		rep := <-reply
-		if rep.err != nil {
-			rt.releaseSegments(segments)
-			return nil, fmt.Errorf("proxy: segment on %s refused: %w", p.host, rep.err)
-		}
-		segments = append(segments, rep.reservation)
-	}
-	return segments, nil
-}
-
-func sortProxies(ps []*QoSProxy) {
-	for i := 1; i < len(ps); i++ {
-		for j := i; j > 0 && ps[j].host < ps[j-1].host; j-- {
-			ps[j], ps[j-1] = ps[j-1], ps[j]
-		}
-	}
-}
-
-func (rt *Runtime) releaseSegments(segments []*segmentReservation) {
-	for i := len(segments) - 1; i >= 0; i-- {
-		seg := segments[i]
-		rt.mu.Lock()
-		p := rt.proxies[seg.owner]
-		rt.mu.Unlock()
-		reply := make(chan error, 1)
-		p.requests <- releaseRequest{reservation: seg, reply: reply}
-		<-reply
-	}
-}
-
-// Release terminates the session's reservations on every involved proxy.
-// It is idempotent.
+// Release terminates the session's reservations. It is idempotent.
 func (s *Session) Release() error {
 	s.mu.Lock()
 	if s.released {
@@ -227,9 +233,11 @@ func (s *Session) Release() error {
 		return nil
 	}
 	s.released = true
-	segments := s.segments
-	s.segments = nil
+	res := s.reservation
+	s.reservation = nil
 	s.mu.Unlock()
-	s.runtime.releaseSegments(segments)
-	return nil
+	if res == nil {
+		return nil
+	}
+	return res.Release(s.runtime.clock.Now())
 }

@@ -168,6 +168,12 @@ func Weight(req, avail qos.ResourceVector) (psi float64, bottleneck string, feas
 
 // WeightWith is Weight under an alternative per-resource contention
 // definition (footnote 2 of the paper).
+//
+// A zero requirement contributes Ψ = 0 and never affects feasibility,
+// even when the resource's availability is also zero (or the resource
+// is unknown): demanding nothing of an exhausted resource is trivially
+// satisfiable, and skipping the term keeps the 0/0 contention ratio
+// from injecting NaN into the max-plus Dijkstra edge weights.
 func WeightWith(req, avail qos.ResourceVector, f ContentionFunc) (psi float64, bottleneck string, feasible bool) {
 	psi = 0
 	feasible = true

@@ -1,6 +1,7 @@
 package qrg
 
 import (
+	"math"
 	"strings"
 	"testing"
 
@@ -311,5 +312,47 @@ func TestDOTRendersStructure(t *testing.T) {
 	// Balanced braces: parseable structure.
 	if strings.Count(dot, "{") != strings.Count(dot, "}") {
 		t.Fatal("unbalanced braces in DOT output")
+	}
+}
+
+func TestWeightZeroRequirementZeroAvailability(t *testing.T) {
+	// 0/0 must not reach the contention function: the term is skipped, so
+	// the pair is feasible with Ψ contribution 0 — no NaN can leak into
+	// the Dijkstra edge weights.
+	psi, bott, ok := Weight(
+		qos.ResourceVector{"drained": 0, "cpu": 10},
+		qos.ResourceVector{"drained": 0, "cpu": 100})
+	if !ok {
+		t.Fatal("zero requirement against zero availability must be feasible")
+	}
+	if math.IsNaN(psi) || psi != 0.1 {
+		t.Fatalf("psi = %v, want 0.1 from cpu alone", psi)
+	}
+	if bott != "cpu" {
+		t.Fatalf("bottleneck = %q, want cpu (drained must not contribute)", bott)
+	}
+}
+
+func TestWeightZeroRequirementAllContentionFuncs(t *testing.T) {
+	// Every alternative contention definition shares the skip: none may
+	// see the 0/0 pair.
+	for _, name := range []string{"", "ratio", "headroom", "log"} {
+		f, ok := ContentionByName(name)
+		if !ok {
+			t.Fatalf("unknown contention %q", name)
+		}
+		psi, _, ok := WeightWith(qos.ResourceVector{"r": 0}, qos.ResourceVector{"r": 0}, f)
+		if !ok || psi != 0 || math.IsNaN(psi) {
+			t.Fatalf("contention %q: psi = %v ok = %v, want 0/true", name, psi, ok)
+		}
+	}
+}
+
+func TestWeightPositiveRequirementZeroAvailabilityInfeasible(t *testing.T) {
+	// The boundary next to the 0/0 case: any positive demand on a drained
+	// resource stays a feasibility failure.
+	_, bott, ok := Weight(qos.ResourceVector{"r": 1e-12}, qos.ResourceVector{"r": 0})
+	if ok || bott != "r" {
+		t.Fatalf("positive requirement on drained resource: ok = %v bottleneck = %q", ok, bott)
 	}
 }

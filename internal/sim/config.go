@@ -97,6 +97,14 @@ type Config struct {
 	// instead of direct broker calls. Incompatible with StaleE > 0: the
 	// protocol always observes current availability.
 	UseRuntime bool
+	// MaxAdmitRetries bounds the runtime admission retry loop: when a
+	// computed plan is refused at commit time because its availability
+	// snapshot went stale under concurrent admission, the proxy runtime
+	// replans against a fresh snapshot up to this many more times. Only
+	// meaningful with UseRuntime; 0 means fail-fast (single attempt).
+	// Single-threaded simulation runs never trigger a retry, so the
+	// value does not perturb deterministic results.
+	MaxAdmitRetries int
 }
 
 // DefaultBaseScale calibrates the figure-10 requirement units against
@@ -125,6 +133,7 @@ func DefaultConfig(alg Algorithm, rate float64, seed int64) Config {
 		DurationMin:        20,
 		DurationSplit:      60,
 		DurationMax:        600,
+		MaxAdmitRetries:    3,
 	}
 }
 
@@ -179,6 +188,9 @@ func (c Config) Validate() error {
 	}
 	if c.UseRuntime && c.Contention != "" && c.Contention != "ratio" {
 		return fmt.Errorf("sim: UseRuntime supports only the ratio contention index")
+	}
+	if c.MaxAdmitRetries < 0 {
+		return fmt.Errorf("sim: negative admission retry bound %d", c.MaxAdmitRetries)
 	}
 	return nil
 }

@@ -24,6 +24,9 @@ type instruments struct {
 	rollbacks                     *obs.Counter
 	psi                           *obs.Histogram
 	simTime                       *obs.Gauge
+	// admit carries the runtime admission counters (retries, rollbacks,
+	// stale-snapshot rejections); inert without a registry.
+	admit *obs.AdmitMetrics
 }
 
 const (
@@ -51,6 +54,7 @@ func newInstruments(r *obs.Registry) instruments {
 		"Bottleneck contention index of accepted plans.",
 		obs.LinearBuckets(0.05, 0.05, 20))
 	in.simTime = r.Gauge(obs.MetricSimTime, "Current simulation clock in TUs.")
+	in.admit = obs.NewAdmitMetrics(r)
 	return in
 }
 

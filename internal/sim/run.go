@@ -56,7 +56,7 @@ func Run(cfg Config) (*Result, error) {
 	sched := newScheduler()
 	var rt *proxy.Runtime
 	if cfg.UseRuntime {
-		rt, err = env.buildRuntime(simClock{sched: sched})
+		rt, err = env.buildRuntime(cfg, simClock{sched: sched})
 		if err != nil {
 			return nil, err
 		}

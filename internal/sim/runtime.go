@@ -33,13 +33,18 @@ func (c simClock) Now() broker.Time { return c.sched.now }
 
 // buildRuntime deploys a QoSProxy per figure-9 host and registers every
 // broker of the environment with its owning host's proxy.
-func (env *environment) buildRuntime(clock proxy.Clock) (*proxy.Runtime, error) {
+func (env *environment) buildRuntime(cfg Config, clock proxy.Clock) (*proxy.Runtime, error) {
 	rt := proxy.NewRuntime(clock)
+	// Admission retries are bounded by the run config; no backoff sleep,
+	// since a simulated run must never block on wall-clock time.
+	rt.SetAdmitPolicy(proxy.AdmitPolicy{MaxRetries: cfg.MaxAdmitRetries})
 	if env.ins.enabled() {
 		// The three-phase protocol records into the same stage
 		// histograms as the direct path, so both execution modes share
-		// one latency vocabulary.
+		// one latency vocabulary, and admission retries/rollbacks land in
+		// the run's registry.
 		rt.Instrument(env.ins.stages)
+		rt.InstrumentAdmission(env.ins.admit)
 	}
 	for _, h := range env.topology.Hosts() {
 		if _, err := rt.AddHost(h); err != nil {
@@ -120,6 +125,23 @@ func (env *environment) handleArrivalRuntime(cfg Config, rt *proxy.Runtime,
 		metrics.ObserveService(service.Name, false, 0)
 		env.tracer.Trace(trace.Event{
 			At: now, Kind: trace.PlanFailed, Session: sid,
+			Service: service.Name, Class: class.String(),
+		})
+		return nil
+	}
+	if errors.Is(err, broker.ErrInsufficient) {
+		// The plan fit its snapshot but was refused at commit time and the
+		// retry budget ran out — only possible under concurrent admission
+		// (the stress harness); single-threaded runs always commit what
+		// they plan. Book it as a reservation failure, like the direct
+		// path under stale observations. (The rollback counter was already
+		// advanced inside Establish, once per refused commit attempt.)
+		env.ins.reserveFailed.Inc()
+		metrics.ReserveFailures++
+		metrics.ObserveSessionAt(float64(now), class, false, 0)
+		metrics.ObserveService(service.Name, false, 0)
+		env.tracer.Trace(trace.Event{
+			At: now, Kind: trace.ReserveFailed, Session: sid,
 			Service: service.Name, Class: class.String(),
 		})
 		return nil

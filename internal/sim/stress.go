@@ -1,0 +1,225 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"qosres/internal/broker"
+	"qosres/internal/core"
+	"qosres/internal/proxy"
+	"qosres/internal/topo"
+)
+
+// This file is the concurrent admission stress harness for the
+// validate-at-commit reserve protocol. The discrete-event simulator is
+// single-threaded by construction, so it can never exercise the
+// snapshot→reserve race; RunStress instead drives one proxy.Runtime
+// from many goroutine "clients", each establishing and releasing
+// sessions drawn from the same figure-9 workload, and checks the two
+// admission-safety invariants:
+//
+//  1. no broker is ever over-committed (reserved never exceeds
+//     capacity), and
+//  2. no failed Establish leaves residual holds — after every session
+//     is released, every broker is back to full availability with zero
+//     live reservations.
+//
+// The harness is what TestConcurrentAdmissionStress runs under the race
+// detector; it is exported so experiments and the CI workflow can run
+// larger configurations.
+
+// StressConfig parameterizes one RunStress call. The zero value is not
+// valid; start from DefaultStressConfig.
+type StressConfig struct {
+	// Seed drives capacity draws and every client's session stream.
+	Seed int64
+	// Sessions is the number of concurrent client goroutines.
+	Sessions int
+	// Iterations is the number of Establish attempts per client.
+	Iterations int
+	// Config is the underlying run configuration (algorithm, workload
+	// shape, capacities, MaxAdmitRetries, Obs registry). UseRuntime is
+	// implied.
+	Config Config
+}
+
+// DefaultStressConfig returns a configuration that contends hard: the
+// figure-9 environment is drawn with capacities well below the paper's
+// 1000..4000 so concurrent sessions constantly race for the same
+// brokers and commit-time refusals actually occur.
+func DefaultStressConfig(seed int64) StressConfig {
+	cfg := DefaultConfig(AlgBasic, 120, seed)
+	cfg.UseRuntime = true
+	cfg.CapacityMin = 150
+	cfg.CapacityMax = 300
+	return StressConfig{
+		Seed:       seed,
+		Sessions:   32,
+		Iterations: 8,
+		Config:     cfg,
+	}
+}
+
+// StressResult summarizes one stress run. Established + PlanInfeasible +
+// AdmitRefused equals Sessions × Iterations.
+type StressResult struct {
+	// Established counts sessions that committed their reservations.
+	Established int
+	// PlanInfeasible counts sessions whose planning found no feasible
+	// path against their (fresh) snapshot.
+	PlanInfeasible int
+	// AdmitRefused counts sessions refused at commit time after
+	// exhausting the retry budget.
+	AdmitRefused int
+	// Retries, Rollbacks and StaleRejects are the admission counters of
+	// the run's registry (zero when Config.Obs is nil).
+	Retries, Rollbacks, StaleRejects float64
+}
+
+// String renders the result as a one-line summary.
+func (r *StressResult) String() string {
+	return fmt.Sprintf("established %d, plan-infeasible %d, admit-refused %d (retries %.0f, rollbacks %.0f, stale-rejects %.0f)",
+		r.Established, r.PlanInfeasible, r.AdmitRefused, r.Retries, r.Rollbacks, r.StaleRejects)
+}
+
+// overcommitTolerance absorbs the per-reservation availEpsilon slack of
+// many concurrent holds; a genuine over-commit overshoots by a session's
+// whole requirement, orders of magnitude larger.
+const overcommitTolerance = 1e-6
+
+// RunStress drives Sessions concurrent clients through the proxy
+// runtime's three-phase protocol and verifies the admission-safety
+// invariants. Any invariant violation, or any Establish failure other
+// than plan infeasibility and commit refusal, is returned as an error.
+func RunStress(sc StressConfig) (*StressResult, error) {
+	cfg := sc.Config
+	cfg.UseRuntime = true
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if sc.Sessions < 1 || sc.Iterations < 1 {
+		return nil, fmt.Errorf("sim: stress needs at least one session and one iteration, got %d×%d",
+			sc.Sessions, sc.Iterations)
+	}
+
+	rng := rand.New(rand.NewSource(sc.Seed))
+	env, err := buildEnvironment(cfg, rng)
+	if err != nil {
+		return nil, err
+	}
+	planner, err := makePlanner(cfg, rng)
+	if err != nil {
+		return nil, err
+	}
+	clock := &proxy.ManualClock{}
+	rt, err := env.buildRuntime(cfg, clock)
+	if err != nil {
+		return nil, err
+	}
+	defer rt.Stop()
+
+	var (
+		mu       sync.Mutex
+		result   StressResult
+		failures []string
+	)
+	fail := func(format string, args ...interface{}) {
+		mu.Lock()
+		if len(failures) < 8 { // keep the report readable
+			failures = append(failures, fmt.Sprintf(format, args...))
+		}
+		mu.Unlock()
+	}
+	locals := env.pool.LocalBrokers()
+
+	var wg sync.WaitGroup
+	for g := 0; g < sc.Sessions; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			// Each client draws its own deterministic session stream.
+			crng := rand.New(rand.NewSource(sc.Seed + 7919*int64(g) + 1))
+			var held []*proxy.Session
+			release := func(s *proxy.Session) {
+				if err := s.Release(); err != nil {
+					fail("client %d: release: %v", g, err)
+				}
+			}
+			for it := 0; it < sc.Iterations; it++ {
+				sh := env.drawSession(cfg, crng)
+				service := env.services[sh.service-1][sh.variant]
+				binding, _ := sessionResources(sh)
+				s, err := rt.Establish(topo.ServerHost(sh.service), proxy.SessionSpec{
+					Service: service, Binding: binding, Planner: planner,
+				})
+				switch {
+				case err == nil:
+					mu.Lock()
+					result.Established++
+					mu.Unlock()
+					held = append(held, s)
+					// Churn: keep a couple of sessions live so later
+					// iterations race against real holds, release the rest.
+					if len(held) > 2 {
+						release(held[0])
+						held = held[1:]
+					}
+				case errors.Is(err, core.ErrInfeasible):
+					mu.Lock()
+					result.PlanInfeasible++
+					mu.Unlock()
+				case errors.Is(err, broker.ErrInsufficient):
+					mu.Lock()
+					result.AdmitRefused++
+					mu.Unlock()
+				default:
+					fail("client %d: establish: %v", g, err)
+				}
+				// Invariant 1, checked while the race is hot: no broker may
+				// ever have negative availability.
+				for _, b := range locals {
+					if a := b.Available(); a < -overcommitTolerance {
+						fail("client %d: broker %s over-committed: available %g", g, b.Resource(), a)
+					}
+				}
+			}
+			for _, s := range held {
+				release(s)
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	// Invariant 2: with every session released, every broker must be
+	// whole again — anything else is a leaked (or lost) hold.
+	for _, b := range locals {
+		if n := b.Reservations(); n != 0 {
+			failures = append(failures, fmt.Sprintf("broker %s leaked %d holds", b.Resource(), n))
+		}
+		if a, c := b.Available(), b.Capacity(); a < c-overcommitTolerance || a > c+overcommitTolerance {
+			failures = append(failures, fmt.Sprintf("broker %s availability %g after drain, want capacity %g", b.Resource(), a, c))
+		}
+	}
+	for _, r := range env.pool.Resources() {
+		b, _ := env.pool.Get(r)
+		if n, ok := b.(*broker.Network); ok {
+			if live := n.Reservations(); live != 0 {
+				failures = append(failures, fmt.Sprintf("network broker %s leaked %d holds", r, live))
+			}
+		}
+	}
+	if got, want := result.Established+result.PlanInfeasible+result.AdmitRefused,
+		sc.Sessions*sc.Iterations; got != want {
+		failures = append(failures, fmt.Sprintf("outcome count %d != %d attempts", got, want))
+	}
+	if len(failures) > 0 {
+		return nil, fmt.Errorf("sim: stress invariants violated: %v", failures)
+	}
+
+	result.Retries = env.ins.admit.Retries.Value()
+	result.Rollbacks = env.ins.admit.Rollbacks.Value()
+	result.StaleRejects = env.ins.admit.StaleRejects.Value()
+	return &result, nil
+}
