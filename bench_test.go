@@ -23,6 +23,7 @@ import (
 	"qosres/internal/proxy"
 	"qosres/internal/qrg"
 	"qosres/internal/sim"
+	"qosres/internal/svc"
 	"qosres/internal/topo"
 	"qosres/internal/workload"
 )
@@ -161,6 +162,57 @@ func BenchmarkQRGBuildVideo(b *testing.B) {
 		if _, err := qrg.Build(service, binding, snap); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkPlanPath compares the full per-session planning step —
+// graph construction plus planner — between the from-scratch reference
+// (qrg.Build) and the compiled-template fast lane
+// (Template.Instantiate + Recycle), on the figure-9 S1 chain (max-plus
+// Dijkstra) and the fan-in DAG (two-pass heuristic). The same fixtures
+// back cmd/experiments -run planbench, which records the comparison in
+// BENCH_plan.json.
+func BenchmarkPlanPath(b *testing.B) {
+	shapes := []struct {
+		name    string
+		planner core.Planner
+		fixture func() (*svc.Service, svc.Binding, *broker.Snapshot)
+	}{
+		{"chain", core.Basic{}, experiments.PlanBenchChain},
+		{"dag", core.TwoPass{}, experiments.PlanBenchDag},
+	}
+	for _, sh := range shapes {
+		service, binding, snap := sh.fixture()
+		b.Run(sh.name+"/scratch", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				g, err := qrg.Build(service, binding, snap)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := sh.planner.Plan(g); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(sh.name+"/template", func(b *testing.B) {
+			tpl, err := qrg.Compile(service, binding)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				g, err := tpl.Instantiate(snap)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := sh.planner.Plan(g); err != nil {
+					b.Fatal(err)
+				}
+				tpl.Recycle(g)
+			}
+		})
 	}
 }
 

@@ -22,12 +22,13 @@ import (
 
 func main() {
 	var (
-		run      = flag.String("run", "all", "comma-separated experiments: fig11, table1, table2, table3, table4, fig12, fig13, quality")
+		run      = flag.String("run", "all", "comma-separated experiments: fig11, table1, table2, table3, table4, fig12, fig13, quality, planbench (planbench is opt-in, not part of all)")
 		seed     = flag.Int64("seed", 1, "base random seed")
 		duration = flag.Float64("duration", 10800, "simulated time units per run")
 		scale    = flag.Float64("scale", 0, "workload base scale override (0 = calibrated default)")
 		plot     = flag.Bool("plot", false, "also render figures as ASCII charts")
 		csvDir   = flag.String("csv", "", "also write each experiment's data as CSV files into this directory")
+		benchOut = flag.String("benchjson", "", "with -run planbench, also write the comparison to this JSON file (e.g. BENCH_plan.json)")
 	)
 	flag.Parse()
 
@@ -147,6 +148,22 @@ func main() {
 		writeCSV("fig13.csv", func(w *os.File) error { return experiments.WriteFig11CSV(w, rows) })
 		if *plot {
 			experiments.PlotFig11(os.Stdout, "Figure 13 (a): success rate (%), diversity 3:1", "a", rows)
+		}
+		fmt.Println()
+	}
+	// Opt-in (deterministic experiment output stays the default): the
+	// plan-path microbenchmarks behind the compiled-template fast lane.
+	if want["planbench"] {
+		res, err := experiments.PlanBench()
+		if err != nil {
+			fail(err)
+		}
+		experiments.PrintPlanBench(os.Stdout, res)
+		if *benchOut != "" {
+			if err := experiments.WritePlanBenchJSON(*benchOut, res); err != nil {
+				fail(err)
+			}
+			fmt.Printf("wrote %s\n", *benchOut)
 		}
 		fmt.Println()
 	}

@@ -45,6 +45,7 @@ func main() {
 		paths      = flag.Bool("paths", false, "print selected-path histograms")
 		contention = flag.String("contention", "ratio", "contention index: ratio, headroom, or log")
 		useRuntime = flag.Bool("runtime", false, "route sessions through the QoSProxy runtime architecture")
+		tplCache   = flag.Bool("template-cache", true, "serve QRGs from compiled per-(service, binding) templates; false rebuilds every graph from scratch (reference path)")
 		admitRetry = flag.Int("admit-retries", 3, "with -runtime: max replanning retries after a commit-time refusal")
 		timeline   = flag.Float64("timeline", 0, "print a success-rate timeline with this window width (TUs)")
 		metrics    = flag.String("metrics", "", "serve /metrics, /snapshot and /debug/pprof on this address (e.g. :9090)")
@@ -61,6 +62,7 @@ func main() {
 	cfg.Workload.DiversityRatio = *diversity
 	cfg.Contention = *contention
 	cfg.UseRuntime = *useRuntime
+	cfg.TemplateCache = *tplCache
 	cfg.MaxAdmitRetries = *admitRetry
 	cfg.TimelineWindow = *timeline
 
@@ -124,6 +126,7 @@ func main() {
 
 	printStageLatencies(reg)
 	printAdmission(reg)
+	printTemplateCache(reg)
 	printUtilization(reg)
 
 	if m.Timeline != nil {
@@ -212,6 +215,39 @@ func printAdmission(reg *obs.Registry) {
 		tbl.AddRow(r.label, fmt.Sprintf("%.0f", r.value))
 	}
 	fmt.Printf("\nadmission (validate-at-commit):\n%s", tbl)
+}
+
+// printTemplateCache summarizes the compiled-template fast lane: how
+// many QRG constructions were served from a compiled template versus
+// compiled fresh, and how many templates stayed resident. Silent when
+// the cache is disabled (-template-cache=false leaves every counter at
+// zero).
+func printTemplateCache(reg *obs.Registry) {
+	snap := reg.Snapshot()
+	value := func(name string) float64 {
+		var v float64
+		for _, c := range snap.Counters {
+			if c.Name == name {
+				v += c.Value
+			}
+		}
+		for _, g := range snap.Gauges {
+			if g.Name == name {
+				v += g.Value
+			}
+		}
+		return v
+	}
+	hits := value(obs.MetricTemplateHits)
+	misses := value(obs.MetricTemplateMisses)
+	if hits+misses == 0 {
+		return
+	}
+	tbl := &stats.Table{Header: []string{"template cache", "count"}}
+	tbl.AddRow("hits", fmt.Sprintf("%.0f", hits))
+	tbl.AddRow("misses (compilations)", fmt.Sprintf("%.0f", misses))
+	tbl.AddRow("templates resident", fmt.Sprintf("%.0f", value(obs.MetricTemplatesCached)))
+	fmt.Printf("\nQRG construction (compiled-template fast lane):\n%s", tbl)
 }
 
 // printUtilization summarizes the end-of-run per-resource utilization

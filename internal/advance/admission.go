@@ -21,6 +21,13 @@ type Admission struct {
 	// Resources lists the concrete resource IDs the session can touch;
 	// derived from Binding when empty.
 	Resources []string
+	// Templates optionally shares compiled QRG templates with other
+	// admissions; when nil a private template is compiled on first use.
+	// EarliestFeasible in particular replans per candidate window, so
+	// every scan step after the first rides the fast lane.
+	Templates *qrg.TemplateCache
+
+	tpl *qrg.Template
 }
 
 // ErrNoWindow is returned when EarliestFeasible exhausts its horizon.
@@ -54,11 +61,46 @@ func (a *Admission) Plan(start, end broker.Time) (*core.Plan, error) {
 	if err != nil {
 		return nil, err
 	}
-	g, err := qrg.Build(a.Service, a.Binding, snap)
+	tpl := a.template()
+	if tpl == nil {
+		// Fallback: compilation failed (Compile binds eagerly where
+		// Build binds lazily); keep the reference semantics.
+		g, err := qrg.Build(a.Service, a.Binding, snap)
+		if err != nil {
+			return nil, err
+		}
+		return a.Planner.Plan(g)
+	}
+	g, err := tpl.Instantiate(snap)
 	if err != nil {
 		return nil, err
 	}
-	return a.Planner.Plan(g)
+	plan, err := a.Planner.Plan(g)
+	tpl.Recycle(g)
+	return plan, err
+}
+
+// template returns the admission's compiled template, consulting the
+// shared cache when configured, else compiling once. Nil means the
+// pair does not compile; Plan then falls back to qrg.Build. Like the
+// rest of Admission, lazy compilation assumes single-goroutine use
+// (share a TemplateCache for concurrent admissions).
+func (a *Admission) template() *qrg.Template {
+	if a.Templates != nil {
+		tpl, err := a.Templates.Get(a.Service, a.Binding)
+		if err != nil {
+			return nil
+		}
+		return tpl
+	}
+	if a.tpl == nil {
+		tpl, err := qrg.Compile(a.Service, a.Binding)
+		if err != nil {
+			return nil
+		}
+		a.tpl = tpl
+	}
+	return a.tpl
 }
 
 // Admit plans and books the session over [start, end). The booking is

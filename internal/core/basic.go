@@ -27,6 +27,7 @@ func (b Basic) Plan(g *qrg.Graph) (*Plan, error) {
 		return (TwoPass{}).Plan(g)
 	}
 	s := maxPlusDijkstraOpt(g, b.NoTieBreak)
+	defer s.release()
 	for _, sink := range g.Sinks {
 		if !s.reachable(sink.Node) {
 			continue

@@ -1,8 +1,8 @@
 package core
 
 import (
-	"container/heap"
 	"math"
+	"sync"
 
 	"qosres/internal/qrg"
 )
@@ -23,37 +23,77 @@ type shortest struct {
 	predEdge []int
 	// inWeight[v] is the weight of predEdge[v], the tie-break key.
 	inWeight []float64
+	// heap is the binary min-heap of pending relaxations (lazy
+	// deletion: stale entries are skipped on pop).
+	heap []pqItem
 }
 
-// pqItem is a priority-queue entry (lazy deletion: stale entries are
-// skipped on pop).
+// pqItem is a priority-queue entry.
 type pqItem struct {
 	node int
 	dist float64
 	tie  float64
 }
 
-type pq []pqItem
+// pqLess orders relaxations by node value, then incoming edge weight,
+// then node ID — a strict total order, so pop order is deterministic.
+func pqLess(a, b pqItem) bool {
+	if a.dist != b.dist {
+		return a.dist < b.dist
+	}
+	if a.tie != b.tie {
+		return a.tie < b.tie
+	}
+	return a.node < b.node
+}
 
-func (q pq) Len() int { return len(q) }
-func (q pq) Less(i, j int) bool {
-	if q[i].dist != q[j].dist {
-		return q[i].dist < q[j].dist
+// push adds an item, sifting up.
+func (s *shortest) push(it pqItem) {
+	h := append(s.heap, it)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !pqLess(h[i], h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
 	}
-	if q[i].tie != q[j].tie {
-		return q[i].tie < q[j].tie
+	s.heap = h
+}
+
+// pop removes and returns the minimum item, sifting down.
+func (s *shortest) pop() pqItem {
+	h := s.heap
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h = h[:n]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		j := l
+		if r := l + 1; r < n && pqLess(h[r], h[l]) {
+			j = r
+		}
+		if !pqLess(h[j], h[i]) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
 	}
-	return q[i].node < q[j].node
+	s.heap = h
+	return top
 }
-func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
-func (q *pq) Pop() interface{} {
-	old := *q
-	n := len(old)
-	it := old[n-1]
-	*q = old[:n-1]
-	return it
-}
+
+// shortestPool recycles the per-plan state: the dist/predEdge/inWeight
+// arrays and the heap are reused across plans, so a steady-state
+// Dijkstra run allocates nothing. Holders must call release() when the
+// plan (and anything referencing s.g through it) is assembled.
+var shortestPool = sync.Pool{New: func() interface{} { return new(shortest) }}
 
 // maxPlusDijkstra runs Dijkstra's algorithm with "+" redefined as "max"
 // (section 4.1.2). The resulting dist of a sink node equals the
@@ -71,13 +111,17 @@ func maxPlusDijkstra(g *qrg.Graph) *shortest {
 // maxPlusDijkstraOpt optionally disables the tie-break rule.
 func maxPlusDijkstraOpt(g *qrg.Graph, noTieBreak bool) *shortest {
 	n := len(g.Nodes)
-	s := &shortest{
-		g:          g,
-		noTieBreak: noTieBreak,
-		dist:       make([]float64, n),
-		predEdge:   make([]int, n),
-		inWeight:   make([]float64, n),
+	s := shortestPool.Get().(*shortest)
+	s.g = g
+	s.noTieBreak = noTieBreak
+	if cap(s.dist) < n {
+		s.dist = make([]float64, n)
+		s.predEdge = make([]int, n)
+		s.inWeight = make([]float64, n)
 	}
+	s.dist = s.dist[:n]
+	s.predEdge = s.predEdge[:n]
+	s.inWeight = s.inWeight[:n]
 	for i := range s.dist {
 		s.dist[i] = math.Inf(1)
 		s.predEdge[i] = -1
@@ -85,16 +129,16 @@ func maxPlusDijkstraOpt(g *qrg.Graph, noTieBreak bool) *shortest {
 	}
 	s.dist[g.Source] = 0
 	s.inWeight[g.Source] = 0
-	q := &pq{{node: g.Source, dist: 0, tie: 0}}
-	heap.Init(q)
-	for q.Len() > 0 {
-		it := heap.Pop(q).(pqItem)
+	s.heap = s.heap[:0]
+	s.push(pqItem{node: g.Source, dist: 0, tie: 0})
+	for len(s.heap) > 0 {
+		it := s.pop()
 		u := it.node
 		if it.dist > s.dist[u] || (it.dist == s.dist[u] && it.tie > s.inWeight[u]) {
 			continue // stale entry
 		}
 		for _, eid := range g.OutEdges[u] {
-			e := g.Edges[eid]
+			e := &g.Edges[eid]
 			v := e.To
 			nd := s.dist[u]
 			if e.Weight > nd {
@@ -106,10 +150,17 @@ func maxPlusDijkstraOpt(g *qrg.Graph, noTieBreak bool) *shortest {
 			s.dist[v] = nd
 			s.predEdge[v] = eid
 			s.inWeight[v] = e.Weight
-			heap.Push(q, pqItem{node: v, dist: nd, tie: e.Weight})
+			s.push(pqItem{node: v, dist: nd, tie: e.Weight})
 		}
 	}
 	return s
+}
+
+// release returns the run's buffers to the pool. The shortest value
+// must not be used afterwards.
+func (s *shortest) release() {
+	s.g = nil
+	shortestPool.Put(s)
 }
 
 // better reports whether the candidate relaxation (nd via edge eid of

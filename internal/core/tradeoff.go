@@ -32,6 +32,7 @@ func (Tradeoff) Plan(g *qrg.Graph) (*Plan, error) {
 		return planDAG(g, chooseTradeoffSink)
 	}
 	s := maxPlusDijkstra(g)
+	defer s.release()
 	sinks := reachableSinks(g, s)
 	if len(sinks) == 0 {
 		return nil, ErrInfeasible

@@ -1,0 +1,184 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"testing"
+
+	"qosres/internal/broker"
+	"qosres/internal/core"
+	"qosres/internal/qos"
+	"qosres/internal/qrg"
+	"qosres/internal/sim"
+	"qosres/internal/stats"
+	"qosres/internal/svc"
+	"qosres/internal/topo"
+	"qosres/internal/workload"
+)
+
+// PlanBenchChain is the figure-9 deployment's S1 chain (family A tables
+// at the simulator's calibrated base scale) bound to its real placement:
+// server CPU, proxy CPU, server->proxy and proxy->client links. The
+// companion snapshot is generous so no edge prunes and the benchmark
+// exercises the full graph.
+func PlanBenchChain() (*svc.Service, svc.Binding, *broker.Snapshot) {
+	service := workload.Chain("S1", workload.FamilyOf(1), workload.Options{BaseScale: sim.DefaultBaseScale})
+
+	server := topo.ServerHost(1)
+	proxy := topo.ServerHost(topo.ProxyServerFor(1))
+	client := topo.DomainHost(1)
+	cpuS := broker.LocalResourceID(workload.ResCPU, server)
+	cpuP := broker.LocalResourceID(workload.ResCPU, proxy)
+	netSP := broker.NetResourceID(server, proxy)
+	netPC := broker.NetResourceID(proxy, client)
+
+	binding := svc.Binding{
+		workload.CompServer: {workload.ResCPU: cpuS},
+		workload.CompProxy:  {workload.ResCPU: cpuP, workload.ResNet: netSP},
+		workload.CompClient: {workload.ResNet: netPC},
+	}
+	avail := qos.ResourceVector{}
+	alpha := map[string]float64{}
+	for _, r := range []string{cpuS, cpuP, netSP, netPC} {
+		avail[r] = 1e6
+		alpha[r] = 1
+	}
+	return service, binding, &broker.Snapshot{Avail: avail, Alpha: alpha}
+}
+
+// PlanBenchDag is the fan-in DAG example (figure 6 shape) with its
+// canonical binding and snapshot.
+func PlanBenchDag() (*svc.Service, svc.Binding, *broker.Snapshot) {
+	return workload.DagService(), workload.DagBinding(), workload.DagSnapshot()
+}
+
+// PlanBenchRow is one measured (shape, mode) cell.
+type PlanBenchRow struct {
+	Shape       string  `json:"shape"`
+	Mode        string  `json:"mode"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// PlanBenchResult aggregates the template-vs-scratch comparison. The
+// speedup and alloc-ratio fields divide the from-scratch cost by the
+// template cost, so larger is better for the fast lane.
+type PlanBenchResult struct {
+	Rows            []PlanBenchRow `json:"rows"`
+	ChainSpeedup    float64        `json:"chain_speedup"`
+	ChainAllocRatio float64        `json:"chain_alloc_ratio"`
+	DagSpeedup      float64        `json:"dag_speedup"`
+	DagAllocRatio   float64        `json:"dag_alloc_ratio"`
+}
+
+// benchPlanPath measures one full admission planning step (graph
+// construction + planner) in both modes via testing.Benchmark.
+func benchPlanPath(service *svc.Service, binding svc.Binding, snap *broker.Snapshot, planner core.Planner) (scratch, template testing.BenchmarkResult, err error) {
+	// Dry-run both paths once so a broken fixture surfaces as an error
+	// instead of a b.Fatal inside testing.Benchmark.
+	g, buildErr := qrg.Build(service, binding, snap)
+	if buildErr != nil {
+		return scratch, template, buildErr
+	}
+	if _, planErr := planner.Plan(g); planErr != nil {
+		return scratch, template, planErr
+	}
+	tpl, compErr := qrg.Compile(service, binding)
+	if compErr != nil {
+		return scratch, template, compErr
+	}
+
+	scratch = testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			g, err := qrg.Build(service, binding, snap)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := planner.Plan(g); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	template = testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			g, err := tpl.Instantiate(snap)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := planner.Plan(g); err != nil {
+				b.Fatal(err)
+			}
+			tpl.Recycle(g)
+		}
+	})
+	return scratch, template, nil
+}
+
+// PlanBench runs the plan-path microbenchmarks: from-scratch qrg.Build
+// versus compiled-template Instantiate, each followed by the planner a
+// session would run (max-plus Dijkstra on the chain, the two-pass
+// heuristic on the DAG).
+func PlanBench() (*PlanBenchResult, error) {
+	res := &PlanBenchResult{}
+	shapes := []struct {
+		name    string
+		planner core.Planner
+		fixture func() (*svc.Service, svc.Binding, *broker.Snapshot)
+	}{
+		{"chain", core.Basic{}, PlanBenchChain},
+		{"dag", core.TwoPass{}, PlanBenchDag},
+	}
+	for _, sh := range shapes {
+		service, binding, snap := sh.fixture()
+		scratch, template, err := benchPlanPath(service, binding, snap, sh.planner)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: planbench %s: %w", sh.name, err)
+		}
+		res.Rows = append(res.Rows,
+			PlanBenchRow{sh.name, "scratch", float64(scratch.NsPerOp()), scratch.AllocsPerOp(), scratch.AllocedBytesPerOp()},
+			PlanBenchRow{sh.name, "template", float64(template.NsPerOp()), template.AllocsPerOp(), template.AllocedBytesPerOp()},
+		)
+		speedup := float64(scratch.NsPerOp()) / float64(template.NsPerOp())
+		allocRatio := float64(scratch.AllocsPerOp()) / float64(maxInt64(1, template.AllocsPerOp()))
+		if sh.name == "chain" {
+			res.ChainSpeedup, res.ChainAllocRatio = speedup, allocRatio
+		} else {
+			res.DagSpeedup, res.DagAllocRatio = speedup, allocRatio
+		}
+	}
+	return res, nil
+}
+
+// WritePlanBenchJSON writes the result to path (the CI artifact
+// BENCH_plan.json).
+func WritePlanBenchJSON(path string, r *PlanBenchResult) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// PrintPlanBench renders the comparison.
+func PrintPlanBench(w io.Writer, r *PlanBenchResult) {
+	t := &stats.Table{Header: []string{"shape", "mode", "ns/op", "allocs/op", "B/op"}}
+	for _, row := range r.Rows {
+		t.AddRow(row.Shape, row.Mode, fmt.Sprintf("%.0f", row.NsPerOp),
+			fmt.Sprintf("%d", row.AllocsPerOp), fmt.Sprintf("%d", row.BytesPerOp))
+	}
+	fmt.Fprintf(w, "Plan-path microbenchmarks: compiled template vs from-scratch build\n%s", t)
+	fmt.Fprintf(w, "chain: %.2fx faster, %.1fx fewer allocs; dag: %.2fx faster, %.1fx fewer allocs\n",
+		r.ChainSpeedup, r.ChainAllocRatio, r.DagSpeedup, r.DagAllocRatio)
+}
+
+func maxInt64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

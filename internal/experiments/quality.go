@@ -49,7 +49,14 @@ func HeuristicQuality(seed int64, trials int) (*HeuristicQualityResult, error) {
 	var gapSum float64
 	for i := 0; i < trials; i++ {
 		service, binding, snap := randomDiamond(rng)
-		g, err := qrg.Build(service, binding, snap)
+		// The study rides the compiled-template fast lane: identical
+		// graphs to qrg.Build (the randomized equivalence tests in
+		// internal/core prove it), exercising the production code path.
+		tpl, err := qrg.Compile(service, binding)
+		if err != nil {
+			return nil, err
+		}
+		g, err := tpl.Instantiate(snap)
 		if err != nil {
 			return nil, err
 		}

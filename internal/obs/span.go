@@ -48,6 +48,15 @@ const (
 	MetricAlpha = "qosres_resource_alpha"
 	// MetricSimTime is the current simulation clock in TUs.
 	MetricSimTime = "qosres_sim_time_tus"
+	// MetricTemplateHits counts QRG constructions served from a
+	// compiled (service, binding) template.
+	MetricTemplateHits = "qosres_qrg_template_hits_total"
+	// MetricTemplateMisses counts QRG template cache misses (each miss
+	// compiles and caches a new template).
+	MetricTemplateMisses = "qosres_qrg_template_misses_total"
+	// MetricTemplatesCached gauges the number of compiled templates
+	// resident in a cache.
+	MetricTemplatesCached = "qosres_qrg_templates_cached"
 )
 
 // StageBuckets are the default latency buckets of the stage histograms:

@@ -35,6 +35,7 @@ import (
 
 	"qosres/internal/broker"
 	"qosres/internal/obs"
+	"qosres/internal/qrg"
 	"qosres/internal/svc"
 	"qosres/internal/topo"
 )
@@ -174,19 +175,52 @@ type Runtime struct {
 	admit *obs.AdmitMetrics
 	// policy bounds the validate-at-commit retry loop of Establish.
 	policy AdmitPolicy
+	// templates serves compiled QRG templates to Establish; nil falls
+	// back to building every graph from scratch (see SetTemplateCache).
+	templates *qrg.TemplateCache
 }
 
 // NewRuntime creates an empty runtime over a clock with the default
-// admission policy.
+// admission policy. QRG construction is served from an (unobserved)
+// template cache; SetTemplateCache swaps in an instrumented one or
+// disables the fast lane.
 func NewRuntime(clock Clock) *Runtime {
 	return &Runtime{
-		clock:   clock,
-		proxies: make(map[topo.HostID]*QoSProxy),
-		owner:   make(map[string]topo.HostID),
-		stages:  &obs.PlanStages{},
-		admit:   &obs.AdmitMetrics{},
-		policy:  DefaultAdmitPolicy,
+		clock:     clock,
+		proxies:   make(map[topo.HostID]*QoSProxy),
+		owner:     make(map[string]topo.HostID),
+		stages:    &obs.PlanStages{},
+		admit:     &obs.AdmitMetrics{},
+		policy:    DefaultAdmitPolicy,
+		templates: qrg.NewTemplateCache(nil),
 	}
+}
+
+// SetTemplateCache replaces the compiled-template cache Establish
+// draws QRG graphs from — pass one built over a live registry to count
+// hits and misses, or nil to disable the fast lane and rebuild every
+// graph from scratch (the reference path).
+func (rt *Runtime) SetTemplateCache(c *qrg.TemplateCache) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.templates = c
+}
+
+// templateFor returns the session's compiled template, or nil when the
+// fast lane is disabled or compilation fails (Establish then falls back
+// to qrg.Build, which reports errors with its own lazier semantics).
+func (rt *Runtime) templateFor(spec SessionSpec) *qrg.Template {
+	rt.mu.Lock()
+	c := rt.templates
+	rt.mu.Unlock()
+	if c == nil {
+		return nil
+	}
+	tpl, err := c.Get(spec.Service, spec.Binding)
+	if err != nil {
+		return nil
+	}
+	return tpl
 }
 
 // Instrument attaches stage-latency histograms: every Establish then

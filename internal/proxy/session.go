@@ -100,6 +100,7 @@ func (rt *Runtime) Establish(mainHost topo.HostID, spec SessionSpec) (*Session, 
 	}
 	stages := rt.planStages()
 	policy, admit := rt.admitState()
+	tpl := rt.templateFor(spec)
 
 	var lastErr error
 	for attempt := 0; ; attempt++ {
@@ -113,9 +114,16 @@ func (rt *Runtime) Establish(mainHost topo.HostID, spec SessionSpec) (*Session, 
 			return nil, err
 		}
 
-		// Phase 2: local computation at the main proxy.
+		// Phase 2: local computation at the main proxy. The compiled
+		// template (shared by every attempt and every session of this
+		// (service, binding) pair) yields the same graph as qrg.Build.
 		sp = obs.StartSpan(stages.Build)
-		g, err := qrg.Build(spec.Service, spec.Binding, snap)
+		var g *qrg.Graph
+		if tpl != nil {
+			g, err = tpl.Instantiate(snap)
+		} else {
+			g, err = qrg.Build(spec.Service, spec.Binding, snap)
+		}
 		sp.End()
 		if err != nil {
 			return nil, err
@@ -123,6 +131,11 @@ func (rt *Runtime) Establish(mainHost topo.HostID, spec SessionSpec) (*Session, 
 		sp = obs.StartSpan(stages.Plan)
 		plan, err := spec.Planner.Plan(g)
 		sp.End()
+		if tpl != nil {
+			// Plans own their data; recycle the graph buffers for the
+			// next instantiation.
+			tpl.Recycle(g)
+		}
 		if err != nil {
 			// Planning failure against a fresh snapshot is not staleness;
 			// retrying cannot help.

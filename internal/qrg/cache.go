@@ -1,0 +1,112 @@
+package qrg
+
+import (
+	"sort"
+	"strings"
+	"sync"
+
+	"qosres/internal/obs"
+	"qosres/internal/svc"
+)
+
+// TemplateCache memoizes compiled QRG templates per (service, binding)
+// pair so the per-arrival hot path pays Compile once and Instantiate
+// thereafter. Services are keyed by pointer identity — the expected
+// usage is a fixed catalogue of service models shared across sessions —
+// and bindings by a canonical fingerprint of their contents, since
+// callers commonly rebuild an identical binding map per session.
+//
+// The cache is safe for concurrent use and never evicts: the key space
+// is bounded by the deployment's service catalogue times its concrete
+// placements, and templates are cheap (a few KB each).
+type TemplateCache struct {
+	mu      sync.Mutex
+	entries map[templateKey]*Template
+
+	hits   *obs.Counter
+	misses *obs.Counter
+	cached *obs.Gauge
+}
+
+type templateKey struct {
+	service *svc.Service
+	binding string
+}
+
+// NewTemplateCache returns an empty cache registering its hit/miss
+// counters and resident-template gauge with r (nil r disables metrics
+// at zero cost, the obs convention).
+func NewTemplateCache(r *obs.Registry) *TemplateCache {
+	return &TemplateCache{
+		entries: make(map[templateKey]*Template),
+		hits:    r.Counter(obs.MetricTemplateHits, "QRG constructions served from a compiled template."),
+		misses:  r.Counter(obs.MetricTemplateMisses, "QRG template cache misses (compilations)."),
+		cached:  r.Gauge(obs.MetricTemplatesCached, "Compiled QRG templates resident in the cache."),
+	}
+}
+
+// Get returns the compiled template of the pair, compiling and caching
+// it on first use.
+func (c *TemplateCache) Get(service *svc.Service, binding svc.Binding) (*Template, error) {
+	key := templateKey{service: service, binding: bindingFingerprint(binding)}
+	c.mu.Lock()
+	tpl, ok := c.entries[key]
+	c.mu.Unlock()
+	if ok {
+		c.hits.Inc()
+		return tpl, nil
+	}
+	c.misses.Inc()
+	tpl, err := Compile(service, binding)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	if existing, ok := c.entries[key]; ok {
+		// A concurrent caller compiled the same pair first; keep the
+		// resident template so every session shares one buffer pool.
+		tpl = existing
+	} else {
+		c.entries[key] = tpl
+		c.cached.Set(float64(len(c.entries)))
+	}
+	c.mu.Unlock()
+	return tpl, nil
+}
+
+// Len returns the number of resident templates.
+func (c *TemplateCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// bindingFingerprint renders a binding canonically: components and
+// abstract resource names in sorted order, fields separated by control
+// bytes that cannot occur in identifiers.
+func bindingFingerprint(b svc.Binding) string {
+	comps := make([]string, 0, len(b))
+	for cid := range b {
+		comps = append(comps, string(cid))
+	}
+	sort.Strings(comps)
+	var sb strings.Builder
+	names := make([]string, 0, 8)
+	for _, cid := range comps {
+		sb.WriteString(cid)
+		sb.WriteByte(1)
+		m := b[svc.ComponentID(cid)]
+		names = names[:0]
+		for name := range m {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			sb.WriteString(name)
+			sb.WriteByte(2)
+			sb.WriteString(string(m[name]))
+			sb.WriteByte(3)
+		}
+	}
+	return sb.String()
+}

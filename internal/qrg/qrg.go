@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strings"
 
 	"qosres/internal/broker"
 	"qosres/internal/qos"
@@ -110,6 +111,13 @@ type Graph struct {
 	Sinks []Sink
 	// Snapshot is the availability snapshot the graph was built from.
 	Snapshot *broker.Snapshot
+
+	// outFlat/inFlat back the OutEdges/InEdges slices of
+	// template-instantiated graphs (CSR layout), letting Recycle reuse
+	// the whole adjacency across instantiations. Nil for graphs built
+	// from scratch, whose adjacency grows edge by edge.
+	outFlat []int
+	inFlat  []int
 }
 
 // NodeCount and EdgeCount are convenience accessors.
@@ -196,6 +204,61 @@ func WeightWith(req, avail qos.ResourceVector, f ContentionFunc) (psi float64, b
 	return psi, bottleneck, feasible
 }
 
+// reqEntry is one positive requirement of a bound vector, kept in
+// resource-name order so feasibility/Ψ evaluation iterates
+// deterministically without re-sorting.
+type reqEntry struct {
+	res  string
+	need float64
+}
+
+// boundReq is a binding-resolved translation requirement with its
+// entries pre-sorted by resource name. WeightWith allocates and sorts
+// req.Names() on every call; weight over the cached entries does
+// neither, which matters because every QRG rebuild re-evaluates every
+// candidate translation edge.
+type boundReq struct {
+	vec     qos.ResourceVector
+	entries []reqEntry
+}
+
+// newBoundReq caches the sorted positive entries of a bound vector.
+// Zero requirements are dropped up front: WeightWith skips them before
+// its feasibility check, so they can never contribute Ψ, infeasibility,
+// or a bottleneck name.
+func newBoundReq(vec qos.ResourceVector) *boundReq {
+	br := &boundReq{vec: vec}
+	names := vec.Names()
+	br.entries = make([]reqEntry, 0, len(names))
+	for _, r := range names {
+		if vec[r] != 0 {
+			br.entries = append(br.entries, reqEntry{res: r, need: vec[r]})
+		}
+	}
+	return br
+}
+
+// weight is WeightWith over the pre-sorted entries; the semantics are
+// identical (same iteration order, same feasibility rule, same
+// bottleneck ties).
+func (b *boundReq) weight(avail qos.ResourceVector, f ContentionFunc) (psi float64, bottleneck string, feasible bool) {
+	psi = 0
+	feasible = true
+	for i := range b.entries {
+		en := &b.entries[i]
+		have, ok := avail[en.res]
+		if !ok || en.need > have {
+			return 0, en.res, false
+		}
+		c := f(en.need, have)
+		if c > psi {
+			psi = c
+			bottleneck = en.res
+		}
+	}
+	return psi, bottleneck, feasible
+}
+
 // BuildOptions customizes QRG construction.
 type BuildOptions struct {
 	// Contention overrides the per-resource contention index ψ; nil
@@ -233,11 +296,29 @@ func BuildWithOptions(service *svc.Service, binding svc.Binding, snap *broker.Sn
 	if err != nil {
 		return nil, err
 	}
-	g := &Graph{Service: service, Source: -1, Snapshot: snap}
+	// Capacity estimates: every declared level can become at most one
+	// node (fan-in combinations can exceed this; append then grows),
+	// and each component contributes at most |In|·|Out| translation
+	// edges plus one equivalence edge per Qout node.
+	nodeCap, edgeCap := 0, 0
+	for _, cid := range order {
+		comp := service.Components[cid]
+		nodeCap += len(comp.In) + len(comp.Out)
+		edgeCap += len(comp.In)*len(comp.Out) + len(comp.Out)
+	}
+	g := &Graph{
+		Service:  service,
+		Source:   -1,
+		Snapshot: snap,
+		Nodes:    make([]Node, 0, nodeCap),
+		Edges:    make([]Edge, 0, edgeCap),
+		OutEdges: make([][]int, 0, nodeCap),
+		InEdges:  make([][]int, 0, nodeCap),
+	}
 
 	// outNodes[comp] lists the Qout node IDs created for comp, in the
 	// component's declared level order.
-	outNodes := make(map[svc.ComponentID][]int)
+	outNodes := make(map[svc.ComponentID][]int, len(order))
 
 	for _, cid := range order {
 		comp := service.Components[cid]
@@ -303,20 +384,32 @@ func BuildWithOptions(service *svc.Service, binding svc.Binding, snap *broker.Sn
 		}
 
 		// 2. Create Qout nodes and translation edges for every feasible
-		// (Qin, Qout) pair.
-		outByLevel := make(map[string]int)
+		// (Qin, Qout) pair. The bound requirement of a pair depends only
+		// on the level pair, so fan-in graphs — where many Qin nodes
+		// share one declared level — bind and sort each pair once. The
+		// memo'd vector is shared by every edge of the pair; planners
+		// clone Edge.Req before mutating (see core.planFromPath).
+		outByLevel := make(map[string]int, len(comp.Out))
+		reqMemo := make(map[[2]string]*boundReq, len(comp.In)*len(comp.Out))
 		for _, lvl := range comp.Out {
 			for _, inID := range inIDs {
 				inLvl := g.Nodes[inID].Level
-				req, ok := comp.Translate(inLvl, lvl)
-				if !ok {
-					continue
+				key := [2]string{inLvl.Name, lvl.Name}
+				br, seen := reqMemo[key]
+				if !seen {
+					if req, ok := comp.Translate(inLvl, lvl); ok {
+						bound, err := binding.Bind(cid, req)
+						if err != nil {
+							return nil, fmt.Errorf("qrg: service %s: %v", service.Name, err)
+						}
+						br = newBoundReq(bound)
+					}
+					reqMemo[key] = br
 				}
-				bound, err := binding.Bind(cid, req)
-				if err != nil {
-					return nil, fmt.Errorf("qrg: service %s: %v", service.Name, err)
+				if br == nil {
+					continue // unsupported translation pair
 				}
-				psi, bottleneck, feasible := WeightWith(bound, snap.Avail, contention)
+				psi, bottleneck, feasible := br.weight(snap.Avail, contention)
 				if !feasible {
 					continue
 				}
@@ -330,7 +423,7 @@ func BuildWithOptions(service *svc.Service, binding svc.Binding, snap *broker.Sn
 					To:         outID,
 					Kind:       Translation,
 					Weight:     psi,
-					Req:        bound,
+					Req:        br.vec,
 					Bottleneck: bottleneck,
 					Alpha:      snap.Alpha[bottleneck],
 				})
@@ -405,16 +498,17 @@ var Infinity = math.Inf(1)
 // PathLevels renders a node sequence as the dash-joined level names the
 // paper's tables 1-2 use, e.g. "Qa-Qc-Qf-Qi-Qm-Qp".
 func (g *Graph) PathLevels(nodes []int) string {
-	names := make([]string, len(nodes))
+	var b strings.Builder
+	size := 0
+	for _, id := range nodes {
+		size += len(g.Nodes[id].Level.Name) + 1
+	}
+	b.Grow(size)
 	for i, id := range nodes {
-		names[i] = g.Nodes[id].Level.Name
-	}
-	out := ""
-	for i, n := range names {
 		if i > 0 {
-			out += "-"
+			b.WriteByte('-')
 		}
-		out += n
+		b.WriteString(g.Nodes[id].Level.Name)
 	}
-	return out
+	return b.String()
 }

@@ -1,0 +1,8 @@
+//go:build !race
+
+package qrg
+
+// raceEnabled reports whether the race detector instruments this build.
+// The detector deliberately randomizes sync.Pool reuse to expose races,
+// so pool-dependent allocation counts are only asserted without it.
+const raceEnabled = false

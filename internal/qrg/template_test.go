@@ -1,0 +1,205 @@
+package qrg
+
+import (
+	"reflect"
+	"testing"
+
+	"qosres/internal/broker"
+	"qosres/internal/obs"
+	"qosres/internal/svc"
+	"qosres/internal/workload"
+)
+
+// requireSameGraph compares every observable field of a from-scratch
+// build against a template instantiation.
+func requireSameGraph(t *testing.T, label string, want, got *Graph) {
+	t.Helper()
+	if !reflect.DeepEqual(want.Nodes, got.Nodes) {
+		t.Fatalf("%s: nodes differ\nbuild:       %+v\ninstantiate: %+v", label, want.Nodes, got.Nodes)
+	}
+	if !reflect.DeepEqual(want.Edges, got.Edges) {
+		t.Fatalf("%s: edges differ\nbuild:       %+v\ninstantiate: %+v", label, want.Edges, got.Edges)
+	}
+	if !reflect.DeepEqual(want.OutEdges, got.OutEdges) {
+		t.Fatalf("%s: out-adjacency differs: %v vs %v", label, want.OutEdges, got.OutEdges)
+	}
+	if !reflect.DeepEqual(want.InEdges, got.InEdges) {
+		t.Fatalf("%s: in-adjacency differs: %v vs %v", label, want.InEdges, got.InEdges)
+	}
+	if want.Source != got.Source {
+		t.Fatalf("%s: source %d vs %d", label, want.Source, got.Source)
+	}
+	if !reflect.DeepEqual(want.Sinks, got.Sinks) {
+		t.Fatalf("%s: sinks differ: %v vs %v", label, want.Sinks, got.Sinks)
+	}
+}
+
+// templateFixtures are the repo's canonical workloads: the video chain,
+// the fan-in DAG, and a synthetic deep chain.
+func templateFixtures() []struct {
+	name    string
+	service *svc.Service
+	binding svc.Binding
+	snap    *broker.Snapshot
+} {
+	synthSvc, synthBind, synthSnap := workload.SyntheticChain(6, 4)
+	return []struct {
+		name    string
+		service *svc.Service
+		binding svc.Binding
+		snap    *broker.Snapshot
+	}{
+		{"video", workload.VideoService(), workload.VideoBinding(), workload.VideoSnapshot()},
+		{"dag", workload.DagService(), workload.DagBinding(), workload.DagSnapshot()},
+		{"synthetic", synthSvc, synthBind, synthSnap},
+	}
+}
+
+// TestTemplateMatchesBuildOnWorkloads pins the template replay to the
+// reference builder on the canonical fixtures, across repeated
+// recycled instantiations and all contention functions.
+func TestTemplateMatchesBuildOnWorkloads(t *testing.T) {
+	for _, f := range templateFixtures() {
+		tpl, err := Compile(f.service, f.binding)
+		if err != nil {
+			t.Fatalf("%s: compile: %v", f.name, err)
+		}
+		if tpl.Service() != f.service {
+			t.Fatalf("%s: Service() does not round-trip", f.name)
+		}
+		for _, cname := range []string{"ratio", "headroom", "log"} {
+			cf, ok := ContentionByName(cname)
+			if !ok {
+				t.Fatalf("unknown contention %q", cname)
+			}
+			opts := BuildOptions{Contention: cf}
+			want, err := BuildWithOptions(f.service, f.binding, f.snap, opts)
+			if err != nil {
+				t.Fatalf("%s/%s: build: %v", f.name, cname, err)
+			}
+			for round := 0; round < 3; round++ {
+				got, err := tpl.InstantiateWithOptions(f.snap, opts)
+				if err != nil {
+					t.Fatalf("%s/%s: instantiate: %v", f.name, cname, err)
+				}
+				requireSameGraph(t, f.name+"/"+cname, want, got)
+				tpl.Recycle(got)
+			}
+		}
+	}
+}
+
+// TestTemplateCacheCounters checks hit/miss accounting and that
+// structurally equal bindings rebuilt per session share one template.
+func TestTemplateCacheCounters(t *testing.T) {
+	reg := obs.New()
+	cache := NewTemplateCache(reg)
+	service := workload.VideoService()
+
+	tpl1, err := cache.Get(service, workload.VideoBinding())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A freshly built but identical binding map must hit.
+	tpl2, err := cache.Get(service, workload.VideoBinding())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tpl1 != tpl2 {
+		t.Fatalf("identical (service, binding) pairs got distinct templates")
+	}
+	// A different placement must compile its own template.
+	other := workload.VideoBinding()
+	for cid := range other {
+		m := map[string]string{}
+		for k, v := range other[cid] {
+			m[k] = v + "-alt"
+		}
+		other[cid] = m
+	}
+	tpl3, err := cache.Get(service, other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tpl3 == tpl1 {
+		t.Fatalf("distinct bindings shared a template")
+	}
+	if n := cache.Len(); n != 2 {
+		t.Fatalf("cache holds %d templates, want 2", n)
+	}
+
+	hits := reg.Counter(obs.MetricTemplateHits, "").Value()
+	misses := reg.Counter(obs.MetricTemplateMisses, "").Value()
+	cached := reg.Gauge(obs.MetricTemplatesCached, "").Value()
+	if hits != 1 || misses != 2 || cached != 2 {
+		t.Fatalf("counters hits=%v misses=%v cached=%v, want 1/2/2", hits, misses, cached)
+	}
+}
+
+// TestInstantiateAllocsRegression is the satellite allocation guard:
+// instantiating from a compiled template must allocate at least 5x less
+// than the from-scratch build, and the template's weight evaluation
+// (pre-sorted entries, shared Req maps, pooled scratch) must stay in
+// the single-digit range for the video chain.
+func TestInstantiateAllocsRegression(t *testing.T) {
+	service := workload.VideoService()
+	binding := workload.VideoBinding()
+	snap := workload.VideoSnapshot()
+	tpl, err := Compile(service, binding)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm the pools before measuring steady state.
+	for i := 0; i < 4; i++ {
+		g, err := tpl.Instantiate(snap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tpl.Recycle(g)
+	}
+	instAllocs := testing.AllocsPerRun(200, func() {
+		g, err := tpl.Instantiate(snap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tpl.Recycle(g)
+	})
+	buildAllocs := testing.AllocsPerRun(200, func() {
+		if _, err := Build(service, binding, snap); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Logf("allocs/op: instantiate %.1f, build %.1f", instAllocs, buildAllocs)
+	if instAllocs*5 > buildAllocs {
+		t.Fatalf("instantiate allocates %.1f/op vs build %.1f/op; want >= 5x fewer", instAllocs, buildAllocs)
+	}
+	// The race detector randomizes sync.Pool reuse, so the absolute
+	// steady-state bound only holds on uninstrumented builds.
+	if !raceEnabled && instAllocs > 8 {
+		t.Fatalf("instantiate allocates %.1f/op at steady state, want single digits", instAllocs)
+	}
+}
+
+// TestPathLevels covers the strings.Builder rewrite on a non-trivial
+// path.
+func TestPathLevelsJoins(t *testing.T) {
+	g, err := Build(workload.VideoService(), workload.VideoBinding(), workload.VideoSnapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := make([]int, len(g.Nodes))
+	want := ""
+	for i := range g.Nodes {
+		nodes[i] = i
+		if i > 0 {
+			want += "-"
+		}
+		want += g.Nodes[i].Level.Name
+	}
+	if got := g.PathLevels(nodes); got != want {
+		t.Fatalf("PathLevels = %q, want %q", got, want)
+	}
+	if got := g.PathLevels(nil); got != "" {
+		t.Fatalf("PathLevels(nil) = %q, want empty", got)
+	}
+}

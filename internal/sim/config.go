@@ -105,6 +105,12 @@ type Config struct {
 	// Single-threaded simulation runs never trigger a retry, so the
 	// value does not perturb deterministic results.
 	MaxAdmitRetries int
+	// TemplateCache serves QRG construction from compiled per-(service,
+	// binding) templates instead of rebuilding each graph from scratch
+	// (the plan-path fast lane). Results are identical either way — the
+	// template replay is proven plan-for-plan equivalent to qrg.Build —
+	// so the knob exists for benchmarking the reference path.
+	TemplateCache bool
 }
 
 // DefaultBaseScale calibrates the figure-10 requirement units against
@@ -134,6 +140,7 @@ func DefaultConfig(alg Algorithm, rate float64, seed int64) Config {
 		DurationSplit:      60,
 		DurationMax:        600,
 		MaxAdmitRetries:    3,
+		TemplateCache:      true,
 	}
 }
 

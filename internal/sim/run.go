@@ -152,6 +152,9 @@ type environment struct {
 	// timed is true when either metrics or span tracing needs stage
 	// wall-clock timings.
 	timed bool
+	// templates serves compiled QRG templates when Config.TemplateCache
+	// is set; nil keeps the from-scratch reference path.
+	templates *qrg.TemplateCache
 }
 
 // buildEnvironment draws capacities, registers all brokers, pre-creates
@@ -168,6 +171,9 @@ func buildEnvironment(cfg Config, rng *rand.Rand) (*environment, error) {
 		env.tracer = trace.Nop{}
 	}
 	env.ins = newInstruments(cfg.Obs)
+	if cfg.TemplateCache {
+		env.templates = qrg.NewTemplateCache(cfg.Obs)
+	}
 	env.traceSpans = cfg.TraceSpans && cfg.Tracer != nil
 	env.timed = env.ins.enabled() || env.traceSpans
 	env.pool = broker.NewPoolWindow(env.topology, cfg.AlphaWindow)
@@ -362,7 +368,20 @@ func (env *environment) handleArrival(cfg Config, rng *rand.Rand, planner core.P
 
 	stBuild := env.startStage()
 	contention, _ := qrg.ContentionByName(cfg.Contention)
-	g, err := qrg.BuildWithOptions(service, binding, snap, qrg.BuildOptions{Contention: contention})
+	var g *qrg.Graph
+	var tpl *qrg.Template
+	if env.templates != nil {
+		// Fast lane: instantiate the compiled (service, binding)
+		// template against this snapshot; plan-for-plan identical to
+		// the from-scratch build below.
+		tpl, err = env.templates.Get(service, binding)
+		if err != nil {
+			return err
+		}
+		g, err = tpl.InstantiateWithOptions(snap, qrg.BuildOptions{Contention: contention})
+	} else {
+		g, err = qrg.BuildWithOptions(service, binding, snap, qrg.BuildOptions{Contention: contention})
+	}
 	if err != nil {
 		return err
 	}
@@ -371,6 +390,11 @@ func (env *environment) handleArrival(cfg Config, rng *rand.Rand, planner core.P
 	stPlan := env.startStage()
 	plan, err := planner.Plan(g)
 	env.endStage(stPlan, env.ins.stages.Plan, obs.StagePlan, now, sid, service.Name, class.String())
+	if tpl != nil {
+		// The plan owns all its data; the graph's buffers can go back
+		// to the template pool for the next arrival.
+		tpl.Recycle(g)
+	}
 	if errors.Is(err, core.ErrInfeasible) {
 		env.ins.planFailed.Inc()
 		metrics.PlanFailures++

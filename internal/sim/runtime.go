@@ -38,6 +38,10 @@ func (env *environment) buildRuntime(cfg Config, clock proxy.Clock) (*proxy.Runt
 	// Admission retries are bounded by the run config; no backoff sleep,
 	// since a simulated run must never block on wall-clock time.
 	rt.SetAdmitPolicy(proxy.AdmitPolicy{MaxRetries: cfg.MaxAdmitRetries})
+	// Share the run's template cache (instrumented into the run
+	// registry) so hit/miss counters cover both execution modes; a nil
+	// cache disables the fast lane for reference runs.
+	rt.SetTemplateCache(env.templates)
 	if env.ins.enabled() {
 		// The three-phase protocol records into the same stage
 		// histograms as the direct path, so both execution modes share
