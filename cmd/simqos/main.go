@@ -52,6 +52,7 @@ func main() {
 		hold       = flag.Bool("hold", false, "with -metrics: keep serving after the run until interrupted")
 		traceOut   = flag.String("trace", "", "write the event trace as JSON lines to this file (- for stdout)")
 		spans      = flag.Bool("spans", false, "with -trace: include planner stage span events")
+		chaos      = flag.Bool("chaos", false, "run the concurrent chaos harness (fault injection, session repair, reservation leases) instead of the deterministic simulation")
 	)
 	flag.Parse()
 
@@ -101,6 +102,32 @@ func main() {
 		fmt.Fprintf(os.Stderr, "simqos: serving /metrics, /snapshot and /debug/pprof on %s\n", ln.Addr())
 	}
 
+	if *chaos {
+		// The chaos harness replaces the deterministic run: concurrent
+		// clients churn sessions while a seeded fault walk fails and
+		// shrinks resources, the runtime repairs affected sessions, and
+		// lease sweeps reclaim what orphaned sessions strand. The harness
+		// verifies the over-commit, leak, and drain invariants itself.
+		sc := sim.DefaultStressConfig(*seed)
+		sc.Config.Algorithm = sim.Algorithm(*alg)
+		sc.Config.TemplateCache = *tplCache
+		sc.Config.MaxAdmitRetries = *admitRetry
+		sc.Config.Obs = reg
+		sc.Config.Faults = sim.DefaultFaultsConfig()
+		cres, err := sim.RunChaos(sc)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("chaos: algorithm=%s seed=%d clients=%d iterations=%d\n",
+			sc.Config.Algorithm, sc.Seed, sc.Sessions, sc.Iterations)
+		fmt.Println(cres)
+		printFaults(reg)
+		if *metrics != "" && *hold {
+			holdMetrics()
+		}
+		return
+	}
+
 	res, err := sim.Run(cfg)
 	if err != nil {
 		fatal(err)
@@ -127,6 +154,7 @@ func main() {
 	printStageLatencies(reg)
 	printAdmission(reg)
 	printTemplateCache(reg)
+	printFaults(reg)
 	printUtilization(reg)
 
 	if m.Timeline != nil {
@@ -143,11 +171,17 @@ func main() {
 	}
 
 	if *metrics != "" && *hold {
-		fmt.Fprintln(os.Stderr, "simqos: run finished; holding metrics endpoint open (interrupt to exit)")
-		ch := make(chan os.Signal, 1)
-		signal.Notify(ch, os.Interrupt)
-		<-ch
+		holdMetrics()
 	}
+}
+
+// holdMetrics keeps the process (and its /metrics endpoint) alive until
+// interrupted.
+func holdMetrics() {
+	fmt.Fprintln(os.Stderr, "simqos: run finished; holding metrics endpoint open (interrupt to exit)")
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt)
+	<-ch
 }
 
 // printStageLatencies renders the planner stage-latency histograms as a
@@ -248,6 +282,40 @@ func printTemplateCache(reg *obs.Registry) {
 	tbl.AddRow("misses (compilations)", fmt.Sprintf("%.0f", misses))
 	tbl.AddRow("templates resident", fmt.Sprintf("%.0f", value(obs.MetricTemplatesCached)))
 	fmt.Printf("\nQRG construction (compiled-template fast lane):\n%s", tbl)
+}
+
+// printFaults summarizes the fault-injection and session-repair
+// counters of a chaos run: injected fault events by kind, the repair
+// outcomes of the affected sessions, and the leased holds reclaimed by
+// expiry sweeps. Silent when no fault was ever injected (every
+// non-chaos run).
+func printFaults(reg *obs.Registry) {
+	snap := reg.Snapshot()
+	value := func(name string) float64 {
+		var v float64
+		for _, c := range snap.Counters {
+			if c.Name == name {
+				v += c.Value
+			}
+		}
+		return v
+	}
+	injected := value(obs.MetricFaultInjected)
+	if injected == 0 {
+		return
+	}
+	tbl := &stats.Table{Header: []string{"fault / repair event", "count"}}
+	tbl.AddRow("faults injected", fmt.Sprintf("%.0f", injected))
+	for _, c := range snap.Counters {
+		if c.Name == obs.MetricFaultInjected && c.Value > 0 {
+			tbl.AddRow("  "+c.Labels["kind"], fmt.Sprintf("%.0f", c.Value))
+		}
+	}
+	tbl.AddRow("sessions repaired", fmt.Sprintf("%.0f", value(obs.MetricSessionsRepaired)))
+	tbl.AddRow("sessions degraded", fmt.Sprintf("%.0f", value(obs.MetricSessionsDegraded)))
+	tbl.AddRow("sessions repair-failed", fmt.Sprintf("%.0f", value(obs.MetricSessionsRepairFailed)))
+	tbl.AddRow("leased holds expired", fmt.Sprintf("%.0f", value(obs.MetricLeasesExpired)))
+	fmt.Printf("\nfault injection / session repair:\n%s", tbl)
 }
 
 // printUtilization summarizes the end-of-run per-resource utilization

@@ -96,8 +96,11 @@ func ReserveAtomic(now Time, resolve func(string) (Broker, bool), req qos.Resour
 
 	// Validate every broker before committing to any: the whole plan is
 	// admitted against current availability, or refused without residue.
+	// availLocked folds in the failure state, so a plan touching a down
+	// resource (or one whose capacity collapsed below its holds) is
+	// refused here like any other shortfall.
 	for _, l := range locals {
-		if avail := l.capacity - l.reserved; demand[l] > avail+availEpsilon {
+		if avail := l.availLocked(); demand[l] > avail+availEpsilon {
 			unlock()
 			return nil, fmt.Errorf("broker: resource %s: need %g, have %g: %w",
 				l.resource, demand[l], avail, ErrInsufficient)

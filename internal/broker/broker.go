@@ -89,6 +89,15 @@ type availSample struct {
 	avail float64
 }
 
+// hold is one live reservation at a Local broker. A zero expiry means
+// the hold has no lease and lives until released; a positive expiry
+// makes the hold a lease that ExpireLeases reclaims once the expiry has
+// passed (see failure.go).
+type hold struct {
+	amount float64
+	expiry Time
+}
+
 // reportSample is one past report, kept for the α window.
 type reportSample struct {
 	at    Time
@@ -104,10 +113,15 @@ type Local struct {
 
 	mu        sync.Mutex
 	reserved  float64
-	holds     map[ReservationID]float64
+	holds     map[ReservationID]hold
 	nextID    ReservationID
 	changeLog []availSample
 	reports   []reportSample
+	// failed marks the resource as down (a fault-injected or observed
+	// outage): availability reports zero and new reservations are
+	// refused, while the book of existing holds is preserved so the
+	// repair layer can release them in an orderly way. See failure.go.
+	failed bool
 }
 
 // NewLocal creates a broker for the named resource with the given total
@@ -131,7 +145,7 @@ func NewLocalWindow(resource string, capacity float64, window Time) (*Local, err
 		resource:    resource,
 		capacity:    capacity,
 		alphaWindow: window,
-		holds:       make(map[ReservationID]float64),
+		holds:       make(map[ReservationID]hold),
 		changeLog:   []availSample{{at: 0, avail: capacity}},
 	}, nil
 }
@@ -139,14 +153,32 @@ func NewLocalWindow(resource string, capacity float64, window Time) (*Local, err
 // Resource implements Broker.
 func (b *Local) Resource() string { return b.resource }
 
-// Capacity implements Broker.
-func (b *Local) Capacity() float64 { return b.capacity }
+// Capacity implements Broker. With fault injection the capacity can
+// shrink and recover over time (see SetCapacity); Capacity reports the
+// amount currently in force.
+func (b *Local) Capacity() float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.capacity
+}
+
+// availLocked is the single source of truth for current availability: a
+// failed resource offers nothing, a live one offers capacity minus the
+// reserved total (which can be negative after a capacity collapse, until
+// the repair layer releases the overhanging holds). Callers must hold
+// b.mu.
+func (b *Local) availLocked() float64 {
+	if b.failed {
+		return 0
+	}
+	return b.capacity - b.reserved
+}
 
 // Available implements Broker.
 func (b *Local) Available() float64 {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	return b.capacity - b.reserved
+	return b.availLocked()
 }
 
 // AvailableAt implements Broker: the availability in force at time asOf,
@@ -154,6 +186,12 @@ func (b *Local) Available() float64 {
 func (b *Local) AvailableAt(asOf Time) float64 {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	return b.availableAtLocked(asOf)
+}
+
+// availableAtLocked reconstructs the availability in force at asOf from
+// the change log. Callers must hold b.mu.
+func (b *Local) availableAtLocked(asOf Time) float64 {
 	// Find the last change at or before asOf.
 	i := sort.Search(len(b.changeLog), func(i int) bool { return b.changeLog[i].at > asOf })
 	if i == 0 {
@@ -169,7 +207,7 @@ func (b *Local) AvailableAt(asOf Time) float64 {
 func (b *Local) Report(now Time) Report {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	avail := b.capacity - b.reserved
+	avail := b.availLocked()
 	alpha := b.alphaLocked(now, avail)
 	b.reports = append(b.reports, reportSample{at: now, avail: avail})
 	return Report{Resource: b.resource, Avail: avail, Alpha: alpha, At: now}
@@ -206,7 +244,7 @@ func (b *Local) Reserve(now Time, amount float64) (ReservationID, error) {
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	avail := b.capacity - b.reserved
+	avail := b.availLocked()
 	if amount > avail+availEpsilon {
 		return 0, fmt.Errorf("broker: resource %s: need %g, have %g: %w", b.resource, amount, avail, ErrInsufficient)
 	}
@@ -220,7 +258,7 @@ func (b *Local) Reserve(now Time, amount float64) (ReservationID, error) {
 func (b *Local) reserveLocked(now Time, amount float64) ReservationID {
 	b.nextID++
 	id := b.nextID
-	b.holds[id] = amount
+	b.holds[id] = hold{amount: amount}
 	b.reserved += amount
 	b.logChangeLocked(now)
 	return id
@@ -230,12 +268,12 @@ func (b *Local) reserveLocked(now Time, amount float64) ReservationID {
 func (b *Local) Release(now Time, id ReservationID) error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	amount, ok := b.holds[id]
+	h, ok := b.holds[id]
 	if !ok {
 		return fmt.Errorf("broker: resource %s: reservation %d: %w", b.resource, id, ErrUnknownReservation)
 	}
 	delete(b.holds, id)
-	b.reserved -= amount
+	b.reserved -= h.amount
 	if b.reserved < 0 {
 		b.reserved = 0
 	}
@@ -251,12 +289,21 @@ func (b *Local) Reservations() int {
 	return len(b.holds)
 }
 
+// Reserved returns the total amount currently held. Unlike Available it
+// is meaningful even while the resource is failed or its capacity has
+// collapsed below the held total.
+func (b *Local) Reserved() float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.reserved
+}
+
 // availEpsilon absorbs float64 rounding when requirements sum exactly to
 // the availability.
 const availEpsilon = 1e-9
 
 func (b *Local) logChangeLocked(now Time) {
-	avail := b.capacity - b.reserved
+	avail := b.availLocked()
 	if n := len(b.changeLog); n > 0 && b.changeLog[n-1].at == now {
 		b.changeLog[n-1].avail = avail
 		return

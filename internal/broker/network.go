@@ -20,9 +20,13 @@ type Network struct {
 	resource    string
 	links       []*Local
 	alphaWindow Time
+	// lockOrder is the route's distinct links sorted by resource ID —
+	// the package-wide multi-lock order. Available and AvailableAt lock
+	// all of them to read a consistent snapshot (see availAll).
+	lockOrder []*Local
 
 	mu      sync.Mutex
-	holds   map[ReservationID][]linkHold
+	holds   map[ReservationID]netHold
 	nextID  ReservationID
 	reports []reportSample
 }
@@ -30,6 +34,14 @@ type Network struct {
 type linkHold struct {
 	link *Local
 	id   ReservationID
+}
+
+// netHold is one live end-to-end reservation: its per-link holds plus
+// an optional lease expiry (zero = no lease). The lease lives at the
+// network level; the underlying link holds never carry their own.
+type netHold struct {
+	links  []linkHold
+	expiry Time
 }
 
 // NewNetwork creates an end-to-end broker over the given link brokers,
@@ -51,11 +63,23 @@ func NewNetworkWindow(resource string, links []*Local, window Time) (*Network, e
 	}
 	ls := make([]*Local, len(links))
 	copy(ls, links)
+	// Distinct links in ascending resource-ID order, the only order in
+	// which this package ever acquires multiple Local mutexes.
+	seen := make(map[*Local]bool, len(ls))
+	order := make([]*Local, 0, len(ls))
+	for _, l := range ls {
+		if !seen[l] {
+			seen[l] = true
+			order = append(order, l)
+		}
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i].resource < order[j].resource })
 	return &Network{
 		resource:    resource,
 		links:       ls,
 		alphaWindow: window,
-		holds:       make(map[ReservationID][]linkHold),
+		lockOrder:   order,
+		holds:       make(map[ReservationID]netHold),
 	}, nil
 }
 
@@ -81,27 +105,41 @@ func (n *Network) Capacity() float64 {
 	return min
 }
 
-// Available implements Broker: the minimum of the link availabilities,
-// exactly the paper's rule for network Resource Brokers.
-func (n *Network) Available() float64 {
-	min := n.links[0].Available()
+// availAll locks every distinct link of the route (in the package-wide
+// ascending resource-ID order, so it can never deadlock against the
+// atomic commit path) and returns the route minimum of read(link) as a
+// consistent snapshot. Reading the links one lock at a time instead can
+// yield a torn minimum that no instant ever exhibited — e.g. a hold
+// moving atomically from one link to another would be seen on neither —
+// which is exactly the stale-but-plausible lie that admission must not
+// plan against.
+func (n *Network) availAll(read func(*Local) float64) float64 {
+	for _, l := range n.lockOrder {
+		l.mu.Lock()
+	}
+	min := read(n.links[0])
 	for _, l := range n.links[1:] {
-		if a := l.Available(); a < min {
+		if a := read(l); a < min {
 			min = a
 		}
+	}
+	for i := len(n.lockOrder) - 1; i >= 0; i-- {
+		n.lockOrder[i].mu.Unlock()
 	}
 	return min
 }
 
-// AvailableAt implements Broker over the link change logs.
+// Available implements Broker: the minimum of the link availabilities,
+// exactly the paper's rule for network Resource Brokers, read as one
+// consistent multi-link snapshot.
+func (n *Network) Available() float64 {
+	return n.availAll((*Local).availLocked)
+}
+
+// AvailableAt implements Broker over the link change logs, read under
+// the same consistent snapshot as Available.
 func (n *Network) AvailableAt(asOf Time) float64 {
-	min := n.links[0].AvailableAt(asOf)
-	for _, l := range n.links[1:] {
-		if a := l.AvailableAt(asOf); a < min {
-			min = a
-		}
-	}
-	return min
+	return n.availAll(func(l *Local) float64 { return l.availableAtLocked(asOf) })
 }
 
 // Report implements Broker. The availability is the route minimum; α is
@@ -182,7 +220,7 @@ func (n *Network) adopt(held []linkHold) ReservationID {
 	defer n.mu.Unlock()
 	n.nextID++
 	id := n.nextID
-	n.holds[id] = held
+	n.holds[id] = netHold{links: held}
 	return id
 }
 
@@ -198,12 +236,52 @@ func (n *Network) Release(now Time, id ReservationID) error {
 		return fmt.Errorf("broker: resource %s: reservation %d: %w", n.resource, id, ErrUnknownReservation)
 	}
 	var firstErr error
-	for _, h := range held {
+	for _, h := range held.links {
 		if err := h.link.Release(now, h.id); err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}
 	return firstErr
+}
+
+// SetLease implements Leaser for an end-to-end hold. The lease lives on
+// the network-level reservation only; the per-link holds it owns stay
+// permanent and are released together when the lease expires.
+func (n *Network) SetLease(id ReservationID, expiry Time) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	h, ok := n.holds[id]
+	if !ok {
+		return fmt.Errorf("broker: resource %s: reservation %d: %w", n.resource, id, ErrUnknownReservation)
+	}
+	h.expiry = expiry
+	n.holds[id] = h
+	return nil
+}
+
+// ExpireLeases reclaims every end-to-end hold whose lease expiry is at
+// or before now, releasing its per-link holds, and returns the number
+// reclaimed. The expired holds are unpublished under n.mu first, so a
+// concurrent Release of the same reservation observes
+// ErrUnknownReservation rather than a double release.
+func (n *Network) ExpireLeases(now Time) int {
+	n.mu.Lock()
+	var expired []netHold
+	for id, h := range n.holds {
+		if h.expiry > 0 && h.expiry <= now {
+			delete(n.holds, id)
+			expired = append(expired, h)
+		}
+	}
+	n.mu.Unlock()
+	for _, h := range expired {
+		for _, lh := range h.links {
+			// The link holds are permanent (no lease of their own) and
+			// unpublished, so release cannot race anything.
+			_ = lh.link.Release(now, lh.id)
+		}
+	}
+	return len(expired)
 }
 
 // Reservations returns the number of live end-to-end reservations.

@@ -249,3 +249,67 @@ func TestNetworkRollbackFailurePanicsWithDiagnostics(t *testing.T) {
 	}()
 	n.rollbackLinkHolds(1, []linkHold{{link: links[0], id: 999}}, ErrInsufficient)
 }
+
+// TestNetworkAvailableConsistentSnapshot is the torn-minimum regression
+// test: a hold moving atomically between two links of the route (both
+// link mutexes held across the move) must never make the end-to-end
+// availability appear higher than any real instant exhibited. The old
+// per-link locking could observe the hold on neither link and report
+// the full capacity.
+func TestNetworkAvailableConsistentSnapshot(t *testing.T) {
+	links := threeLinks(t, 100, 100)
+	l1, l2 := links[0], links[1]
+	n, err := NewNetwork("net:A->B", links)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Seed: a 50-unit hold on l1. The writer below moves it back and
+	// forth between l1 and l2 atomically, so the true route minimum is
+	// exactly 50 at every instant.
+	if _, err := l1.Reserve(0, 50); err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		onFirst := true
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			// Move the hold atomically: both link mutexes held, in the
+			// package-wide ascending resource-ID order.
+			l1.mu.Lock()
+			l2.mu.Lock()
+			if onFirst {
+				l1.reserved -= 50
+				l2.reserved += 50
+			} else {
+				l2.reserved -= 50
+				l1.reserved += 50
+			}
+			onFirst = !onFirst
+			l2.mu.Unlock()
+			l1.mu.Unlock()
+		}
+	}()
+
+	for i := 0; i < 20000; i++ {
+		if got := n.Available(); got != 50 {
+			close(stop)
+			<-done
+			t.Fatalf("iteration %d: torn minimum %g, want 50 at every instant", i, got)
+		}
+	}
+	close(stop)
+	<-done
+
+	if got := n.AvailableAt(0); got != 50 {
+		t.Fatalf("AvailableAt(0) = %g, want 50", got)
+	}
+}

@@ -1,6 +1,7 @@
 package broker
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -227,6 +228,11 @@ func (p *Pool) StaleSnapshot(now Time, resources []string, lag map[string]Time) 
 type MultiReservation struct {
 	pool  *Pool
 	parts []multiPart
+	// leased records that SetLease armed an expiry on the parts: from
+	// then on a part may be reclaimed underneath us by a lease sweep,
+	// so Release treats ErrUnknownReservation as already-reclaimed
+	// rather than as corruption.
+	leased bool
 }
 
 type multiPart struct {
@@ -241,6 +247,50 @@ func (m *MultiReservation) Resources() []string {
 		out[i] = p.broker.Resource()
 	}
 	return out
+}
+
+// Touches returns every underlying concrete resource ID the reservation
+// holds capacity on: the reserved resources themselves plus, for
+// end-to-end network parts, each link on the route. The repair layer
+// matches failed resources against this set to find the sessions a
+// fault invalidates.
+func (m *MultiReservation) Touches() []string {
+	seen := make(map[string]bool, len(m.parts))
+	var out []string
+	add := func(r string) {
+		if !seen[r] {
+			seen[r] = true
+			out = append(out, r)
+		}
+	}
+	for _, p := range m.parts {
+		add(p.broker.Resource())
+		if n, ok := p.broker.(*Network); ok {
+			for _, l := range n.links {
+				add(l.resource)
+			}
+		}
+	}
+	return out
+}
+
+// SetLease arms (or renews) a lease on every part of the reservation:
+// each hold now expires at the given instant unless renewed again by
+// the session heartbeat. The first part that is already gone — expired
+// by a concurrent lease sweep — aborts with ErrUnknownReservation, the
+// signal that the session lost its reservation and must re-establish.
+func (m *MultiReservation) SetLease(expiry Time) error {
+	m.leased = true
+	for _, p := range m.parts {
+		l, ok := p.broker.(Leaser)
+		if !ok {
+			return fmt.Errorf("broker: resource %s: %T does not support leases", p.broker.Resource(), p.broker)
+		}
+		if err := l.SetLease(p.id, expiry); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // ReserveAll atomically reserves every (resource, amount) pair of an
@@ -277,12 +327,21 @@ func (m *MultiReservation) rollback(now Time) {
 	m.parts = nil
 }
 
-// Release terminates every reservation in the set.
+// Release terminates every reservation in the set. On a leased
+// reservation an ErrUnknownReservation from a part is benign — the
+// lease sweep reclaimed it first — and is skipped so the surviving
+// parts are still released; any other error is reported after every
+// part has been attempted.
 func (m *MultiReservation) Release(now Time) error {
 	var firstErr error
 	for i := len(m.parts) - 1; i >= 0; i-- {
-		if err := m.parts[i].broker.Release(now, m.parts[i].id); err != nil && firstErr == nil {
-			firstErr = err
+		if err := m.parts[i].broker.Release(now, m.parts[i].id); err != nil {
+			if m.leased && errors.Is(err, ErrUnknownReservation) {
+				continue
+			}
+			if firstErr == nil {
+				firstErr = err
+			}
 		}
 	}
 	m.parts = nil
@@ -295,4 +354,33 @@ func (p *Pool) TrimLogs(keepAfter Time) {
 	for _, b := range p.LocalBrokers() {
 		b.TrimLog(keepAfter)
 	}
+}
+
+// NetworkBrokers returns every end-to-end network broker created so
+// far, sorted by resource ID.
+func (p *Pool) NetworkBrokers() []*Network {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]*Network, 0, len(p.net))
+	for _, n := range p.net {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].resource < out[j].resource })
+	return out
+}
+
+// ExpireLeases sweeps every broker of the pool for leased holds whose
+// expiry has passed, reclaiming their capacity, and returns the number
+// of leases reclaimed. Network brokers are swept too: their leases
+// release the underlying link holds, which never carry leases of their
+// own.
+func (p *Pool) ExpireLeases(now Time) int {
+	total := 0
+	for _, n := range p.NetworkBrokers() {
+		total += n.ExpireLeases(now)
+	}
+	for _, b := range p.LocalBrokers() {
+		total += b.ExpireLeases(now)
+	}
+	return total
 }

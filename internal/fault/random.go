@@ -1,0 +1,121 @@
+package fault
+
+import (
+	"math/rand"
+	"strings"
+
+	"qosres/internal/broker"
+)
+
+// RandomConfig parameterizes the seeded random fault walk. Each
+// RandomStep rolls one action: recover/restore something active with
+// RecoverProb, otherwise fail a resource with FailProb (bounded by
+// MaxActive concurrent outages), otherwise shrink a capacity with
+// ShrinkProb. Probabilities are evaluated in that order against one
+// uniform draw, so their sum should stay at or below 1.
+type RandomConfig struct {
+	// FailProb is the per-step probability of failing one more resource.
+	FailProb float64
+	// ShrinkProb is the per-step probability of shrinking one capacity.
+	ShrinkProb float64
+	// RecoverProb is the per-step probability of recovering one downed
+	// resource (or restoring one shrunk capacity when nothing is down).
+	RecoverProb float64
+	// MaxActive bounds the number of concurrently-downed resources;
+	// 0 means at most one.
+	MaxActive int
+	// ShrinkLo and ShrinkHi bound the uniform capacity multiplier of
+	// shrink events; zero values default to [0.3, 0.8).
+	ShrinkLo, ShrinkHi float64
+}
+
+// DefaultRandomConfig is a moderately hostile walk: something is usually
+// broken, but rarely everything at once.
+func DefaultRandomConfig() RandomConfig {
+	return RandomConfig{
+		FailProb:    0.25,
+		ShrinkProb:  0.15,
+		RecoverProb: 0.35,
+		MaxActive:   2,
+		ShrinkLo:    0.3,
+		ShrinkHi:    0.8,
+	}
+}
+
+// RandomStep advances the random walk by one step using the caller's
+// seeded source, returning the applied event (nil when the dice said
+// "do nothing" or no eligible target existed). Determinism: with the
+// same pool contents, topology, rng state, and call sequence, the walk
+// replays identically.
+func (in *Injector) RandomStep(now broker.Time, rng *rand.Rand, cfg RandomConfig) *Event {
+	roll := rng.Float64()
+	switch {
+	case roll < cfg.RecoverProb:
+		if downed := in.Active(); len(downed) > 0 {
+			r := downed[rng.Intn(len(downed))]
+			if in.RecoverResource(now, r) == nil {
+				return &Event{Kind: KindRecover, Resources: []string{r}}
+			}
+			return nil
+		}
+		if shrunk := in.Shrunk(); len(shrunk) > 0 {
+			r := shrunk[rng.Intn(len(shrunk))]
+			if in.RestoreCapacity(now, r) == nil {
+				return &Event{Kind: KindCapacityRestore, Resources: []string{r}}
+			}
+		}
+		return nil
+	case roll < cfg.RecoverProb+cfg.FailProb:
+		maxActive := cfg.MaxActive
+		if maxActive <= 0 {
+			maxActive = 1
+		}
+		if len(in.Active()) >= maxActive {
+			return nil
+		}
+		candidates := in.healthyResources()
+		if len(candidates) == 0 {
+			return nil
+		}
+		r := candidates[rng.Intn(len(candidates))]
+		if in.FailResource(now, r) != nil {
+			return nil
+		}
+		kind := KindResourceDown
+		if strings.HasPrefix(r, "link:") {
+			kind = KindLinkDown
+		}
+		return &Event{Kind: kind, Resources: []string{r}}
+	case roll < cfg.RecoverProb+cfg.FailProb+cfg.ShrinkProb:
+		candidates := in.healthyResources()
+		if len(candidates) == 0 {
+			return nil
+		}
+		lo, hi := cfg.ShrinkLo, cfg.ShrinkHi
+		if lo <= 0 || hi <= lo || hi >= 1 {
+			lo, hi = 0.3, 0.8
+		}
+		r := candidates[rng.Intn(len(candidates))]
+		factor := lo + rng.Float64()*(hi-lo)
+		if in.ShrinkCapacity(now, r, factor) != nil {
+			return nil
+		}
+		return &Event{Kind: KindCapacityShrink, Resources: []string{r}}
+	default:
+		return nil
+	}
+}
+
+// healthyResources lists the pool's local/link resources that are not
+// currently downed, in sorted (deterministic) order.
+func (in *Injector) healthyResources() []string {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	var out []string
+	for _, b := range in.pool.LocalBrokers() {
+		if !in.downed[b.Resource()] {
+			out = append(out, b.Resource())
+		}
+	}
+	return out
+}

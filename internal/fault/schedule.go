@@ -1,0 +1,66 @@
+package fault
+
+import (
+	"fmt"
+	"sort"
+
+	"qosres/internal/broker"
+	"qosres/internal/topo"
+)
+
+// Step is one scheduled fault: at simulation time At, apply Kind to
+// Target. Target is a resource ID for resource/link/shrink steps and a
+// host ID for host steps; Factor is the capacity multiplier of shrink
+// steps.
+type Step struct {
+	At     broker.Time
+	Kind   Kind
+	Target string
+	Factor float64
+}
+
+// Schedule is a time-ordered fault script. Use Due to pop the steps
+// that have come due and Injector.Apply to fire them.
+type Schedule struct {
+	steps []Step
+	next  int
+}
+
+// NewSchedule sorts the steps by time and returns the schedule.
+func NewSchedule(steps []Step) *Schedule {
+	ss := make([]Step, len(steps))
+	copy(ss, steps)
+	sort.SliceStable(ss, func(i, j int) bool { return ss[i].At < ss[j].At })
+	return &Schedule{steps: ss}
+}
+
+// Due returns the not-yet-fired steps with At <= now, advancing past
+// them.
+func (s *Schedule) Due(now broker.Time) []Step {
+	start := s.next
+	for s.next < len(s.steps) && s.steps[s.next].At <= now {
+		s.next++
+	}
+	return s.steps[start:s.next]
+}
+
+// Remaining reports how many steps have not fired yet.
+func (s *Schedule) Remaining() int { return len(s.steps) - s.next }
+
+// Apply fires one scheduled step against the injector.
+func (in *Injector) Apply(now broker.Time, st Step) error {
+	switch st.Kind {
+	case KindResourceDown, KindLinkDown:
+		return in.FailResource(now, st.Target)
+	case KindHostDown:
+		return in.FailHost(now, topo.HostID(st.Target))
+	case KindCapacityShrink:
+		return in.ShrinkCapacity(now, st.Target, st.Factor)
+	case KindRecover:
+		return in.RecoverResource(now, st.Target)
+	case KindCapacityRestore:
+		return in.RestoreCapacity(now, st.Target)
+	default:
+		return fmt.Errorf("fault: unknown step kind %q", st.Kind)
+	}
+}

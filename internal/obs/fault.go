@@ -1,0 +1,65 @@
+package obs
+
+// Fault and repair metric names: the fault-injection subsystem's
+// visibility surface. Documented in README.md ("Observability").
+const (
+	// MetricFaultInjected counts injected fault events by kind
+	// (link_down, host_down, resource_down, capacity_shrink, recover,
+	// capacity_restore).
+	MetricFaultInjected = "qosres_fault_injected_total"
+	// MetricSessionsRepaired counts live sessions whose reservation was
+	// invalidated by a fault and re-established at the same (or better)
+	// end-to-end QoS level.
+	MetricSessionsRepaired = "qosres_sessions_repaired_total"
+	// MetricSessionsDegraded counts sessions re-established at a lower
+	// end-to-end QoS level via the tradeoff downgrade path.
+	MetricSessionsDegraded = "qosres_sessions_degraded_total"
+	// MetricSessionsRepairFailed counts sessions terminated because no
+	// feasible plan existed even after the tradeoff downgrade.
+	MetricSessionsRepairFailed = "qosres_sessions_repair_failed_total"
+	// MetricLeasesExpired counts reservation leases reclaimed by expiry
+	// sweeps — capacity that a crashed or silent session would otherwise
+	// have stranded.
+	MetricLeasesExpired = "qosres_leases_expired_total"
+)
+
+// FaultMetrics bundles the fault-injection and session-repair counters.
+// The zero value (or one built from a nil registry) is fully inert.
+type FaultMetrics struct {
+	reg *Registry
+
+	// Repaired counts sessions re-admitted at the same or better QoS.
+	Repaired *Counter
+	// Degraded counts sessions re-admitted at a lower QoS level.
+	Degraded *Counter
+	// RepairFailed counts sessions terminated with no feasible repair.
+	RepairFailed *Counter
+	// LeasesExpired counts holds reclaimed by lease-expiry sweeps.
+	LeasesExpired *Counter
+}
+
+// NewFaultMetrics registers (or re-fetches) the fault counters. A nil
+// registry yields an inert value whose counters record nothing.
+func NewFaultMetrics(r *Registry) *FaultMetrics {
+	return &FaultMetrics{
+		reg: r,
+		Repaired: r.Counter(MetricSessionsRepaired,
+			"Sessions repaired after a fault at the same or better QoS level."),
+		Degraded: r.Counter(MetricSessionsDegraded,
+			"Sessions repaired after a fault at a lower QoS level."),
+		RepairFailed: r.Counter(MetricSessionsRepairFailed,
+			"Sessions terminated after a fault with no feasible repair plan."),
+		LeasesExpired: r.Counter(MetricLeasesExpired,
+			"Reservation leases reclaimed by expiry sweeps."),
+	}
+}
+
+// Injected counts one injected fault event of the given kind. Safe on a
+// nil receiver or a receiver built from a nil registry.
+func (m *FaultMetrics) Injected(kind string) {
+	if m == nil {
+		return
+	}
+	m.reg.Counter(MetricFaultInjected,
+		"Fault events injected, by kind.", "kind", kind).Inc()
+}

@@ -57,6 +57,9 @@ const (
 	// MetricTemplatesCached gauges the number of compiled templates
 	// resident in a cache.
 	MetricTemplatesCached = "qosres_qrg_templates_cached"
+	// MetricTemplateEvictions counts compiled templates evicted by the
+	// cache's LRU bound.
+	MetricTemplateEvictions = "qosres_qrg_template_evictions_total"
 )
 
 // StageBuckets are the default latency buckets of the stage histograms:

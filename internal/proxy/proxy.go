@@ -178,6 +178,15 @@ type Runtime struct {
 	// templates serves compiled QRG templates to Establish; nil falls
 	// back to building every graph from scratch (see SetTemplateCache).
 	templates *qrg.TemplateCache
+	// sessions is the registry of live sessions, the set the repair
+	// layer walks when a fault invalidates reservations.
+	sessions map[*Session]struct{}
+	// leaseTTL, when positive, leases every new session's holds: they
+	// expire leaseTTL after the last heartbeat (see SetLeaseTTL).
+	leaseTTL broker.Time
+	// faults receives repair-outcome counter increments (see
+	// InstrumentFaults); always non-nil, inert by default.
+	faults *obs.FaultMetrics
 }
 
 // NewRuntime creates an empty runtime over a clock with the default
@@ -193,7 +202,73 @@ func NewRuntime(clock Clock) *Runtime {
 		admit:     &obs.AdmitMetrics{},
 		policy:    DefaultAdmitPolicy,
 		templates: qrg.NewTemplateCache(nil),
+		sessions:  make(map[*Session]struct{}),
+		faults:    &obs.FaultMetrics{},
 	}
+}
+
+// SetLeaseTTL configures reservation leasing: when ttl is positive,
+// every subsequently established session's holds expire ttl after the
+// last heartbeat, so a crashed or partitioned main proxy can never
+// strand capacity — a lease sweep (broker.Pool.ExpireLeases) reclaims
+// it. Zero disables leasing (the default; holds live until released).
+func (rt *Runtime) SetLeaseTTL(ttl broker.Time) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if ttl < 0 {
+		ttl = 0
+	}
+	rt.leaseTTL = ttl
+}
+
+// leaseTTLNow returns the configured lease TTL (0 = leasing disabled).
+func (rt *Runtime) leaseTTLNow() broker.Time {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.leaseTTL
+}
+
+// InstrumentFaults attaches repair-outcome counters: every fault-driven
+// session repair then counts as repaired, degraded, or failed. A nil
+// argument (or one built from a nil registry) leaves the runtime
+// unobserved at no cost.
+func (rt *Runtime) InstrumentFaults(m *obs.FaultMetrics) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if m == nil {
+		m = &obs.FaultMetrics{}
+	}
+	rt.faults = m
+}
+
+// faultMetrics returns the attached repair counters (never nil).
+func (rt *Runtime) faultMetrics() *obs.FaultMetrics {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.faults
+}
+
+// register adds a live session to the repair registry.
+func (rt *Runtime) register(s *Session) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.sessions[s] = struct{}{}
+}
+
+// unregister drops a session from the repair registry. Called from the
+// session's teardown path with s.mu held; the lock order is always
+// s.mu before rt.mu, never the reverse.
+func (rt *Runtime) unregister(s *Session) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	delete(rt.sessions, s)
+}
+
+// LiveSessions returns the number of registered (active) sessions.
+func (rt *Runtime) LiveSessions() int {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return len(rt.sessions)
 }
 
 // SetTemplateCache replaces the compiled-template cache Establish

@@ -1,0 +1,8 @@
+//go:build !race
+
+package proxy
+
+// raceEnabled reports whether the race detector instruments this build.
+// The double-release regression runs more rounds under the detector,
+// where the interleavings it exists to catch are actually observable.
+const raceEnabled = false

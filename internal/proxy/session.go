@@ -46,27 +46,94 @@ var DefaultAdmitPolicy = AdmitPolicy{MaxRetries: 3}
 // attempts.
 const maxAdmitBackoff = 100 * time.Millisecond
 
-// wait sleeps before retry attempt k (1-based). A zero Backoff is a
-// no-op so simulated time is never mixed with wall-clock sleeps.
-func (p AdmitPolicy) wait(attempt int) {
+// backoff returns the sleep before retry attempt k (1-based):
+// Backoff<<(k-1), capped at maxAdmitBackoff. The shift overflows for
+// large attempt counts — a 1ns base shifted 63 times is negative, 64
+// times is zero — so any non-positive or over-cap result collapses to
+// the cap rather than to "no sleep" or a panic-length wait.
+func (p AdmitPolicy) backoff(attempt int) time.Duration {
 	if p.Backoff <= 0 {
-		return
+		return 0
+	}
+	if attempt > 63 {
+		// The shift itself is undefined territory past the word size;
+		// don't even compute it.
+		return maxAdmitBackoff
 	}
 	d := p.Backoff << uint(attempt-1)
 	if d > maxAdmitBackoff || d <= 0 {
 		d = maxAdmitBackoff
 	}
-	time.Sleep(d)
+	return d
 }
+
+// wait sleeps before retry attempt k (1-based). A zero Backoff is a
+// no-op so simulated time is never mixed with wall-clock sleeps.
+func (p AdmitPolicy) wait(attempt int) {
+	if d := p.backoff(attempt); d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// SessionState is the lifecycle state of an established session.
+type SessionState int
+
+const (
+	// StateActive: the session holds a live reservation.
+	StateActive SessionState = iota
+	// StateReleased: the session was released by its owner.
+	StateReleased
+	// StateFailed: the session was terminated by the runtime — a fault
+	// invalidated its reservation and no feasible repair existed, or its
+	// lease expired underneath it.
+	StateFailed
+)
+
+// String renders the state for logs and test failures.
+func (s SessionState) String() string {
+	switch s {
+	case StateActive:
+		return "active"
+	case StateReleased:
+		return "released"
+	case StateFailed:
+		return "failed"
+	default:
+		return fmt.Sprintf("SessionState(%d)", int(s))
+	}
+}
+
+// ErrSessionLost is returned by Heartbeat when the session's reservation
+// was reclaimed by a lease-expiry sweep: the session no longer holds its
+// resources and must be re-established from scratch.
+var ErrSessionLost = errors.New("proxy: session reservation lost to lease expiry")
 
 // Session is an established end-to-end reservation: the plan plus the
 // multi-resource reservation backing it.
+//
+// Plan is the initially admitted plan and never changes; CurrentPlan
+// returns the live plan, which a fault-driven repair may have replaced
+// (possibly at a lower QoS level). All teardown — owner Release,
+// repair-failure termination, lease loss — funnels through one
+// lock-held path, so a session's reservation is released exactly once
+// no matter how many paths race to end it.
 type Session struct {
-	Plan        *core.Plan
-	runtime     *Runtime
-	reservation *broker.MultiReservation
+	// Plan is the initially admitted plan (immutable).
+	Plan *core.Plan
+
+	runtime  *Runtime
+	mainHost topo.HostID
+	spec     SessionSpec
+
 	mu          sync.Mutex
-	released    bool
+	state       SessionState
+	plan        *core.Plan // live plan; starts equal to Plan
+	reservation *broker.MultiReservation
+	// touches is the set of concrete resources the live reservation
+	// holds capacity on (including route links of network resources);
+	// the repair layer matches failed resources against it.
+	touches map[string]bool
+	repairs int
 }
 
 // Establish runs the full three-phase protocol of section 4.2 from the
@@ -82,6 +149,10 @@ type Session struct {
 // snapshot went stale under concurrent admission, Establish then
 // replans against a fresh snapshot, bounded by the runtime's
 // AdmitPolicy.
+//
+// When the runtime has a lease TTL configured (SetLeaseTTL), the new
+// session's holds are leased: they expire and are reclaimed unless the
+// session heartbeats (Heartbeat) before the TTL elapses.
 func (rt *Runtime) Establish(mainHost topo.HostID, spec SessionSpec) (*Session, error) {
 	rt.mu.Lock()
 	_, ok := rt.proxies[mainHost]
@@ -94,9 +165,36 @@ func (rt *Runtime) Establish(mainHost topo.HostID, spec SessionSpec) (*Session, 
 		return nil, fmt.Errorf("proxy: runtime not started")
 	}
 
-	resources, err := sessionResourceSet(spec)
+	plan, res, err := rt.admitOnce(spec)
 	if err != nil {
 		return nil, err
+	}
+	s := &Session{
+		Plan:        plan,
+		runtime:     rt,
+		mainHost:    mainHost,
+		spec:        spec,
+		plan:        plan,
+		reservation: res,
+	}
+	s.adoptReservationLocked(res)
+	if err := rt.armLease(res); err != nil {
+		// A freshly committed hold cannot already be expired; failure
+		// here means a broker of the plan does not support leases.
+		_ = res.Release(rt.clock.Now())
+		return nil, err
+	}
+	rt.register(s)
+	return s, nil
+}
+
+// admitOnce runs phases 1-3 (with the bounded replanning retry loop)
+// for one spec and returns the admitted plan and its reservation. It is
+// the shared admission engine of Establish and the repair layer.
+func (rt *Runtime) admitOnce(spec SessionSpec) (*core.Plan, *broker.MultiReservation, error) {
+	resources, err := sessionResourceSet(spec)
+	if err != nil {
+		return nil, nil, err
 	}
 	stages := rt.planStages()
 	policy, admit := rt.admitState()
@@ -111,7 +209,7 @@ func (rt *Runtime) Establish(mainHost topo.HostID, spec SessionSpec) (*Session, 
 		snap, err := rt.collectAvailability(resources)
 		sp.End()
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 
 		// Phase 2: local computation at the main proxy. The compiled
@@ -126,7 +224,7 @@ func (rt *Runtime) Establish(mainHost topo.HostID, spec SessionSpec) (*Session, 
 		}
 		sp.End()
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		sp = obs.StartSpan(stages.Plan)
 		plan, err := spec.Planner.Plan(g)
@@ -139,7 +237,7 @@ func (rt *Runtime) Establish(mainHost topo.HostID, spec SessionSpec) (*Session, 
 		if err != nil {
 			// Planning failure against a fresh snapshot is not staleness;
 			// retrying cannot help.
-			return nil, err
+			return nil, nil, err
 		}
 
 		// Phase 3: validate-at-commit reserve across the plan's brokers.
@@ -147,10 +245,10 @@ func (rt *Runtime) Establish(mainHost topo.HostID, spec SessionSpec) (*Session, 
 		res, err := broker.ReserveAtomic(rt.clock.Now(), rt.brokerFor, plan.Requirement())
 		sp.End()
 		if err == nil {
-			return &Session{Plan: plan, runtime: rt, reservation: res}, nil
+			return plan, res, nil
 		}
 		if !errors.Is(err, broker.ErrInsufficient) {
-			return nil, fmt.Errorf("proxy: commit failed: %w", err)
+			return nil, nil, fmt.Errorf("proxy: commit failed: %w", err)
 		}
 		// The plan fit its snapshot but not the brokers' current state:
 		// a concurrent admission won the race. Count the refusal (the
@@ -160,7 +258,7 @@ func (rt *Runtime) Establish(mainHost topo.HostID, spec SessionSpec) (*Session, 
 		admit.Rollbacks.Inc()
 		lastErr = err
 		if attempt >= policy.MaxRetries {
-			return nil, fmt.Errorf("proxy: admission refused after %d attempt(s): %w", attempt+1, lastErr)
+			return nil, nil, fmt.Errorf("proxy: admission refused after %d attempt(s): %w", attempt+1, lastErr)
 		}
 		admit.Retries.Inc()
 		policy.wait(attempt + 1)
@@ -238,19 +336,107 @@ func (rt *Runtime) collectAvailability(resources []string) (*broker.Snapshot, er
 	return snap, nil
 }
 
-// Release terminates the session's reservations. It is idempotent.
-func (s *Session) Release() error {
+// adoptReservationLocked records a reservation's touch set on the
+// session. Callers either hold s.mu or own the session exclusively
+// (construction).
+func (s *Session) adoptReservationLocked(res *broker.MultiReservation) {
+	s.touches = make(map[string]bool)
+	for _, r := range res.Touches() {
+		s.touches[r] = true
+	}
+}
+
+// CurrentPlan returns the session's live plan: the initially admitted
+// one, or the latest repair's plan after a fault-driven re-admission.
+func (s *Session) CurrentPlan() *core.Plan {
 	s.mu.Lock()
-	if s.released {
-		s.mu.Unlock()
+	defer s.mu.Unlock()
+	return s.plan
+}
+
+// State returns the session's lifecycle state.
+func (s *Session) State() SessionState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.state
+}
+
+// Repairs returns how many fault-driven re-admissions the session has
+// survived.
+func (s *Session) Repairs() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.repairs
+}
+
+// terminateLocked is the single teardown path: every way a session ends
+// — owner Release, repair failure, lease loss — lands here with s.mu
+// held. The first caller moves the session out of StateActive, releases
+// the reservation, and unregisters it; later callers (and concurrent
+// racers, serialized by s.mu) find nothing left to do. This is what
+// makes Release racing a failure-driven teardown safe: the reservation
+// is read and cleared under the same lock that decides the state
+// transition, so it can be released at most once.
+func (s *Session) terminateLocked(to SessionState) error {
+	if s.state != StateActive {
 		return nil
 	}
-	s.released = true
+	s.state = to
 	res := s.reservation
 	s.reservation = nil
-	s.mu.Unlock()
+	s.touches = nil
+	s.runtime.unregister(s)
 	if res == nil {
 		return nil
 	}
 	return res.Release(s.runtime.clock.Now())
+}
+
+// Release terminates the session's reservations. It is idempotent, and
+// safe against concurrent fault-driven teardown: whichever path wins
+// releases the holds, the other is a no-op.
+func (s *Session) Release() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.terminateLocked(StateReleased)
+}
+
+// Heartbeat renews the session's reservation lease for another TTL from
+// the runtime clock's now. On a runtime without a lease TTL it is a
+// no-op. If a lease sweep already reclaimed one of the session's holds
+// — the session went silent past its TTL, e.g. across a main-proxy
+// crash — the session is terminated (surviving holds released) and
+// ErrSessionLost is returned.
+func (s *Session) Heartbeat() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.state != StateActive {
+		return ErrSessionLost
+	}
+	ttl := s.runtime.leaseTTLNow()
+	if ttl <= 0 || s.reservation == nil {
+		return nil
+	}
+	err := s.reservation.SetLease(s.runtime.clock.Now() + ttl)
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, broker.ErrUnknownReservation) {
+		// The sweep won: part of the reservation is gone. Release the
+		// survivors (terminateLocked tolerates the reclaimed parts) and
+		// report the loss.
+		_ = s.terminateLocked(StateFailed)
+		return fmt.Errorf("%w: %v", ErrSessionLost, err)
+	}
+	return err
+}
+
+// armLease leases a freshly admitted reservation when the runtime has a
+// TTL configured; without one the holds stay permanent.
+func (rt *Runtime) armLease(res *broker.MultiReservation) error {
+	ttl := rt.leaseTTLNow()
+	if ttl <= 0 {
+		return nil
+	}
+	return res.SetLease(rt.clock.Now() + ttl)
 }

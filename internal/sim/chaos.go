@@ -1,0 +1,395 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"qosres/internal/broker"
+	"qosres/internal/core"
+	"qosres/internal/fault"
+	"qosres/internal/proxy"
+	"qosres/internal/topo"
+)
+
+// This file is the chaos harness: the concurrent admission stress of
+// stress.go with a seeded fault-injection walk running against the
+// environment while the clients churn. Every injected fault triggers the
+// runtime's session-repair protocol, every session's holds are leased,
+// and a lease sweep reclaims whatever silent (orphaned) sessions strand.
+// On top of the stress harness's two admission-safety invariants the
+// chaos run checks the failure-mode ones:
+//
+//  1. no broker's reserved total ever exceeds its ORIGINAL capacity —
+//     capacity shrinks may push availability negative (holds are never
+//     evicted), but admission must never commit into the overhang;
+//  2. after the clients drain, faults recover, and the final lease sweep
+//     runs, every broker is back to its exact original shape with zero
+//     live holds — orphaned sessions included;
+//  3. every session ends accounted for: released by its client, repaired
+//     or degraded in place, terminated by a failed repair, or reclaimed
+//     by lease expiry. No zombie stays registered with the runtime.
+
+// FaultsConfig parameterizes chaos mode (Config.Faults, simqos -chaos).
+type FaultsConfig struct {
+	// Seed drives the fault walk; 0 derives it from the run seed.
+	Seed int64
+	// Steps bounds the number of injection steps. The driver paces itself
+	// against client progress, so a run whose clients finish early stops
+	// injecting early too.
+	Steps int
+	// StepEvery is the simulated-clock advance per injection step (TUs).
+	StepEvery broker.Time
+	// LeaseTTL leases every session's holds: they expire this many TUs
+	// after the last heartbeat and are reclaimed by the harness's sweep.
+	// 0 disables leasing (then OrphanRate must be 0 — an orphan's holds
+	// could never be reclaimed).
+	LeaseTTL broker.Time
+	// OrphanRate is the probability that a client abandons an established
+	// session without releasing it, simulating a crashed session owner;
+	// only the lease sweep can reclaim its capacity.
+	OrphanRate float64
+	// Random parameterizes the seeded fault walk.
+	Random fault.RandomConfig
+}
+
+// DefaultFaultsConfig is a moderately hostile chaos mode: a fault most
+// steps, a couple of concurrent outages at most, one session in ten
+// orphaned, leases an order of magnitude longer than a step.
+func DefaultFaultsConfig() *FaultsConfig {
+	return &FaultsConfig{
+		Steps:      60,
+		StepEvery:  1,
+		LeaseTTL:   10,
+		OrphanRate: 0.1,
+		Random:     fault.DefaultRandomConfig(),
+	}
+}
+
+// validate checks the chaos parameters (called from Config.Validate).
+func (fc *FaultsConfig) validate() error {
+	if fc.Steps < 1 {
+		return fmt.Errorf("sim: chaos needs at least one injection step, got %d", fc.Steps)
+	}
+	if fc.StepEvery <= 0 {
+		return fmt.Errorf("sim: non-positive chaos step interval %g", float64(fc.StepEvery))
+	}
+	if fc.LeaseTTL < 0 {
+		return fmt.Errorf("sim: negative lease TTL %g", float64(fc.LeaseTTL))
+	}
+	if fc.OrphanRate < 0 || fc.OrphanRate > 1 {
+		return fmt.Errorf("sim: orphan rate %g out of [0,1]", fc.OrphanRate)
+	}
+	if fc.OrphanRate > 0 && fc.LeaseTTL <= 0 {
+		return fmt.Errorf("sim: orphaned sessions need a lease TTL to be reclaimed")
+	}
+	return nil
+}
+
+// ChaosResult summarizes one RunChaos call. Established + PlanInfeasible
+// + AdmitRefused equals Sessions × Iterations; Orphaned and Lost are
+// subsets of Established.
+type ChaosResult struct {
+	// Established, PlanInfeasible, AdmitRefused partition the admission
+	// attempts as in StressResult.
+	Established    int
+	PlanInfeasible int
+	AdmitRefused   int
+	// Orphaned counts established sessions abandoned without release;
+	// their holds were reclaimed by the lease sweep.
+	Orphaned int
+	// Lost counts held sessions whose clients learned via heartbeat that
+	// a failed repair or a lease sweep had terminated them.
+	Lost int
+	// Injected counts applied fault events (all kinds, recoveries
+	// included).
+	Injected int
+	// Affected, Repaired, Degraded, RepairFailed tally the repair sweeps
+	// the injected faults triggered (Repaired + Degraded + RepairFailed
+	// == Affected).
+	Affected, Repaired, Degraded, RepairFailed int
+	// LeasesExpired counts the holds reclaimed by the lease sweeps,
+	// including the final drain sweep.
+	LeasesExpired int
+}
+
+// String renders the result as a two-line summary.
+func (r *ChaosResult) String() string {
+	return fmt.Sprintf("established %d, plan-infeasible %d, admit-refused %d (orphaned %d, lost %d)\n"+
+		"faults injected %d; sessions affected %d: repaired %d, degraded %d, failed %d; leases expired %d",
+		r.Established, r.PlanInfeasible, r.AdmitRefused, r.Orphaned, r.Lost,
+		r.Injected, r.Affected, r.Repaired, r.Degraded, r.RepairFailed, r.LeasesExpired)
+}
+
+// RunChaos drives the concurrent stress harness with fault injection,
+// session repair, and reservation leasing, and verifies the chaos
+// invariants. sc.Config.Faults selects the chaos parameters (nil uses
+// DefaultFaultsConfig); UseRuntime is implied.
+func RunChaos(sc StressConfig) (*ChaosResult, error) {
+	cfg := sc.Config
+	cfg.UseRuntime = true
+	if cfg.Faults == nil {
+		cfg.Faults = DefaultFaultsConfig()
+	}
+	fc := cfg.Faults
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if sc.Sessions < 1 || sc.Iterations < 1 {
+		return nil, fmt.Errorf("sim: chaos needs at least one session and one iteration, got %d×%d",
+			sc.Sessions, sc.Iterations)
+	}
+
+	rng := rand.New(rand.NewSource(sc.Seed))
+	env, err := buildEnvironment(cfg, rng)
+	if err != nil {
+		return nil, err
+	}
+	planner, err := makePlanner(cfg, rng)
+	if err != nil {
+		return nil, err
+	}
+	clock := &proxy.ManualClock{}
+	rt, err := env.buildRuntime(cfg, clock)
+	if err != nil {
+		return nil, err
+	}
+	defer rt.Stop()
+
+	var (
+		mu       sync.Mutex
+		result   ChaosResult
+		orphans  []*proxy.Session
+		failures []string
+	)
+	fail := func(format string, args ...interface{}) {
+		mu.Lock()
+		if len(failures) < 8 { // keep the report readable
+			failures = append(failures, fmt.Sprintf(format, args...))
+		}
+		mu.Unlock()
+	}
+	locals := env.pool.LocalBrokers()
+
+	// The injector drives broker failures and capacity shrinks; every
+	// down/shrink event is forwarded to the runtime's repair layer, which
+	// walks the live sessions holding the affected resources.
+	inj := fault.New(env.pool, env.topology)
+	inj.Instrument(env.ins.faults)
+	inj.OnFault(func(ev fault.Event) {
+		mu.Lock()
+		result.Injected++
+		mu.Unlock()
+		switch ev.Kind {
+		case fault.KindRecover, fault.KindCapacityRestore:
+			return
+		}
+		rep := rt.RepairAffected(ev.Resources)
+		mu.Lock()
+		result.Affected += rep.Affected
+		result.Repaired += rep.Repaired
+		result.Degraded += rep.Degraded
+		result.RepairFailed += rep.Failed
+		mu.Unlock()
+	})
+	sweep := func(now broker.Time) {
+		if fc.LeaseTTL <= 0 {
+			return
+		}
+		if n := env.pool.ExpireLeases(now); n > 0 {
+			mu.Lock()
+			result.LeasesExpired += n
+			mu.Unlock()
+			env.ins.faults.LeasesExpired.Add(float64(n))
+		}
+	}
+
+	// The driver paces the run: each step it advances the simulated
+	// clock, takes one fault-walk step, sweeps expired leases, and then
+	// releases one tick per client. The tick channel's capacity is one
+	// round, so the driver cannot race ahead of the clients — faults land
+	// while sessions are actually live.
+	fseed := fc.Seed
+	if fseed == 0 {
+		fseed = sc.Seed + 104729
+	}
+	frng := rand.New(rand.NewSource(fseed))
+	ticks := make(chan struct{}, sc.Sessions)
+	stop := make(chan struct{})
+	var driverWG sync.WaitGroup
+	driverWG.Add(1)
+	go func() {
+		defer driverWG.Done()
+		defer close(ticks)
+		for i := 0; i < fc.Steps; i++ {
+			clock.Advance(fc.StepEvery)
+			now := clock.Now()
+			inj.RandomStep(now, frng, fc.Random)
+			mu.Lock()
+			cold := result.Injected == 0
+			mu.Unlock()
+			if i == 1 && cold {
+				// Guarantee the run exercises the failure path even when
+				// the walk's dice stay cold: fail one deterministic
+				// resource (the walk may recover it later).
+				_ = inj.FailResource(now, locals[0].Resource())
+			}
+			sweep(now)
+			for c := 0; c < sc.Sessions; c++ {
+				select {
+				case ticks <- struct{}{}:
+				case <-stop:
+					return
+				}
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for g := 0; g < sc.Sessions; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			crng := rand.New(rand.NewSource(sc.Seed + 7919*int64(g) + 1))
+			var held []*proxy.Session
+			release := func(s *proxy.Session) {
+				if err := s.Release(); err != nil {
+					fail("client %d: release: %v", g, err)
+				}
+			}
+			// heartbeat renews the held sessions' leases; a session a
+			// failed repair or a lease sweep already terminated is dropped.
+			heartbeat := func() {
+				live := held[:0]
+				for _, s := range held {
+					switch err := s.Heartbeat(); {
+					case err == nil:
+						live = append(live, s)
+					case errors.Is(err, proxy.ErrSessionLost):
+						mu.Lock()
+						result.Lost++
+						mu.Unlock()
+					default:
+						fail("client %d: heartbeat: %v", g, err)
+					}
+				}
+				held = live
+			}
+			for it := 0; it < sc.Iterations; it++ {
+				<-ticks // paced by the driver (free-running once it stops)
+				heartbeat()
+				sh := env.drawSession(cfg, crng)
+				service := env.services[sh.service-1][sh.variant]
+				binding, _ := sessionResources(sh)
+				s, err := rt.Establish(topo.ServerHost(sh.service), proxy.SessionSpec{
+					Service: service, Binding: binding, Planner: planner,
+				})
+				switch {
+				case err == nil:
+					mu.Lock()
+					result.Established++
+					mu.Unlock()
+					if crng.Float64() < fc.OrphanRate {
+						// The session's owner "crashes": no release, no
+						// further heartbeats. Only the lease sweep can
+						// reclaim the holds.
+						mu.Lock()
+						result.Orphaned++
+						orphans = append(orphans, s)
+						mu.Unlock()
+					} else {
+						held = append(held, s)
+						if len(held) > 2 {
+							release(held[0])
+							held = held[1:]
+						}
+					}
+				case errors.Is(err, core.ErrInfeasible):
+					mu.Lock()
+					result.PlanInfeasible++
+					mu.Unlock()
+				case errors.Is(err, broker.ErrInsufficient):
+					mu.Lock()
+					result.AdmitRefused++
+					mu.Unlock()
+				default:
+					fail("client %d: establish: %v", g, err)
+				}
+				// Invariant 1, checked while faults are live: the reserved
+				// total never exceeds the resource's ORIGINAL capacity.
+				// (Available() may legitimately be negative after a shrink;
+				// comparing against the pre-chaos capacity is what catches a
+				// genuine over-commit.)
+				for _, b := range locals {
+					if r := b.Reserved(); r > env.capacities[b.Resource()]+overcommitTolerance {
+						fail("client %d: broker %s over-committed: reserved %g of original %g",
+							g, b.Resource(), r, env.capacities[b.Resource()])
+					}
+				}
+			}
+			heartbeat()
+			for _, s := range held {
+				release(s)
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(stop)
+	driverWG.Wait()
+
+	// End of chaos: heal the environment, let every outstanding lease
+	// expire, and run the final sweep. Anything still held after this is
+	// a leaked reservation.
+	inj.RecoverAll(clock.Now())
+	if fc.LeaseTTL > 0 {
+		clock.Advance(fc.LeaseTTL + fc.StepEvery + 1)
+		sweep(clock.Now())
+	}
+	// Orphaned sessions' capacity was reclaimed at the brokers; their
+	// owners' next heartbeat (here, simulating a crashed owner's restart)
+	// must observe the loss, which also unregisters the zombie from the
+	// runtime. A failed-repair termination beat some of them to it.
+	for _, s := range orphans {
+		if err := s.Heartbeat(); !errors.Is(err, proxy.ErrSessionLost) {
+			failures = append(failures, fmt.Sprintf("orphaned session outlived its lease: heartbeat err %v", err))
+		}
+	}
+
+	// Invariant 2: the environment is back to its exact original shape —
+	// original capacities, full availability, zero live holds anywhere.
+	for _, b := range locals {
+		r := b.Resource()
+		if n := b.Reservations(); n != 0 {
+			failures = append(failures, fmt.Sprintf("broker %s leaked %d holds", r, n))
+		}
+		if c, orig := b.Capacity(), env.capacities[r]; c != orig {
+			failures = append(failures, fmt.Sprintf("broker %s capacity %g after recovery, want original %g", r, c, orig))
+		}
+		if a, c := b.Available(), b.Capacity(); a < c-overcommitTolerance || a > c+overcommitTolerance {
+			failures = append(failures, fmt.Sprintf("broker %s availability %g after drain, want capacity %g", r, a, c))
+		}
+	}
+	for _, n := range env.pool.NetworkBrokers() {
+		if live := n.Reservations(); live != 0 {
+			failures = append(failures, fmt.Sprintf("network broker %s leaked %d holds", n.Resource(), live))
+		}
+	}
+	// Invariant 3: every session is accounted for; the runtime's repair
+	// registry holds no zombies.
+	if live := rt.LiveSessions(); live != 0 {
+		failures = append(failures, fmt.Sprintf("%d sessions still registered after drain", live))
+	}
+	if got, want := result.Established+result.PlanInfeasible+result.AdmitRefused,
+		sc.Sessions*sc.Iterations; got != want {
+		failures = append(failures, fmt.Sprintf("outcome count %d != %d attempts", got, want))
+	}
+	if result.Repaired+result.Degraded+result.RepairFailed != result.Affected {
+		failures = append(failures, fmt.Sprintf("repair tally %d+%d+%d != %d affected",
+			result.Repaired, result.Degraded, result.RepairFailed, result.Affected))
+	}
+	if len(failures) > 0 {
+		return nil, fmt.Errorf("sim: chaos invariants violated: %v", failures)
+	}
+	return &result, nil
+}

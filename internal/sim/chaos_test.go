@@ -1,0 +1,147 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"qosres/internal/obs"
+)
+
+// TestChaosStress is the fault-injection tentpole test: the 32-client
+// concurrent stress harness with a seeded fault walk failing resources,
+// shrinking capacities, repairing affected sessions, and sweeping
+// expired leases — all while sessions are established, heartbeated,
+// released, and (deliberately) orphaned. RunChaos itself asserts the
+// chaos invariants: reserved totals never exceed the original
+// capacities, the drained environment returns to its exact original
+// shape with zero live holds, and no zombie session stays registered.
+// The test additionally checks the per-run accounting and that the
+// fault/repair/lease counters surface in the Prometheus exposition. CI
+// runs it under -race.
+func TestChaosStress(t *testing.T) {
+	reg := obs.New()
+	sc := DefaultStressConfig(31)
+	sc.Config.Obs = reg
+	fc := DefaultFaultsConfig()
+	// Tilt the walk toward capacity shrinks: a downed resource has no
+	// alternative placement in the fixed bindings, so only shrink faults
+	// can end in a repaired or degraded session rather than a failed one.
+	fc.Random.FailProb = 0.15
+	fc.Random.ShrinkProb = 0.4
+	fc.Random.RecoverProb = 0.25
+	sc.Config.Faults = fc
+	// Mid-range capacities (the stress default is deliberately starved):
+	// enough headroom that sessions establish and repairs can succeed,
+	// low enough that faults still push sessions into degradation.
+	sc.Config.CapacityMin = 600
+	sc.Config.CapacityMax = 1200
+
+	res, err := RunChaos(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(res)
+
+	if res.Injected == 0 {
+		t.Error("chaos run injected no faults")
+	}
+	if got, want := res.Established+res.PlanInfeasible+res.AdmitRefused,
+		sc.Sessions*sc.Iterations; got != want {
+		t.Errorf("outcomes %d, want %d", got, want)
+	}
+	if res.Orphaned > res.Established {
+		t.Errorf("orphaned %d > established %d", res.Orphaned, res.Established)
+	}
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, name := range []string{
+		obs.MetricFaultInjected,
+		obs.MetricSessionsRepaired,
+		obs.MetricSessionsDegraded,
+		obs.MetricSessionsRepairFailed,
+		obs.MetricLeasesExpired,
+	} {
+		if !strings.Contains(text, name) {
+			t.Errorf("metric %s missing from the Prometheus exposition", name)
+		}
+	}
+	// The walk's events count by kind; the sum must match the harness's
+	// own tally.
+	var injected float64
+	for _, c := range reg.Snapshot().Counters {
+		if c.Name == obs.MetricFaultInjected {
+			injected += c.Value
+		}
+	}
+	if int(injected) != res.Injected {
+		t.Errorf("qosres_fault_injected_total = %g, harness counted %d", injected, res.Injected)
+	}
+}
+
+// TestChaosWithoutLeasing pins that chaos also runs lease-free when no
+// client ever orphans a session: releases and repairs alone must keep
+// the environment leak-free.
+func TestChaosWithoutLeasing(t *testing.T) {
+	sc := DefaultStressConfig(5)
+	sc.Sessions = 8
+	sc.Iterations = 4
+	fc := DefaultFaultsConfig()
+	fc.LeaseTTL = 0
+	fc.OrphanRate = 0
+	sc.Config.Faults = fc
+
+	res, err := RunChaos(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LeasesExpired != 0 || res.Orphaned != 0 {
+		t.Errorf("lease-free run reclaimed %d leases, orphaned %d", res.LeasesExpired, res.Orphaned)
+	}
+}
+
+// TestChaosConfigValidation pins the chaos parameter contracts.
+func TestChaosConfigValidation(t *testing.T) {
+	base := func() Config {
+		cfg := DefaultConfig(AlgBasic, 120, 1)
+		cfg.UseRuntime = true
+		cfg.Faults = DefaultFaultsConfig()
+		return cfg
+	}
+	cfg := base()
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("default chaos config invalid: %v", err)
+	}
+
+	cfg = base()
+	cfg.UseRuntime = false
+	if err := cfg.Validate(); err == nil {
+		t.Error("chaos without UseRuntime accepted")
+	}
+	cfg = base()
+	cfg.Faults.OrphanRate = 0.5
+	cfg.Faults.LeaseTTL = 0
+	if err := cfg.Validate(); err == nil {
+		t.Error("orphaning without leasing accepted")
+	}
+	cfg = base()
+	cfg.Faults.Steps = 0
+	if err := cfg.Validate(); err == nil {
+		t.Error("zero chaos steps accepted")
+	}
+	cfg = base()
+	cfg.Faults.StepEvery = 0
+	if err := cfg.Validate(); err == nil {
+		t.Error("zero step interval accepted")
+	}
+
+	// The deterministic single-threaded entry point refuses chaos.
+	cfg = base()
+	cfg.Duration = 10
+	if _, err := Run(cfg); err == nil {
+		t.Error("Run accepted a chaos config")
+	}
+}

@@ -111,6 +111,12 @@ type Config struct {
 	// template replay is proven plan-for-plan equivalent to qrg.Build —
 	// so the knob exists for benchmarking the reference path.
 	TemplateCache bool
+	// Faults, when non-nil, enables chaos mode: a seeded fault-injection
+	// walk runs against the environment while sessions are established,
+	// failed reservations are repaired, and holds are leased. Requires
+	// UseRuntime and the concurrent chaos harness — use RunChaos; the
+	// deterministic Run refuses the combination.
+	Faults *FaultsConfig
 }
 
 // DefaultBaseScale calibrates the figure-10 requirement units against
@@ -198,6 +204,14 @@ func (c Config) Validate() error {
 	}
 	if c.MaxAdmitRetries < 0 {
 		return fmt.Errorf("sim: negative admission retry bound %d", c.MaxAdmitRetries)
+	}
+	if c.Faults != nil {
+		if !c.UseRuntime {
+			return fmt.Errorf("sim: fault injection requires the QoSProxy runtime (UseRuntime)")
+		}
+		if err := c.Faults.validate(); err != nil {
+			return err
+		}
 	}
 	return nil
 }

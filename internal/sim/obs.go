@@ -27,6 +27,9 @@ type instruments struct {
 	// admit carries the runtime admission counters (retries, rollbacks,
 	// stale-snapshot rejections); inert without a registry.
 	admit *obs.AdmitMetrics
+	// faults carries the fault-injection and session-repair counters of
+	// chaos runs; inert without a registry.
+	faults *obs.FaultMetrics
 }
 
 const (
@@ -55,6 +58,7 @@ func newInstruments(r *obs.Registry) instruments {
 		obs.LinearBuckets(0.05, 0.05, 20))
 	in.simTime = r.Gauge(obs.MetricSimTime, "Current simulation clock in TUs.")
 	in.admit = obs.NewAdmitMetrics(r)
+	in.faults = obs.NewFaultMetrics(r)
 	return in
 }
 

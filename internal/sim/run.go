@@ -35,6 +35,9 @@ func Run(cfg Config) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	if cfg.Faults != nil {
+		return nil, fmt.Errorf("sim: fault injection needs concurrent clients; use RunChaos")
+	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	env, err := buildEnvironment(cfg, rng)
 	if err != nil {

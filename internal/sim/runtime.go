@@ -42,6 +42,13 @@ func (env *environment) buildRuntime(cfg Config, clock proxy.Clock) (*proxy.Runt
 	// registry) so hit/miss counters cover both execution modes; a nil
 	// cache disables the fast lane for reference runs.
 	rt.SetTemplateCache(env.templates)
+	if cfg.Faults != nil {
+		// Chaos mode: lease every session's holds so a silent (orphaned)
+		// session can never strand capacity, and count repair outcomes
+		// into the run's registry.
+		rt.SetLeaseTTL(cfg.Faults.LeaseTTL)
+		rt.InstrumentFaults(env.ins.faults)
+	}
 	if env.ins.enabled() {
 		// The three-phase protocol records into the same stage
 		// histograms as the direct path, so both execution modes share
