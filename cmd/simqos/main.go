@@ -8,6 +8,14 @@
 //	simqos -alg basic -rate 100 -seed 1 [-duration 10800] [-stale 0]
 //	       [-scale 4] [-diversity 0]
 //	       [-metrics :9090] [-hold] [-trace run.jsonl] [-spans]
+//	       [-chaos [-loss 0.1] [-dup 0.05] [-latency 1ms] [-partition 0.1]
+//	        [-deadline 250ms] [-max-inflight 0]]
+//
+// With -chaos plus any transport flag, the chaos harness rebases the
+// reservation protocol on an unreliable message fabric (loss,
+// duplication, delivery delay, fault-walk partitions), bounds every
+// establish call and repair sweep by -deadline, and ends the run with a
+// transport summary table.
 //
 // With -metrics the process serves a live exposition endpoint while the
 // simulation runs (and, with -hold, after it finishes):
@@ -53,6 +61,12 @@ func main() {
 		traceOut   = flag.String("trace", "", "write the event trace as JSON lines to this file (- for stdout)")
 		spans      = flag.Bool("spans", false, "with -trace: include planner stage span events")
 		chaos      = flag.Bool("chaos", false, "run the concurrent chaos harness (fault injection, session repair, reservation leases) instead of the deterministic simulation")
+		loss       = flag.Float64("loss", 0, "with -chaos: per-delivery probability that a protocol message (or reply) is lost in transit")
+		dup        = flag.Float64("dup", 0, "with -chaos: per-delivery probability that a protocol message (or reply) is delivered twice")
+		netLatency = flag.Duration("latency", 0, "with -chaos: one-way wall-clock delivery delay of every protocol message")
+		partition  = flag.Float64("partition", 0, "with -chaos: per-step probability the fault walk cuts the route between one more host pair (healed by the walk and at the run midpoint)")
+		deadline   = flag.Duration("deadline", 0, "with -chaos transport: bound on every establish call and repair sweep (default 250ms when transport chaos is on)")
+		maxInFlt   = flag.Int("max-inflight", 0, "with -chaos: bound on concurrently admitted sessions; beyond it calls are shed with ErrOverloaded (0 = unbounded)")
 	)
 	flag.Parse()
 
@@ -113,15 +127,38 @@ func main() {
 		sc.Config.TemplateCache = *tplCache
 		sc.Config.MaxAdmitRetries = *admitRetry
 		sc.Config.Obs = reg
-		sc.Config.Faults = sim.DefaultFaultsConfig()
+		fc := sim.DefaultFaultsConfig()
+		if *loss > 0 || *dup > 0 || *partition > 0 || *netLatency > 0 ||
+			*deadline > 0 || *maxInFlt > 0 {
+			// Unreliable-messaging mode: rebase the protocol on a fabric
+			// that loses/duplicates/delays messages and can be partitioned
+			// by the fault walk; every establish and repair sweep is
+			// deadline-bounded.
+			tc := sim.DefaultTransportConfig()
+			tc.Loss = *loss
+			tc.Dup = *dup
+			tc.Latency = *netLatency
+			tc.Deadline = *deadline
+			tc.MaxInFlight = *maxInFlt
+			fc.Transport = tc
+			fc.Random.PartitionProb = *partition
+			fc.Random.HealProb = 1.5 * *partition
+			fc.Random.MaxPartitions = 1
+		}
+		sc.Config.Faults = fc
 		cres, err := sim.RunChaos(sc)
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Printf("chaos: algorithm=%s seed=%d clients=%d iterations=%d\n",
 			sc.Config.Algorithm, sc.Seed, sc.Sessions, sc.Iterations)
+		if tc := fc.Transport; tc != nil {
+			fmt.Printf("transport: loss=%g dup=%g latency=%v partition=%g deadline=%v max-inflight=%d\n",
+				tc.Loss, tc.Dup, tc.Latency, *partition, tc.Deadline, tc.MaxInFlight)
+		}
 		fmt.Println(cres)
 		printFaults(reg)
+		printTransport(reg)
 		if *metrics != "" && *hold {
 			holdMetrics()
 		}
@@ -316,6 +353,49 @@ func printFaults(reg *obs.Registry) {
 	tbl.AddRow("sessions repair-failed", fmt.Sprintf("%.0f", value(obs.MetricSessionsRepairFailed)))
 	tbl.AddRow("leased holds expired", fmt.Sprintf("%.0f", value(obs.MetricLeasesExpired)))
 	fmt.Printf("\nfault injection / session repair:\n%s", tbl)
+}
+
+// printTransport summarizes the message-fabric counters of an
+// unreliable-messaging chaos run: protocol messages by kind, deliveries
+// dropped by reason, duplicated deliveries, calls abandoned at their
+// deadline or failed fast by an open breaker, admissions shed by the
+// overload gate, and repair work abandoned at a sweep deadline. Silent
+// when no message ever crossed an instrumented fabric (every run
+// without transport chaos).
+func printTransport(reg *obs.Registry) {
+	snap := reg.Snapshot()
+	value := func(name string) float64 {
+		var v float64
+		for _, c := range snap.Counters {
+			if c.Name == name {
+				v += c.Value
+			}
+		}
+		return v
+	}
+	messages := value(obs.MetricTransportMessages)
+	if messages == 0 {
+		return
+	}
+	tbl := &stats.Table{Header: []string{"transport event", "count"}}
+	tbl.AddRow("messages sent", fmt.Sprintf("%.0f", messages))
+	for _, c := range snap.Counters {
+		if c.Name == obs.MetricTransportMessages && c.Value > 0 {
+			tbl.AddRow("  "+c.Labels["kind"], fmt.Sprintf("%.0f", c.Value))
+		}
+	}
+	tbl.AddRow("deliveries dropped", fmt.Sprintf("%.0f", value(obs.MetricTransportDropped)))
+	for _, c := range snap.Counters {
+		if c.Name == obs.MetricTransportDropped && c.Value > 0 {
+			tbl.AddRow("  "+c.Labels["reason"], fmt.Sprintf("%.0f", c.Value))
+		}
+	}
+	tbl.AddRow("deliveries duplicated", fmt.Sprintf("%.0f", value(obs.MetricTransportDuplicated)))
+	tbl.AddRow("calls timed out", fmt.Sprintf("%.0f", value(obs.MetricTransportCallTimeouts)))
+	tbl.AddRow("breaker fast-fails", fmt.Sprintf("%.0f", value(obs.MetricTransportBreakerFastFail)))
+	tbl.AddRow("admissions shed", fmt.Sprintf("%.0f", value(obs.MetricAdmissionShed)))
+	tbl.AddRow("repairs abandoned at deadline", fmt.Sprintf("%.0f", value(obs.MetricRepairAbandoned)))
+	fmt.Printf("\ntransport (unreliable messaging):\n%s", tbl)
 }
 
 // printUtilization summarizes the end-of-run per-resource utilization

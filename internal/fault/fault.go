@@ -23,6 +23,7 @@ import (
 	"qosres/internal/broker"
 	"qosres/internal/obs"
 	"qosres/internal/topo"
+	"qosres/internal/transport"
 )
 
 // Kind classifies one injected fault event.
@@ -67,17 +68,25 @@ type Injector struct {
 	// whose capacity was reduced to its original capacity.
 	downed map[string]bool
 	shrunk map[string]float64
+	// fabric, when attached (SetTransport), receives network-level
+	// injections; partitioned tracks cut host pairs and delayed maps a
+	// delayed route to its original config.
+	fabric      *transport.Fabric
+	partitioned map[hostPair]bool
+	delayed     map[hostPair]transport.RouteConfig
 }
 
 // New creates an injector over a pool. The topology may be nil when only
 // resource-level faults are injected.
 func New(pool *broker.Pool, topology *topo.Topology) *Injector {
 	return &Injector{
-		pool:     pool,
-		topology: topology,
-		metrics:  &obs.FaultMetrics{},
-		downed:   make(map[string]bool),
-		shrunk:   make(map[string]float64),
+		pool:        pool,
+		topology:    topology,
+		metrics:     &obs.FaultMetrics{},
+		downed:      make(map[string]bool),
+		shrunk:      make(map[string]float64),
+		partitioned: make(map[hostPair]bool),
+		delayed:     make(map[hostPair]transport.RouteConfig),
 	}
 }
 
@@ -276,10 +285,12 @@ func (in *Injector) RestoreCapacity(now broker.Time, resource string) error {
 	return nil
 }
 
-// RecoverAll recovers every downed resource and restores every shrunk
-// capacity — the end-of-chaos cleanup that must return the environment
-// to its exact original shape.
+// RecoverAll recovers every downed resource, restores every shrunk
+// capacity, heals every partition, and restores every delayed route —
+// the end-of-chaos cleanup that must return the environment to its
+// exact original shape.
 func (in *Injector) RecoverAll(now broker.Time) {
+	in.healTransport()
 	in.mu.Lock()
 	downed := make([]string, 0, len(in.downed))
 	for r := range in.downed {

@@ -27,6 +27,15 @@ type RandomConfig struct {
 	// ShrinkLo and ShrinkHi bound the uniform capacity multiplier of
 	// shrink events; zero values default to [0.3, 0.8).
 	ShrinkLo, ShrinkHi float64
+	// PartitionProb is the per-step probability of cutting the transport
+	// route between one more random host pair (needs a topology and an
+	// attached fabric; silently skipped otherwise).
+	PartitionProb float64
+	// HealProb is the per-step probability of healing one cut route.
+	HealProb float64
+	// MaxPartitions bounds the number of concurrently-cut routes;
+	// 0 means at most one.
+	MaxPartitions int
 }
 
 // DefaultRandomConfig is a moderately hostile walk: something is usually
@@ -101,9 +110,62 @@ func (in *Injector) RandomStep(now broker.Time, rng *rand.Rand, cfg RandomConfig
 			return nil
 		}
 		return &Event{Kind: KindCapacityShrink, Resources: []string{r}}
+	case roll < cfg.RecoverProb+cfg.FailProb+cfg.ShrinkProb+cfg.HealProb:
+		cut := in.Partitioned()
+		if len(cut) == 0 {
+			return nil
+		}
+		p := cut[rng.Intn(len(cut))]
+		if in.HealLink(p[0], p[1]) != nil {
+			return nil
+		}
+		return &Event{Kind: KindHeal, Resources: []string{routeResource(pairOf(p[0], p[1]))}}
+	case roll < cfg.RecoverProb+cfg.FailProb+cfg.ShrinkProb+cfg.HealProb+cfg.PartitionProb:
+		maxParts := cfg.MaxPartitions
+		if maxParts <= 0 {
+			maxParts = 1
+		}
+		if len(in.Partitioned()) >= maxParts {
+			return nil
+		}
+		pairs := in.uncutHostPairs()
+		if len(pairs) == 0 {
+			return nil
+		}
+		p := pairs[rng.Intn(len(pairs))]
+		if in.PartitionLink(p[0], p[1]) != nil {
+			return nil
+		}
+		return &Event{Kind: KindPartition, Resources: []string{routeResource(p)}}
 	default:
 		return nil
 	}
+}
+
+// uncutHostPairs lists the topology's host pairs whose route is not
+// currently partitioned, in sorted (deterministic) order. Empty without
+// a topology or an attached fabric.
+func (in *Injector) uncutHostPairs() []hostPair {
+	in.mu.Lock()
+	fabric := in.fabric
+	topology := in.topology
+	in.mu.Unlock()
+	if fabric == nil || topology == nil {
+		return nil
+	}
+	hosts := topology.Hosts()
+	var out []hostPair
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for i := 0; i < len(hosts); i++ {
+		for j := i + 1; j < len(hosts); j++ {
+			p := pairOf(hosts[i], hosts[j])
+			if !in.partitioned[p] {
+				out = append(out, p)
+			}
+		}
+	}
+	return out
 }
 
 // healthyResources lists the pool's local/link resources that are not

@@ -3,6 +3,7 @@ package fault
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"qosres/internal/broker"
 	"qosres/internal/topo"
@@ -11,12 +12,15 @@ import (
 // Step is one scheduled fault: at simulation time At, apply Kind to
 // Target. Target is a resource ID for resource/link/shrink steps and a
 // host ID for host steps; Factor is the capacity multiplier of shrink
-// steps.
+// steps. Network steps (partition/heal/delay) name the route's two hosts
+// in Target and Peer; Delay is the one-way latency of delay steps.
 type Step struct {
 	At     broker.Time
 	Kind   Kind
 	Target string
 	Factor float64
+	Peer   string
+	Delay  time.Duration
 }
 
 // Schedule is a time-ordered fault script. Use Due to pop the steps
@@ -60,6 +64,12 @@ func (in *Injector) Apply(now broker.Time, st Step) error {
 		return in.RecoverResource(now, st.Target)
 	case KindCapacityRestore:
 		return in.RestoreCapacity(now, st.Target)
+	case KindPartition:
+		return in.PartitionLink(topo.HostID(st.Target), topo.HostID(st.Peer))
+	case KindHeal:
+		return in.HealLink(topo.HostID(st.Target), topo.HostID(st.Peer))
+	case KindDelayRoute:
+		return in.DelayRoute(topo.HostID(st.Target), topo.HostID(st.Peer), st.Delay)
 	default:
 		return fmt.Errorf("fault: unknown step kind %q", st.Kind)
 	}

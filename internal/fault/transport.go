@@ -1,0 +1,179 @@
+package fault
+
+// Network-level injection: on top of broker failures and capacity
+// shrinks, the injector can cut and heal transport routes between hosts
+// (partitions) and add per-route delivery latency, driving the fabric
+// the QoSProxies exchange protocol messages over. Partition events are
+// emitted like broker faults (with synthetic "route:a|b" resource IDs,
+// which match no reservation and therefore trigger no repair — a
+// partition invalidates no committed holds, it only degrades the
+// protocol), so chaos harnesses see them in the same event stream.
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"qosres/internal/topo"
+	"qosres/internal/transport"
+)
+
+const (
+	// KindPartition cuts the transport route between two hosts: every
+	// protocol message between them is dropped until healed.
+	KindPartition Kind = "partition"
+	// KindHeal restores a partitioned route.
+	KindHeal Kind = "heal"
+	// KindDelayRoute adds delivery latency to a route.
+	KindDelayRoute Kind = "delay_route"
+)
+
+// hostPair is an unordered host pair.
+type hostPair [2]topo.HostID
+
+func pairOf(a, b topo.HostID) hostPair {
+	if b < a {
+		a, b = b, a
+	}
+	return hostPair{a, b}
+}
+
+// routeResource names a route in fault events.
+func routeResource(p hostPair) string {
+	return fmt.Sprintf("route:%s|%s", p[0], p[1])
+}
+
+// SetTransport attaches the fabric network-level injections act on.
+// Without one, PartitionLink/HealLink/DelayRoute error.
+func (in *Injector) SetTransport(f *transport.Fabric) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.fabric = f
+}
+
+// transportFabric returns the attached fabric or an error.
+func (in *Injector) transportFabric() (*transport.Fabric, error) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.fabric == nil {
+		return nil, fmt.Errorf("fault: no transport fabric attached (SetTransport)")
+	}
+	return in.fabric, nil
+}
+
+// PartitionLink cuts the transport route between two hosts in both
+// directions until HealLink.
+func (in *Injector) PartitionLink(a, b topo.HostID) error {
+	f, err := in.transportFabric()
+	if err != nil {
+		return err
+	}
+	p := pairOf(a, b)
+	f.Partition(transport.Addr(p[0]), transport.Addr(p[1]))
+	in.mu.Lock()
+	in.partitioned[p] = true
+	in.mu.Unlock()
+	in.emit(Event{Kind: KindPartition, Resources: []string{routeResource(p)}})
+	return nil
+}
+
+// HealLink restores a partitioned route.
+func (in *Injector) HealLink(a, b topo.HostID) error {
+	f, err := in.transportFabric()
+	if err != nil {
+		return err
+	}
+	p := pairOf(a, b)
+	f.Heal(transport.Addr(p[0]), transport.Addr(p[1]))
+	in.mu.Lock()
+	delete(in.partitioned, p)
+	in.mu.Unlock()
+	in.emit(Event{Kind: KindHeal, Resources: []string{routeResource(p)}})
+	return nil
+}
+
+// DelayRoute adds one-way delivery latency to the route between two
+// hosts, keeping the route's loss and duplication as configured. The
+// first delay of a route records its original config for RestoreRoute.
+func (in *Injector) DelayRoute(a, b topo.HostID, d time.Duration) error {
+	if d < 0 {
+		return fmt.Errorf("fault: negative route delay %v", d)
+	}
+	f, err := in.transportFabric()
+	if err != nil {
+		return err
+	}
+	p := pairOf(a, b)
+	cfg := f.Route(transport.Addr(p[0]), transport.Addr(p[1]))
+	in.mu.Lock()
+	if _, already := in.delayed[p]; !already {
+		in.delayed[p] = cfg
+	}
+	in.mu.Unlock()
+	cfg.Latency = d
+	f.SetRoute(transport.Addr(p[0]), transport.Addr(p[1]), cfg)
+	in.emit(Event{Kind: KindDelayRoute, Resources: []string{routeResource(p)}})
+	return nil
+}
+
+// RestoreRoute returns a delayed route to its original config.
+func (in *Injector) RestoreRoute(a, b topo.HostID) error {
+	f, err := in.transportFabric()
+	if err != nil {
+		return err
+	}
+	p := pairOf(a, b)
+	in.mu.Lock()
+	cfg, ok := in.delayed[p]
+	delete(in.delayed, p)
+	in.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("fault: route %s was not delayed", routeResource(p))
+	}
+	f.SetRoute(transport.Addr(p[0]), transport.Addr(p[1]), cfg)
+	return nil
+}
+
+// Partitioned returns the currently-cut host pairs, sorted.
+func (in *Injector) Partitioned() [][2]topo.HostID {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make([][2]topo.HostID, 0, len(in.partitioned))
+	for p := range in.partitioned {
+		out = append(out, [2]topo.HostID(p))
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// healTransport heals every partition and restores every delayed route;
+// part of RecoverAll's end-of-chaos cleanup.
+func (in *Injector) healTransport() {
+	in.mu.Lock()
+	f := in.fabric
+	parts := make([]hostPair, 0, len(in.partitioned))
+	for p := range in.partitioned {
+		parts = append(parts, p)
+	}
+	delayed := make([]hostPair, 0, len(in.delayed))
+	for p := range in.delayed {
+		delayed = append(delayed, p)
+	}
+	in.mu.Unlock()
+	if f == nil {
+		return
+	}
+	sort.Slice(parts, func(i, j int) bool { return routeResource(parts[i]) < routeResource(parts[j]) })
+	sort.Slice(delayed, func(i, j int) bool { return routeResource(delayed[i]) < routeResource(delayed[j]) })
+	for _, p := range parts {
+		_ = in.HealLink(p[0], p[1])
+	}
+	for _, p := range delayed {
+		_ = in.RestoreRoute(p[0], p[1])
+	}
+}

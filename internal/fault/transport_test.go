@@ -1,0 +1,202 @@
+package fault
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+
+	"qosres/internal/broker"
+	"qosres/internal/transport"
+)
+
+func brokerTime(step int) broker.Time { return broker.Time(step) }
+
+// fabricWorld attaches a fabric with live endpoints on hosts A, B, C to
+// an injector over the standard 3-host world. Each endpoint echoes its
+// payload back.
+func fabricWorld(t *testing.T) (*Injector, *transport.Fabric) {
+	t.Helper()
+	pool, tp := world(t)
+	in := New(pool, tp)
+	f := transport.New(transport.Options{})
+	for _, h := range tp.Hosts() {
+		ep := f.Endpoint(transport.Addr(h), 8)
+		go func() {
+			for {
+				select {
+				case d := <-ep.Inbox():
+					d.Reply(d.Payload)
+				case <-ep.Done():
+					return
+				}
+			}
+		}()
+	}
+	in.SetTransport(f)
+	return in, f
+}
+
+func call(f *transport.Fabric, from, to transport.Addr) error {
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	_, err := f.Call(ctx, from, to, "ping", "hi")
+	return err
+}
+
+func TestPartitionAndHealLink(t *testing.T) {
+	in, f := fabricWorld(t)
+	var events []Event
+	in.OnFault(func(ev Event) { events = append(events, ev) })
+
+	if err := call(f, "A", "B"); err != nil {
+		t.Fatalf("pre-partition call failed: %v", err)
+	}
+	if err := in.PartitionLink("B", "A"); err != nil {
+		t.Fatal(err)
+	}
+	if got := in.Partitioned(); len(got) != 1 || got[0][0] != "A" || got[0][1] != "B" {
+		t.Fatalf("partitioned = %v", got)
+	}
+	if err := call(f, "A", "B"); err == nil {
+		t.Fatal("call crossed a partitioned route")
+	}
+	if err := in.HealLink("A", "B"); err != nil {
+		t.Fatal(err)
+	}
+	if len(in.Partitioned()) != 0 {
+		t.Fatalf("partitioned after heal = %v", in.Partitioned())
+	}
+	if err := call(f, "A", "B"); err != nil {
+		t.Fatalf("post-heal call failed: %v", err)
+	}
+	if len(events) != 2 || events[0].Kind != KindPartition || events[1].Kind != KindHeal {
+		t.Fatalf("events = %v", events)
+	}
+	if events[0].Resources[0] != "route:A|B" {
+		t.Fatalf("partition resource = %v", events[0].Resources)
+	}
+}
+
+func TestDelayAndRestoreRoute(t *testing.T) {
+	in, f := fabricWorld(t)
+	if err := in.DelayRoute("A", "B", 10*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := call(f, "A", "B"); err != nil {
+		t.Fatalf("delayed call failed: %v", err)
+	}
+	// Request and reply each cross the route once: >= 2x one-way latency.
+	if elapsed := time.Since(start); elapsed < 20*time.Millisecond {
+		t.Fatalf("delayed round trip took only %v", elapsed)
+	}
+	if err := in.RestoreRoute("A", "B"); err != nil {
+		t.Fatal(err)
+	}
+	if cfg := f.Route("A", "B"); cfg.Latency != 0 {
+		t.Fatalf("restored route latency = %v", cfg.Latency)
+	}
+	if err := in.RestoreRoute("A", "B"); err == nil {
+		t.Fatal("double restore accepted")
+	}
+	if err := in.DelayRoute("A", "B", -time.Millisecond); err == nil {
+		t.Fatal("negative delay accepted")
+	}
+}
+
+func TestRecoverAllHealsTransport(t *testing.T) {
+	in, f := fabricWorld(t)
+	if err := in.PartitionLink("A", "B"); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.DelayRoute("B", "C", 5*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.FailResource(1, "cpu@A"); err != nil {
+		t.Fatal(err)
+	}
+	in.RecoverAll(2)
+	if len(in.Partitioned()) != 0 {
+		t.Fatalf("partitions survived RecoverAll: %v", in.Partitioned())
+	}
+	if cfg := f.Route("B", "C"); cfg.Latency != 0 {
+		t.Fatalf("delay survived RecoverAll: %v", cfg.Latency)
+	}
+	if len(in.Active()) != 0 {
+		t.Fatalf("downed survived RecoverAll: %v", in.Active())
+	}
+	if err := call(f, "A", "B"); err != nil {
+		t.Fatalf("post-RecoverAll call failed: %v", err)
+	}
+}
+
+func TestNetworkFaultsNeedFabric(t *testing.T) {
+	pool, tp := world(t)
+	in := New(pool, tp)
+	if err := in.PartitionLink("A", "B"); err == nil {
+		t.Fatal("partition without fabric accepted")
+	}
+	if err := in.HealLink("A", "B"); err == nil {
+		t.Fatal("heal without fabric accepted")
+	}
+	if err := in.DelayRoute("A", "B", time.Millisecond); err == nil {
+		t.Fatal("delay without fabric accepted")
+	}
+}
+
+func TestRandomWalkPartitionsAndHeals(t *testing.T) {
+	in, _ := fabricWorld(t)
+	rng := rand.New(rand.NewSource(7))
+	cfg := RandomConfig{PartitionProb: 0.5, HealProb: 0.3, MaxPartitions: 2}
+	var cuts, heals int
+	for step := 0; step < 400; step++ {
+		ev := in.RandomStep(brokerTime(step), rng, cfg)
+		if ev == nil {
+			continue
+		}
+		switch ev.Kind {
+		case KindPartition:
+			cuts++
+		case KindHeal:
+			heals++
+		default:
+			t.Fatalf("unexpected kind %s", ev.Kind)
+		}
+		if got := len(in.Partitioned()); got > 2 {
+			t.Fatalf("MaxPartitions exceeded: %d cut", got)
+		}
+	}
+	if cuts == 0 || heals == 0 {
+		t.Fatalf("walk produced cuts=%d heals=%d", cuts, heals)
+	}
+}
+
+// TestRandomWalkReplaysWithZeroNetworkProbs pins backward compatibility:
+// with the network probabilities at zero, a walk over the new config
+// replays the exact event sequence of the pre-network config.
+func TestRandomWalkReplaysWithZeroNetworkProbs(t *testing.T) {
+	run := func(cfg RandomConfig) []Event {
+		pool, tp := world(t)
+		in := New(pool, tp)
+		rng := rand.New(rand.NewSource(42))
+		var out []Event
+		for step := 0; step < 200; step++ {
+			if ev := in.RandomStep(brokerTime(step), rng, cfg); ev != nil {
+				out = append(out, *ev)
+			}
+		}
+		return out
+	}
+	base := DefaultRandomConfig()
+	got := run(base)
+	want := run(base) // identical config: must replay bit-for-bit
+	if len(got) != len(want) {
+		t.Fatalf("replay lengths differ: %d vs %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Kind != want[i].Kind || got[i].Resources[0] != want[i].Resources[0] {
+			t.Fatalf("replay diverged at %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+}

@@ -26,6 +26,9 @@ type AdmitMetrics struct {
 	Rollbacks *Counter
 	// StaleRejects counts commit-time refusals of stale-snapshot plans.
 	StaleRejects *Counter
+	// Shed counts admission requests refused outright by the bounded
+	// in-flight gate (overload shedding).
+	Shed *Counter
 }
 
 // NewAdmitMetrics registers (or re-fetches) the admission counters. A
@@ -38,5 +41,7 @@ func NewAdmitMetrics(r *Registry) *AdmitMetrics {
 			"Multi-resource reservations rolled back after a partial failure."),
 		StaleRejects: r.Counter(MetricAdmitStaleRejects,
 			"Reservation plans refused at commit time because the planning snapshot went stale."),
+		Shed: r.Counter(MetricAdmissionShed,
+			"Admission requests shed by the bounded in-flight overload gate."),
 	}
 }

@@ -36,6 +36,9 @@ type FaultMetrics struct {
 	RepairFailed *Counter
 	// LeasesExpired counts holds reclaimed by lease-expiry sweeps.
 	LeasesExpired *Counter
+	// RepairAbandoned counts sessions a repair sweep left unexamined
+	// because its deadline expired first.
+	RepairAbandoned *Counter
 }
 
 // NewFaultMetrics registers (or re-fetches) the fault counters. A nil
@@ -51,6 +54,8 @@ func NewFaultMetrics(r *Registry) *FaultMetrics {
 			"Sessions terminated after a fault with no feasible repair plan."),
 		LeasesExpired: r.Counter(MetricLeasesExpired,
 			"Reservation leases reclaimed by expiry sweeps."),
+		RepairAbandoned: r.Counter(MetricRepairAbandoned,
+			"Sessions left unexamined by a repair sweep whose deadline expired."),
 	}
 }
 

@@ -1,0 +1,112 @@
+package obs
+
+// Transport metric names: the message-fabric visibility surface.
+// Documented in README.md ("Observability").
+const (
+	// MetricTransportMessages counts messages sent over the fabric, by
+	// message kind (availability, model, prepare, commit, abort).
+	MetricTransportMessages = "qosres_transport_messages_total"
+	// MetricTransportDropped counts deliveries dropped by the fabric, by
+	// reason (loss, partition, closed).
+	MetricTransportDropped = "qosres_transport_dropped_total"
+	// MetricTransportDuplicated counts deliveries the fabric duplicated.
+	MetricTransportDuplicated = "qosres_transport_duplicated_total"
+	// MetricTransportCallTimeouts counts calls that hit their context
+	// deadline (or cancellation) before a reply arrived.
+	MetricTransportCallTimeouts = "qosres_transport_call_timeouts_total"
+	// MetricTransportBreakerFastFail counts calls failed fast by an open
+	// circuit breaker.
+	MetricTransportBreakerFastFail = "qosres_transport_breaker_fastfail_total"
+	// MetricTransportBreakerState gauges each route's breaker position
+	// (0 closed, 1 half-open, 2 open).
+	MetricTransportBreakerState = "qosres_transport_breaker_state"
+	// MetricAdmissionShed counts admission requests refused by the
+	// bounded in-flight gate (overload shedding).
+	MetricAdmissionShed = "qosres_admission_shed_total"
+	// MetricRepairAbandoned counts sessions a RepairAffected sweep left
+	// unexamined because its deadline expired first.
+	MetricRepairAbandoned = "qosres_repair_deadline_abandoned_total"
+)
+
+// TransportMetrics bundles the message-fabric counters. The zero value
+// (or one built from a nil registry) is fully inert.
+type TransportMetrics struct {
+	reg *Registry
+
+	// Duplicated counts deliveries the fabric duplicated.
+	Duplicated *Counter
+	// CallTimeouts counts calls abandoned at their context deadline.
+	CallTimeouts *Counter
+	// BreakerFastFails counts calls refused by an open breaker.
+	BreakerFastFails *Counter
+}
+
+// NewTransportMetrics registers (or re-fetches) the transport counters.
+// A nil registry yields an inert value whose counters record nothing.
+func NewTransportMetrics(r *Registry) *TransportMetrics {
+	return &TransportMetrics{
+		reg: r,
+		Duplicated: r.Counter(MetricTransportDuplicated,
+			"Fabric deliveries duplicated by the duplication knob."),
+		CallTimeouts: r.Counter(MetricTransportCallTimeouts,
+			"Fabric calls abandoned at their context deadline."),
+		BreakerFastFails: r.Counter(MetricTransportBreakerFastFail,
+			"Fabric calls failed fast by an open circuit breaker."),
+	}
+}
+
+// Sent counts one message of the given kind. Safe on a nil receiver or
+// one built from a nil registry.
+func (m *TransportMetrics) Sent(kind string) {
+	if m == nil {
+		return
+	}
+	m.reg.Counter(MetricTransportMessages,
+		"Messages sent over the transport fabric, by kind.", "kind", kind).Inc()
+}
+
+// Dropped counts one delivery dropped for the given reason (loss,
+// partition, closed). Safe on a nil receiver.
+func (m *TransportMetrics) Dropped(reason string) {
+	if m == nil {
+		return
+	}
+	m.reg.Counter(MetricTransportDropped,
+		"Fabric deliveries dropped, by reason.", "reason", reason).Inc()
+}
+
+// Duplicate counts one duplicated delivery. Safe on a nil receiver.
+func (m *TransportMetrics) Duplicate() {
+	if m == nil {
+		return
+	}
+	m.Duplicated.Inc()
+}
+
+// Timeout counts one call abandoned at its deadline. Safe on a nil
+// receiver.
+func (m *TransportMetrics) Timeout() {
+	if m == nil {
+		return
+	}
+	m.CallTimeouts.Inc()
+}
+
+// FastFail counts one breaker fast-failure. Safe on a nil receiver.
+func (m *TransportMetrics) FastFail() {
+	if m == nil {
+		return
+	}
+	m.BreakerFastFails.Inc()
+}
+
+// BreakerState gauges one route's breaker position (0 closed, 1
+// half-open, 2 open). Safe on a nil receiver.
+func (m *TransportMetrics) BreakerState(route string, state float64) {
+	if m == nil {
+		return
+	}
+	m.reg.Gauge(MetricTransportBreakerState,
+		"Per-route circuit breaker state (0 closed, 1 half-open, 2 open).",
+		"route", route).Set(state)
+}

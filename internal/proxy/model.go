@@ -1,12 +1,14 @@
 package proxy
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"qosres/internal/core"
 	"qosres/internal/svc"
 	"qosres/internal/topo"
+	"qosres/internal/transport"
 )
 
 // Section 3 gives two ways to store a service's QoS-Resource Model
@@ -40,7 +42,6 @@ type Skeleton struct {
 type modelRequest struct {
 	service string
 	comps   []svc.ComponentID
-	reply   chan modelReply
 }
 
 type modelReply struct {
@@ -128,8 +129,8 @@ func (p *QoSProxy) handleModel(req modelRequest) modelReply {
 
 // assembleService is phase 0 of the distributed protocol: the main proxy
 // fetches every component definition from the owning proxies (in
-// parallel) and assembles the validated service model.
-func (rt *Runtime) assembleService(sk Skeleton) (*svc.Service, error) {
+// parallel over the fabric) and assembles the validated service model.
+func (rt *Runtime) assembleService(ctx context.Context, mainHost topo.HostID, sk Skeleton) (*svc.Service, error) {
 	// Group components by owning host.
 	byHost := make(map[topo.HostID][]svc.ComponentID)
 	for comp, host := range sk.Placement {
@@ -138,21 +139,27 @@ func (rt *Runtime) assembleService(sk Skeleton) (*svc.Service, error) {
 	for _, comps := range byHost {
 		sort.Slice(comps, func(i, j int) bool { return comps[i] < comps[j] })
 	}
+	fabric := rt.Transport()
+	from := transport.Addr(mainHost)
 	type result struct {
 		comps []*svc.Component
 		err   error
 	}
 	results := make(chan result, len(byHost))
 	for host, comps := range byHost {
-		rt.mu.Lock()
-		p := rt.proxies[host]
-		rt.mu.Unlock()
-		go func(p *QoSProxy, comps []svc.ComponentID) {
-			reply := make(chan modelReply, 1)
-			p.requests <- modelRequest{service: sk.Name, comps: comps, reply: reply}
-			rep := <-reply
+		go func(host topo.HostID, comps []svc.ComponentID) {
+			resp, err := fabric.Call(ctx, from, transport.Addr(host), msgModel, modelRequest{service: sk.Name, comps: comps})
+			if err != nil {
+				results <- result{err: err}
+				return
+			}
+			rep, ok := resp.(modelReply)
+			if !ok {
+				results <- result{err: fmt.Errorf("proxy: unexpected model reply %T", resp)}
+				return
+			}
 			results <- result{comps: rep.comps, err: rep.err}
-		}(p, comps)
+		}(host, comps)
 	}
 	var all []*svc.Component
 	var firstErr error
@@ -177,6 +184,13 @@ func (rt *Runtime) assembleService(sk Skeleton) (*svc.Service, error) {
 // is stored in the distributed fashion: phase 0 assembles the model from
 // the component-hosting proxies, then the standard three phases run.
 func (rt *Runtime) EstablishDistributed(mainHost topo.HostID, serviceName string, binding svc.Binding, planner core.Planner) (*Session, error) {
+	return rt.EstablishDistributedContext(context.Background(), mainHost, serviceName, binding, planner)
+}
+
+// EstablishDistributedContext is EstablishDistributed bounded by a
+// context: both the phase-0 model fetch and the three-phase protocol
+// observe the deadline.
+func (rt *Runtime) EstablishDistributedContext(ctx context.Context, mainHost topo.HostID, serviceName string, binding svc.Binding, planner core.Planner) (*Session, error) {
 	rt.mu.Lock()
 	main, ok := rt.proxies[mainHost]
 	started := rt.started
@@ -191,9 +205,9 @@ func (rt *Runtime) EstablishDistributed(mainHost topo.HostID, serviceName string
 	if !ok {
 		return nil, fmt.Errorf("proxy: main host %s stores no skeleton for service %s", mainHost, serviceName)
 	}
-	service, err := rt.assembleService(sk)
+	service, err := rt.assembleService(ctx, mainHost, sk)
 	if err != nil {
 		return nil, err
 	}
-	return rt.Establish(mainHost, SessionSpec{Service: service, Binding: binding, Planner: planner})
+	return rt.EstablishContext(ctx, mainHost, SessionSpec{Service: service, Binding: binding, Planner: planner})
 }

@@ -10,26 +10,31 @@
 //  3. the main QoSProxy commits the computed end-to-end reservation
 //     plan against the participating Resource Brokers.
 //
-// Phase 3 uses a validate-at-commit protocol rather than the naive
-// per-proxy segment dispatch: because the protocol is inherently
-// time-of-check/time-of-use (availability can change between the phase-1
-// snapshot and the reserve), the commit re-validates every broker's
-// current availability against the planned requirement atomically —
-// all-or-nothing across the plan's brokers, deadlock-free via the sorted
-// resource-ID lock ordering of broker.ReserveAtomic. A refusal leaves
-// zero residual holds; Establish then retries planning against a fresh
-// snapshot under the runtime's bounded AdmitPolicy.
+// Phase 3 runs an idempotent two-phase commit over the transport fabric
+// (see twophase.go): each participating proxy validates and holds its
+// host's share of the plan with broker.ReserveAtomic (validate-at-commit
+// — the protocol is inherently time-of-check/time-of-use, so every
+// broker's current availability is re-checked under the package-wide
+// lock order before any hold is created), and the main proxy then
+// commits or aborts all prepares. A refusal leaves zero residual holds;
+// Establish then retries planning against a fresh snapshot under the
+// runtime's bounded AdmitPolicy.
 //
-// Each QoSProxy runs as its own goroutine and is driven by message
-// passing for phase 1 and model storage, mirroring the distributed
-// deployment; the phase-3 commit goes to the (concurrency-safe) brokers
-// directly, since cross-proxy atomicity cannot be expressed as
-// independent per-proxy messages without a two-phase commit.
+// Every inter-proxy message — phase-1 availability collection, model
+// fetch, prepare/commit/abort — crosses an injectable transport.Fabric,
+// so the protocol is exercised against message delay, loss, duplication,
+// and partitions, not just in-process calls. All protocol entry points
+// accept a context: a partitioned or silent participant surfaces as a
+// deadline expiry and a degraded-snapshot retry, never as an unbounded
+// block. The default fabric (NewRuntime) is perfect — instant, lossless,
+// exactly-once — which preserves the in-process semantics for
+// deployments that do not inject chaos.
 package proxy
 
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"sort"
 	"sync"
 
@@ -38,6 +43,7 @@ import (
 	"qosres/internal/qrg"
 	"qosres/internal/svc"
 	"qosres/internal/topo"
+	"qosres/internal/transport"
 )
 
 // Clock supplies the current time to the runtime. Simulated deployments
@@ -73,16 +79,31 @@ func (c *ManualClock) Set(t broker.Time) {
 	c.now = t
 }
 
-// message types exchanged with a QoSProxy goroutine.
+// message kinds exchanged between QoSProxies over the fabric (the
+// transport metrics label messages by these).
+const (
+	msgAvailability = "availability"
+	msgModel        = "model"
+	msgPrepare      = "prepare"
+	msgCommit       = "commit"
+	msgAbort        = "abort"
+)
 
+// availabilityRequest asks a participant proxy for phase-1 reports.
 type availabilityRequest struct {
 	resources []string
-	reply     chan availabilityReply
 }
 
 type availabilityReply struct {
 	reports []broker.Report
 	err     error
+}
+
+// stallRequest is a test hook: it wedges the receiving proxy's serve
+// goroutine until release is closed, simulating a QoSProxy that accepts
+// messages but never answers them.
+type stallRequest struct {
+	release chan struct{}
 }
 
 // QoSProxy is the per-host reservation coordinator.
@@ -97,24 +118,35 @@ type QoSProxy struct {
 	// QoSProxy) plans from.
 	skeletons map[string]Skeleton
 
-	requests chan interface{}
-	done     chan struct{}
-	wg       sync.WaitGroup
+	// pending is the idempotency table of the two-phase commit
+	// participant (see twophase.go). It is owned by the serve goroutine:
+	// only message handlers touch it, so it needs no lock.
+	pending map[string]*prepState
+	// order remembers pending insertion order for bounded GC.
+	order []string
+
+	// ep and done belong to the current Start..Stop cycle; a restarted
+	// runtime re-registers the endpoint and spawns a fresh serve loop.
+	ep   *transport.Endpoint
+	done chan struct{}
+	wg   sync.WaitGroup
 }
 
 // newQoSProxy constructs (but does not start) a proxy.
 func newQoSProxy(host topo.HostID, clock Clock) *QoSProxy {
 	return &QoSProxy{
-		host:     host,
-		clock:    clock,
-		brokers:  make(map[string]broker.Broker),
-		requests: make(chan interface{}, 16),
-		done:     make(chan struct{}),
+		host:    host,
+		clock:   clock,
+		brokers: make(map[string]broker.Broker),
+		pending: make(map[string]*prepState),
 	}
 }
 
 // Host returns the proxy's host.
 func (p *QoSProxy) Host() topo.HostID { return p.host }
+
+// addr is the proxy's fabric address.
+func (p *QoSProxy) addr() transport.Addr { return transport.Addr(p.host) }
 
 // Resources lists the resource IDs of the brokers deployed at this host,
 // sorted.
@@ -128,21 +160,35 @@ func (p *QoSProxy) Resources() []string {
 }
 
 // serve is the proxy goroutine: it owns all broker interactions of its
-// host.
-func (p *QoSProxy) serve() {
+// host, driven by fabric deliveries.
+func (p *QoSProxy) serve(ep *transport.Endpoint, done chan struct{}) {
 	defer p.wg.Done()
 	for {
 		select {
-		case <-p.done:
+		case <-done:
 			return
-		case m := <-p.requests:
-			switch req := m.(type) {
-			case availabilityRequest:
-				req.reply <- p.handleAvailability(req)
-			case modelRequest:
-				req.reply <- p.handleModel(req)
-			}
+		case d := <-ep.Inbox():
+			p.handle(d)
 		}
+	}
+}
+
+// handle dispatches one delivery. Replies cross the fabric back to the
+// caller (and suffer the route's chaos on the way).
+func (p *QoSProxy) handle(d transport.Delivery) {
+	switch req := d.Payload.(type) {
+	case availabilityRequest:
+		d.Reply(p.handleAvailability(req))
+	case modelRequest:
+		d.Reply(p.handleModel(req))
+	case prepareRequest:
+		d.Reply(p.handlePrepare(req))
+	case commitRequest:
+		d.Reply(p.handleCommit(req))
+	case abortRequest:
+		d.Reply(p.handleAbort(req))
+	case stallRequest:
+		<-req.release
 	}
 }
 
@@ -163,6 +209,7 @@ func (p *QoSProxy) handleAvailability(req availabilityRequest) availabilityReply
 // registry mapping each resource to its owning host.
 type Runtime struct {
 	clock   Clock
+	fabric  *transport.Fabric
 	proxies map[topo.HostID]*QoSProxy
 	owner   map[string]topo.HostID
 	mu      sync.Mutex
@@ -175,6 +222,12 @@ type Runtime struct {
 	admit *obs.AdmitMetrics
 	// policy bounds the validate-at-commit retry loop of Establish.
 	policy AdmitPolicy
+	// jitter is the seeded source behind the policy's full-jitter
+	// backoff; nil when jitter is off.
+	jitter *lockedRand
+	// gate bounds concurrent admissions; excess Establish calls are shed
+	// with transport.ErrOverloaded (see SetMaxInFlight).
+	gate *transport.Gate
 	// templates serves compiled QRG templates to Establish; nil falls
 	// back to building every graph from scratch (see SetTemplateCache).
 	templates *qrg.TemplateCache
@@ -187,31 +240,86 @@ type Runtime struct {
 	// faults receives repair-outcome counter increments (see
 	// InstrumentFaults); always non-nil, inert by default.
 	faults *obs.FaultMetrics
+	// reports caches the last availability report received from each
+	// resource's owning proxy. When a participant is unreachable,
+	// admission degrades to planning from this cache, aged by α (see
+	// collectAvailability), instead of blocking on the partition.
+	reports map[string]broker.Report
+	// nextReq numbers two-phase-commit request IDs.
+	nextReq uint64
 }
 
 // NewRuntime creates an empty runtime over a clock with the default
-// admission policy. QRG construction is served from an (unobserved)
-// template cache; SetTemplateCache swaps in an instrumented one or
-// disables the fast lane.
+// admission policy and a perfect transport fabric (instant, lossless,
+// exactly-once — the in-process semantics). SetTransport swaps in a
+// fabric with injected chaos. QRG construction is served from an
+// (unobserved) template cache; SetTemplateCache swaps in an instrumented
+// one or disables the fast lane.
 func NewRuntime(clock Clock) *Runtime {
 	return &Runtime{
 		clock:     clock,
+		fabric:    transport.New(transport.Options{}),
 		proxies:   make(map[topo.HostID]*QoSProxy),
 		owner:     make(map[string]topo.HostID),
 		stages:    &obs.PlanStages{},
 		admit:     &obs.AdmitMetrics{},
 		policy:    DefaultAdmitPolicy,
+		gate:      transport.NewGate(0),
 		templates: qrg.NewTemplateCache(nil),
 		sessions:  make(map[*Session]struct{}),
 		faults:    &obs.FaultMetrics{},
+		reports:   make(map[string]broker.Report),
 	}
+}
+
+// SetTransport replaces the runtime's message fabric — typically with
+// one carrying injected loss, latency, duplication, or partitions. Must
+// be called before Start.
+func (rt *Runtime) SetTransport(f *transport.Fabric) error {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.started {
+		return errors.New("proxy: runtime already started")
+	}
+	if f == nil {
+		f = transport.New(transport.Options{})
+	}
+	rt.fabric = f
+	return nil
+}
+
+// Transport returns the runtime's message fabric (for partition/heal
+// injection and end-of-run settling).
+func (rt *Runtime) Transport() *transport.Fabric {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.fabric
+}
+
+// SetMaxInFlight bounds the number of concurrently admitted Establish
+// calls: beyond max, calls are shed immediately with
+// transport.ErrOverloaded instead of queueing. 0 (the default) means
+// unbounded.
+func (rt *Runtime) SetMaxInFlight(max int) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.gate = transport.NewGate(max)
+}
+
+// admitGate returns the overload gate.
+func (rt *Runtime) admitGate() *transport.Gate {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.gate
 }
 
 // SetLeaseTTL configures reservation leasing: when ttl is positive,
 // every subsequently established session's holds expire ttl after the
 // last heartbeat, so a crashed or partitioned main proxy can never
 // strand capacity — a lease sweep (broker.Pool.ExpireLeases) reclaims
-// it. Zero disables leasing (the default; holds live until released).
+// it. The same TTL leases two-phase-commit prepares, so a prepare
+// orphaned by a lost commit or abort message is reclaimed by the sweep
+// too. Zero disables leasing (the default; holds live until released).
 func (rt *Runtime) SetLeaseTTL(ttl broker.Time) {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
@@ -335,7 +443,9 @@ func (rt *Runtime) InstrumentAdmission(m *obs.AdmitMetrics) {
 
 // SetAdmitPolicy replaces the validate-at-commit retry policy applied
 // by Establish. Negative MaxRetries is treated as zero (a single
-// attempt, no replanning).
+// attempt, no replanning). When the policy enables Jitter, the backoff
+// sleeps are drawn full-jitter from a source seeded with JitterSeed, so
+// retry storms de-synchronize deterministically under a fixed seed.
 func (rt *Runtime) SetAdmitPolicy(p AdmitPolicy) {
 	if p.MaxRetries < 0 {
 		p.MaxRetries = 0
@@ -343,13 +453,56 @@ func (rt *Runtime) SetAdmitPolicy(p AdmitPolicy) {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	rt.policy = p
+	if p.Jitter {
+		rt.jitter = newLockedRand(p.JitterSeed)
+	} else {
+		rt.jitter = nil
+	}
 }
 
-// admitState returns the current policy and counters under one lock.
-func (rt *Runtime) admitState() (AdmitPolicy, *obs.AdmitMetrics) {
+// admitState returns the current policy, counters, and jitter source
+// under one lock.
+func (rt *Runtime) admitState() (AdmitPolicy, *obs.AdmitMetrics, *lockedRand) {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
-	return rt.policy, rt.admit
+	return rt.policy, rt.admit, rt.jitter
+}
+
+// lockedRand is a mutex-guarded rand.Rand shared by concurrent
+// admission retries.
+type lockedRand struct {
+	mu sync.Mutex
+	r  *rand.Rand
+}
+
+func newLockedRand(seed int64) *lockedRand {
+	return &lockedRand{r: rand.New(rand.NewSource(seed))}
+}
+
+// Int63n draws uniformly from [0, n).
+func (l *lockedRand) Int63n(n int64) int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.r.Int63n(n)
+}
+
+// cachedReport returns the last availability report seen from a
+// resource's owning proxy, if any.
+func (rt *Runtime) cachedReport(resource string) (broker.Report, bool) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rep, ok := rt.reports[resource]
+	return rep, ok
+}
+
+// storeReports refreshes the availability cache with fresh phase-1
+// reports.
+func (rt *Runtime) storeReports(reports []broker.Report) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	for _, rep := range reports {
+		rt.reports[rep.Resource] = rep
+	}
 }
 
 // brokerFor resolves a resource to its deployed broker. The owner and
@@ -412,7 +565,9 @@ func (rt *Runtime) Owner(resource string) (topo.HostID, bool) {
 	return h, ok
 }
 
-// Start launches every proxy goroutine.
+// Start registers every proxy's fabric endpoint and launches its serve
+// goroutine. Idempotent; a stopped runtime can be started again (the
+// endpoints are re-registered).
 func (rt *Runtime) Start() {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
@@ -421,12 +576,15 @@ func (rt *Runtime) Start() {
 	}
 	rt.started = true
 	for _, p := range rt.proxies {
+		p.ep = rt.fabric.Endpoint(p.addr(), 16)
+		p.done = make(chan struct{})
 		p.wg.Add(1)
-		go p.serve()
+		go p.serve(p.ep, p.done)
 	}
 }
 
-// Stop terminates every proxy goroutine and waits for them.
+// Stop terminates every proxy goroutine, closes their endpoints (the
+// fabric then drops deliveries to them), and waits for the goroutines.
 func (rt *Runtime) Stop() {
 	rt.mu.Lock()
 	if !rt.started {
@@ -434,11 +592,16 @@ func (rt *Runtime) Stop() {
 		return
 	}
 	rt.started = false
-	rt.mu.Unlock()
+	proxies := make([]*QoSProxy, 0, len(rt.proxies))
 	for _, p := range rt.proxies {
-		close(p.done)
+		proxies = append(proxies, p)
 	}
-	for _, p := range rt.proxies {
+	rt.mu.Unlock()
+	for _, p := range proxies {
+		close(p.done)
+		p.ep.Close()
+	}
+	for _, p := range proxies {
 		p.wg.Wait()
 	}
 }
@@ -452,4 +615,15 @@ func (rt *Runtime) proxyFor(resource string) (*QoSProxy, error) {
 		return nil, fmt.Errorf("proxy: resource %s deployed nowhere", resource)
 	}
 	return rt.proxies[host], nil
+}
+
+// hostFor returns the host owning a resource.
+func (rt *Runtime) hostFor(resource string) (topo.HostID, error) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	host, ok := rt.owner[resource]
+	if !ok {
+		return "", fmt.Errorf("proxy: resource %s deployed nowhere", resource)
+	}
+	return host, nil
 }

@@ -20,6 +20,7 @@ package proxy
 // at a lower level), Failed (terminated).
 
 import (
+	"context"
 	"sort"
 
 	"qosres/internal/core"
@@ -66,18 +67,37 @@ type RepairReport struct {
 	Repaired int
 	Degraded int
 	Failed   int
+	// Abandoned counts sessions the sweep never examined because its
+	// deadline expired first (RepairAffectedContext). Abandoned sessions
+	// keep whatever reservation they held; a later sweep — or the lease
+	// machinery, if the fault actually cost them capacity — settles them.
+	Abandoned int
 }
 
-// RepairAffected runs the repair protocol for every live session whose
-// reservation holds capacity on any of the given resources (matched
-// against the reservation's full touch set, including the route links
-// under end-to-end network holds). It returns the per-outcome tally.
+// RepairAffected runs the repair protocol with no deadline — every
+// affected session is examined, however long the sweep takes. Prefer
+// RepairAffectedContext where a mass failure could make an unbounded
+// sweep dangerous.
+func (rt *Runtime) RepairAffected(failed []string) RepairReport {
+	return rt.RepairAffectedContext(context.Background(), failed)
+}
+
+// RepairAffectedContext runs the repair protocol for every live session
+// whose reservation holds capacity on any of the given resources
+// (matched against the reservation's full touch set, including the
+// route links under end-to-end network holds), bounded by ctx. It
+// returns the per-outcome tally.
 //
 // Sessions are repaired sequentially in registration-set order; each
 // repair's re-admission sees the capacity its own release just freed,
 // mirroring the paper's one-at-a-time session establishment at the
-// main QoSProxy.
-func (rt *Runtime) RepairAffected(failed []string) RepairReport {
+// main QoSProxy. The deadline is checked between sessions (and observed
+// inside each repair's re-admission): when it expires, the remaining
+// sessions are counted as Abandoned (and under
+// qosres_repair_deadline_abandoned_total) and left untouched, so a
+// mass-failure sweep degrades to partial repair instead of running
+// unbounded.
+func (rt *Runtime) RepairAffectedContext(ctx context.Context, failed []string) RepairReport {
 	set := make(map[string]bool, len(failed))
 	for _, r := range failed {
 		set[r] = true
@@ -94,8 +114,14 @@ func (rt *Runtime) RepairAffected(failed []string) RepairReport {
 
 	var rep RepairReport
 	m := rt.faultMetrics()
-	for _, s := range sessions {
-		switch s.repair(set) {
+	for i, s := range sessions {
+		if ctx.Err() != nil {
+			n := len(sessions) - i
+			rep.Abandoned += n
+			m.RepairAbandoned.Add(float64(n))
+			break
+		}
+		switch s.repair(ctx, set) {
 		case RepairUnaffected:
 		case RepairRepaired:
 			rep.Affected++
@@ -120,7 +146,7 @@ func (rt *Runtime) RepairAffected(failed []string) RepairReport {
 // repair either runs before it (the session is gone, RepairUnaffected)
 // or after it (releasing whichever reservation the repair installed),
 // never interleaved with it.
-func (s *Session) repair(failed map[string]bool) RepairOutcome {
+func (s *Session) repair(ctx context.Context, failed map[string]bool) RepairOutcome {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.state != StateActive || s.reservation == nil {
@@ -152,16 +178,16 @@ func (s *Session) repair(failed map[string]bool) RepairOutcome {
 
 	// Step 2: re-admit at the same target QoS with the session's own
 	// planner against a fresh snapshot.
-	plan, newRes, err := rt.admitOnce(s.spec)
+	plan, newRes, err := rt.admitOnce(ctx, s.mainHost, s.spec)
 
 	// Step 3: on failure, or when the planner's best is now below the
 	// original level, let the tradeoff policy look for a downgrade it
 	// would accept. (When the session already plans with the tradeoff
 	// policy, its own attempt was the downgrade; don't repeat it.)
-	if err != nil && s.spec.Planner.Name() != (core.Tradeoff{}).Name() {
+	if err != nil && ctx.Err() == nil && s.spec.Planner.Name() != (core.Tradeoff{}).Name() {
 		spec := s.spec
 		spec.Planner = core.Tradeoff{}
-		plan, newRes, err = rt.admitOnce(spec)
+		plan, newRes, err = rt.admitOnce(ctx, s.mainHost, spec)
 	}
 	if err != nil {
 		// Step 4: no feasible plan at any level. Terminate: the state

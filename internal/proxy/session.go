@@ -1,6 +1,7 @@
 package proxy
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -13,6 +14,7 @@ import (
 	"qosres/internal/qrg"
 	"qosres/internal/svc"
 	"qosres/internal/topo"
+	"qosres/internal/transport"
 )
 
 // SessionSpec describes one service session to establish: the service's
@@ -36,6 +38,15 @@ type AdmitPolicy struct {
 	// Backoff<<(k-1), capped at maxAdmitBackoff. Zero disables sleeping,
 	// which is what simulated (manual-clock) deployments want.
 	Backoff time.Duration
+	// Jitter, when set, draws each sleep uniformly from [0, d] (full
+	// jitter) where d is the capped exponential above, so a mass refusal
+	// does not re-synchronize every refused client into a retry storm.
+	// The draw comes from a source seeded with JitterSeed (see
+	// Runtime.SetAdmitPolicy), so tests replay deterministically.
+	Jitter bool
+	// JitterSeed seeds the jitter source; two runtimes with different
+	// seeds de-correlate their retry schedules.
+	JitterSeed int64
 }
 
 // DefaultAdmitPolicy retries replanning up to three times with no
@@ -50,28 +61,43 @@ const maxAdmitBackoff = 100 * time.Millisecond
 // Backoff<<(k-1), capped at maxAdmitBackoff. The shift overflows for
 // large attempt counts — a 1ns base shifted 63 times is negative, 64
 // times is zero — so any non-positive or over-cap result collapses to
-// the cap rather than to "no sleep" or a panic-length wait.
-func (p AdmitPolicy) backoff(attempt int) time.Duration {
+// the cap rather than to "no sleep" or a panic-length wait. With Jitter
+// enabled and a non-nil source, the result is drawn uniformly from
+// [0, capped] instead (full jitter; the cap still bounds every draw).
+func (p AdmitPolicy) backoff(attempt int, jitter *lockedRand) time.Duration {
 	if p.Backoff <= 0 {
 		return 0
 	}
+	var d time.Duration
 	if attempt > 63 {
 		// The shift itself is undefined territory past the word size;
 		// don't even compute it.
-		return maxAdmitBackoff
-	}
-	d := p.Backoff << uint(attempt-1)
-	if d > maxAdmitBackoff || d <= 0 {
 		d = maxAdmitBackoff
+	} else {
+		d = p.Backoff << uint(attempt-1)
+		if d > maxAdmitBackoff || d <= 0 {
+			d = maxAdmitBackoff
+		}
+	}
+	if p.Jitter && jitter != nil {
+		d = time.Duration(jitter.Int63n(int64(d) + 1))
 	}
 	return d
 }
 
-// wait sleeps before retry attempt k (1-based). A zero Backoff is a
-// no-op so simulated time is never mixed with wall-clock sleeps.
-func (p AdmitPolicy) wait(attempt int) {
-	if d := p.backoff(attempt); d > 0 {
-		time.Sleep(d)
+// wait sleeps before retry attempt k (1-based), bounded by the context.
+// A zero Backoff is a no-op so simulated time is never mixed with
+// wall-clock sleeps.
+func (p AdmitPolicy) wait(ctx context.Context, attempt int, jitter *lockedRand) {
+	d := p.backoff(attempt, jitter)
+	if d <= 0 {
+		return
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
 	}
 }
 
@@ -128,7 +154,7 @@ type Session struct {
 	mu          sync.Mutex
 	state       SessionState
 	plan        *core.Plan // live plan; starts equal to Plan
-	reservation *broker.MultiReservation
+	reservation reservation
 	// touches is the set of concrete resources the live reservation
 	// holds capacity on (including route links of network resources);
 	// the repair layer matches failed resources against it.
@@ -136,24 +162,38 @@ type Session struct {
 	repairs int
 }
 
-// Establish runs the full three-phase protocol of section 4.2 from the
-// main QoSProxy on mainHost:
+// Establish runs the three-phase protocol with no deadline — the
+// unbounded in-process semantics, appropriate over a perfect fabric.
+// Deployments with a fallible transport should call EstablishContext
+// with a deadline instead.
+func (rt *Runtime) Establish(mainHost topo.HostID, spec SessionSpec) (*Session, error) {
+	return rt.EstablishContext(context.Background(), mainHost, spec)
+}
+
+// EstablishContext runs the full three-phase protocol of section 4.2
+// from the main QoSProxy on mainHost, bounded by ctx:
 //
-// Phase 1 queries, in parallel, the QoSProxies owning the session's
-// resources for availability reports. Phase 2 builds the QRG and runs
-// the planner locally. Phase 3 commits the plan's requirement with
-// validate-at-commit semantics (broker.ReserveAtomic): every involved
-// broker's availability is re-checked against the requirement under the
-// package-wide lock order, and the holds are created all-or-nothing. A
-// refusal leaves zero residual holds; because it means the phase-1
-// snapshot went stale under concurrent admission, Establish then
-// replans against a fresh snapshot, bounded by the runtime's
-// AdmitPolicy.
+// Phase 1 queries, in parallel over the transport fabric, the QoSProxies
+// owning the session's resources for availability reports. A participant
+// that cannot be reached before the deadline degrades instead of
+// blocking: its resources are planned from the last cached report, aged
+// by the α availability-change index, or treated as unavailable when no
+// report was ever seen. Phase 2 builds the QRG and runs the planner
+// locally. Phase 3 commits the plan with an idempotent two-phase commit
+// across the owning proxies (see twophase.go): every broker's current
+// availability is re-validated before holds are created, all-or-nothing
+// per host and abort-all across hosts. A refusal leaves zero residual
+// holds; because it means the phase-1 snapshot went stale under
+// concurrent admission, Establish then replans against a fresh snapshot,
+// bounded by the runtime's AdmitPolicy and the context.
+//
+// When the runtime bounds in-flight admissions (SetMaxInFlight), calls
+// beyond the bound fail immediately with transport.ErrOverloaded.
 //
 // When the runtime has a lease TTL configured (SetLeaseTTL), the new
 // session's holds are leased: they expire and are reclaimed unless the
 // session heartbeats (Heartbeat) before the TTL elapses.
-func (rt *Runtime) Establish(mainHost topo.HostID, spec SessionSpec) (*Session, error) {
+func (rt *Runtime) EstablishContext(ctx context.Context, mainHost topo.HostID, spec SessionSpec) (*Session, error) {
 	rt.mu.Lock()
 	_, ok := rt.proxies[mainHost]
 	started := rt.started
@@ -165,7 +205,17 @@ func (rt *Runtime) Establish(mainHost topo.HostID, spec SessionSpec) (*Session, 
 		return nil, fmt.Errorf("proxy: runtime not started")
 	}
 
-	plan, res, err := rt.admitOnce(spec)
+	// Overload protection: shed rather than queue when the runtime is
+	// saturated with in-flight admissions.
+	gate := rt.admitGate()
+	if err := gate.TryAcquire(); err != nil {
+		_, admit, _ := rt.admitState()
+		admit.Shed.Inc()
+		return nil, fmt.Errorf("proxy: establish on %s: %w", mainHost, err)
+	}
+	defer gate.Release()
+
+	plan, res, err := rt.admitOnce(ctx, mainHost, spec)
 	if err != nil {
 		return nil, err
 	}
@@ -191,22 +241,28 @@ func (rt *Runtime) Establish(mainHost topo.HostID, spec SessionSpec) (*Session, 
 // admitOnce runs phases 1-3 (with the bounded replanning retry loop)
 // for one spec and returns the admitted plan and its reservation. It is
 // the shared admission engine of Establish and the repair layer.
-func (rt *Runtime) admitOnce(spec SessionSpec) (*core.Plan, *broker.MultiReservation, error) {
+func (rt *Runtime) admitOnce(ctx context.Context, mainHost topo.HostID, spec SessionSpec) (*core.Plan, reservation, error) {
 	resources, err := sessionResourceSet(spec)
 	if err != nil {
 		return nil, nil, err
 	}
 	stages := rt.planStages()
-	policy, admit := rt.admitState()
+	policy, admit, jitter := rt.admitState()
 	tpl := rt.templateFor(spec)
 
 	var lastErr error
 	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			if lastErr != nil {
+				return nil, nil, fmt.Errorf("proxy: admission abandoned at deadline after %d attempt(s): %w", attempt, lastErr)
+			}
+			return nil, nil, fmt.Errorf("proxy: admission abandoned at deadline: %w", err)
+		}
 		// Phase 1: collect availability from the owning proxies, in
 		// parallel. Each attempt takes a fresh snapshot: retrying against
 		// the stale one would just recompute the refused plan.
 		sp := obs.StartSpan(stages.Snapshot)
-		snap, err := rt.collectAvailability(resources)
+		snap, err := rt.collectAvailability(ctx, mainHost, resources)
 		sp.End()
 		if err != nil {
 			return nil, nil, err
@@ -240,9 +296,10 @@ func (rt *Runtime) admitOnce(spec SessionSpec) (*core.Plan, *broker.MultiReserva
 			return nil, nil, err
 		}
 
-		// Phase 3: validate-at-commit reserve across the plan's brokers.
+		// Phase 3: two-phase validate-at-commit across the plan's owning
+		// proxies.
 		sp = obs.StartSpan(stages.Reserve)
-		res, err := broker.ReserveAtomic(rt.clock.Now(), rt.brokerFor, plan.Requirement())
+		res, err := rt.commitPlan(ctx, mainHost, plan.Requirement())
 		sp.End()
 		if err == nil {
 			return plan, res, nil
@@ -261,7 +318,7 @@ func (rt *Runtime) admitOnce(spec SessionSpec) (*core.Plan, *broker.MultiReserva
 			return nil, nil, fmt.Errorf("proxy: admission refused after %d attempt(s): %w", attempt+1, lastErr)
 		}
 		admit.Retries.Inc()
-		policy.wait(attempt + 1)
+		policy.wait(ctx, attempt+1, jitter)
 	}
 }
 
@@ -287,29 +344,53 @@ func sessionResourceSet(spec SessionSpec) ([]string, error) {
 	return out, nil
 }
 
-// collectAvailability is phase 1: group the resources by owning proxy
-// and query all proxies concurrently.
-func (rt *Runtime) collectAvailability(resources []string) (*broker.Snapshot, error) {
-	groups := make(map[*QoSProxy][]string)
+// collectAvailability is phase 1: group the resources by owning host and
+// query all owning proxies concurrently over the fabric from the main
+// proxy's address.
+//
+// Degradation ladder: a group whose proxy replies in time contributes
+// fresh reports (which also refresh the runtime's availability cache). A
+// group whose call fails — partition, loss burning the whole deadline,
+// open breaker — degrades per resource: the last cached report, aged
+// conservatively by its α availability-change index (avail × min(α, 1):
+// a shrinking-availability trend discounts the stale value, a growing
+// one is never extrapolated), or zero availability when no report was
+// ever cached (excluding the unreachable host from planning). The
+// two-phase commit re-validates real availability anyway, so optimism
+// here can waste a retry but never over-commit.
+func (rt *Runtime) collectAvailability(ctx context.Context, mainHost topo.HostID, resources []string) (*broker.Snapshot, error) {
+	groups := make(map[topo.HostID][]string)
 	for _, r := range resources {
-		p, err := rt.proxyFor(r)
+		host, err := rt.hostFor(r)
 		if err != nil {
 			return nil, err
 		}
-		groups[p] = append(groups[p], r)
+		groups[host] = append(groups[host], r)
 	}
+	fabric := rt.Transport()
+	from := transport.Addr(mainHost)
 	type result struct {
+		host    topo.HostID
+		rs      []string
 		reports []broker.Report
-		err     error
+		err     error // handler error (terminal)
+		degrade bool  // transport failure: fall back to the cache
 	}
 	results := make(chan result, len(groups))
-	for p, rs := range groups {
-		go func(p *QoSProxy, rs []string) {
-			reply := make(chan availabilityReply, 1)
-			p.requests <- availabilityRequest{resources: rs, reply: reply}
-			rep := <-reply
-			results <- result{reports: rep.reports, err: rep.err}
-		}(p, rs)
+	for host, rs := range groups {
+		go func(host topo.HostID, rs []string) {
+			resp, err := fabric.Call(ctx, from, transport.Addr(host), msgAvailability, availabilityRequest{resources: rs})
+			if err != nil {
+				results <- result{host: host, rs: rs, degrade: true}
+				return
+			}
+			rep, ok := resp.(availabilityReply)
+			if !ok {
+				results <- result{host: host, rs: rs, err: fmt.Errorf("proxy: unexpected availability reply %T", resp)}
+				return
+			}
+			results <- result{host: host, rs: rs, reports: rep.reports, err: rep.err}
+		}(host, rs)
 	}
 	snap := &broker.Snapshot{
 		At:    rt.clock.Now(),
@@ -319,12 +400,34 @@ func (rt *Runtime) collectAvailability(resources []string) (*broker.Snapshot, er
 	var firstErr error
 	for range groups {
 		res := <-results
+		if res.degrade {
+			for _, r := range res.rs {
+				if cached, ok := rt.cachedReport(r); ok {
+					age := cached.Alpha
+					if age > 1 {
+						age = 1
+					}
+					if age < 0 {
+						age = 0
+					}
+					snap.Avail[r] = cached.Avail * age
+					snap.Alpha[r] = cached.Alpha
+				} else {
+					// Never heard from this host: exclude it from the
+					// plan rather than guess.
+					snap.Avail[r] = 0
+					snap.Alpha[r] = 1
+				}
+			}
+			continue
+		}
 		if res.err != nil {
 			if firstErr == nil {
 				firstErr = res.err
 			}
 			continue
 		}
+		rt.storeReports(res.reports)
 		for _, rep := range res.reports {
 			snap.Avail[rep.Resource] = rep.Avail
 			snap.Alpha[rep.Resource] = rep.Alpha
@@ -339,7 +442,7 @@ func (rt *Runtime) collectAvailability(resources []string) (*broker.Snapshot, er
 // adoptReservationLocked records a reservation's touch set on the
 // session. Callers either hold s.mu or own the session exclusively
 // (construction).
-func (s *Session) adoptReservationLocked(res *broker.MultiReservation) {
+func (s *Session) adoptReservationLocked(res reservation) {
 	s.touches = make(map[string]bool)
 	for _, r := range res.Touches() {
 		s.touches[r] = true
@@ -433,7 +536,7 @@ func (s *Session) Heartbeat() error {
 
 // armLease leases a freshly admitted reservation when the runtime has a
 // TTL configured; without one the holds stay permanent.
-func (rt *Runtime) armLease(res *broker.MultiReservation) error {
+func (rt *Runtime) armLease(res reservation) error {
 	ttl := rt.leaseTTLNow()
 	if ttl <= 0 {
 		return nil

@@ -1,16 +1,19 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
+	"time"
 
 	"qosres/internal/broker"
 	"qosres/internal/core"
 	"qosres/internal/fault"
 	"qosres/internal/proxy"
 	"qosres/internal/topo"
+	"qosres/internal/transport"
 )
 
 // This file is the chaos harness: the concurrent admission stress of
@@ -50,8 +53,62 @@ type FaultsConfig struct {
 	// session without releasing it, simulating a crashed session owner;
 	// only the lease sweep can reclaim its capacity.
 	OrphanRate float64
-	// Random parameterizes the seeded fault walk.
+	// Random parameterizes the seeded fault walk (including the
+	// partition/heal probabilities of transport chaos).
 	Random fault.RandomConfig
+	// Transport, when non-nil, rebases the run on an unreliable transport
+	// fabric: protocol messages are delayed, lost, and duplicated per its
+	// probabilities, routes can be partitioned (Random.PartitionProb), and
+	// every Establish and repair sweep is bounded by Deadline. Requires
+	// LeaseTTL > 0 when any unreliability is configured — a lost abort or
+	// commit can strand prepared holds that only the sweep reclaims.
+	Transport *TransportConfig
+}
+
+// TransportConfig parameterizes unreliable-messaging chaos
+// (FaultsConfig.Transport, simqos -partition/-loss).
+type TransportConfig struct {
+	// Seed drives the loss/duplication rolls; 0 derives it from the run
+	// seed.
+	Seed int64
+	// Loss and Dup are the per-delivery probabilities, on every route,
+	// that a protocol message (or its reply) is dropped or delivered
+	// twice.
+	Loss, Dup float64
+	// Latency is the one-way wall-clock delivery delay of every message.
+	Latency time.Duration
+	// Deadline bounds every Establish call and every fault-triggered
+	// repair sweep; 0 uses DefaultChaosDeadline. The harness asserts that
+	// no call overruns it (plus scheduling grace) — a lost message must
+	// degrade or abort the protocol, never hang it.
+	Deadline time.Duration
+	// MaxInFlight bounds concurrent admissions at the runtime; calls
+	// beyond it are shed with transport.ErrOverloaded. 0 means unbounded.
+	MaxInFlight int
+	// BreakerThreshold arms a per-route circuit breaker opening after
+	// this many consecutive delivery failures; 0 disables the breaker.
+	BreakerThreshold int
+	// BreakerCooldown is the breaker's open → half-open cooldown.
+	BreakerCooldown time.Duration
+}
+
+// DefaultChaosDeadline bounds Establish and repair sweeps when
+// TransportConfig.Deadline is zero.
+const DefaultChaosDeadline = 250 * time.Millisecond
+
+// DefaultTransportConfig is the acceptance-grade unreliable transport:
+// 10% loss, 5% duplication, a small delivery delay, a breaker, and a
+// bounded admission gate.
+func DefaultTransportConfig() *TransportConfig {
+	return &TransportConfig{
+		Loss:             0.10,
+		Dup:              0.05,
+		Latency:          time.Millisecond,
+		Deadline:         DefaultChaosDeadline,
+		MaxInFlight:      0,
+		BreakerThreshold: 5,
+		BreakerCooldown:  100 * time.Millisecond,
+	}
 }
 
 // DefaultFaultsConfig is a moderately hostile chaos mode: a fault most
@@ -84,6 +141,32 @@ func (fc *FaultsConfig) validate() error {
 	if fc.OrphanRate > 0 && fc.LeaseTTL <= 0 {
 		return fmt.Errorf("sim: orphaned sessions need a lease TTL to be reclaimed")
 	}
+	if tc := fc.Transport; tc != nil {
+		if tc.Loss < 0 || tc.Loss > 1 {
+			return fmt.Errorf("sim: transport loss %g out of [0,1]", tc.Loss)
+		}
+		if tc.Dup < 0 || tc.Dup > 1 {
+			return fmt.Errorf("sim: transport duplication %g out of [0,1]", tc.Dup)
+		}
+		if tc.Latency < 0 {
+			return fmt.Errorf("sim: negative transport latency %v", tc.Latency)
+		}
+		if tc.Deadline < 0 {
+			return fmt.Errorf("sim: negative transport deadline %v", tc.Deadline)
+		}
+		if tc.MaxInFlight < 0 {
+			return fmt.Errorf("sim: negative in-flight bound %d", tc.MaxInFlight)
+		}
+		if tc.BreakerThreshold < 0 || tc.BreakerCooldown < 0 {
+			return fmt.Errorf("sim: invalid breaker config %d/%v", tc.BreakerThreshold, tc.BreakerCooldown)
+		}
+		lossy := tc.Loss > 0 || tc.Dup > 0 || fc.Random.PartitionProb > 0
+		if lossy && fc.LeaseTTL <= 0 {
+			return fmt.Errorf("sim: lossy transport needs a lease TTL — a lost abort or commit strands prepared holds that only the sweep can reclaim")
+		}
+	} else if fc.Random.PartitionProb > 0 || fc.Random.HealProb > 0 {
+		return fmt.Errorf("sim: partition probabilities need transport chaos (FaultsConfig.Transport)")
+	}
 	return nil
 }
 
@@ -112,14 +195,29 @@ type ChaosResult struct {
 	// LeasesExpired counts the holds reclaimed by the lease sweeps,
 	// including the final drain sweep.
 	LeasesExpired int
+	// Shed counts admission attempts refused immediately by the overload
+	// gate (transport.ErrOverloaded); TimedOut counts attempts abandoned
+	// at their deadline or failed fast by an open circuit breaker. Both
+	// are transport-chaos outcomes and join the attempt partition.
+	Shed     int
+	TimedOut int
+	// Abandoned counts sessions repair sweeps skipped because the sweep's
+	// deadline expired first.
+	Abandoned int
 }
 
-// String renders the result as a two-line summary.
+// String renders the result as a summary: two lines, plus a transport
+// line when unreliable messaging produced any outcome of its own.
 func (r *ChaosResult) String() string {
-	return fmt.Sprintf("established %d, plan-infeasible %d, admit-refused %d (orphaned %d, lost %d)\n"+
+	s := fmt.Sprintf("established %d, plan-infeasible %d, admit-refused %d (orphaned %d, lost %d)\n"+
 		"faults injected %d; sessions affected %d: repaired %d, degraded %d, failed %d; leases expired %d",
 		r.Established, r.PlanInfeasible, r.AdmitRefused, r.Orphaned, r.Lost,
 		r.Injected, r.Affected, r.Repaired, r.Degraded, r.RepairFailed, r.LeasesExpired)
+	if r.Shed+r.TimedOut+r.Abandoned > 0 {
+		s += fmt.Sprintf("\ntransport: shed %d, timed out %d, repairs abandoned %d",
+			r.Shed, r.TimedOut, r.Abandoned)
+	}
+	return s
 }
 
 // RunChaos drives the concurrent stress harness with fault injection,
@@ -172,25 +270,56 @@ func RunChaos(sc StressConfig) (*ChaosResult, error) {
 	}
 	locals := env.pool.LocalBrokers()
 
+	// Transport chaos: with fc.Transport set, buildRuntime rebased the
+	// protocol on an unreliable fabric; every Establish and every repair
+	// sweep is then bounded by the configured deadline, and the harness
+	// asserts nothing overruns it (plus generous scheduling grace — the
+	// assertion catches hangs, not slow scheduling).
+	transportOn := fc.Transport != nil
+	deadline := DefaultChaosDeadline
+	if transportOn && fc.Transport.Deadline > 0 {
+		deadline = fc.Transport.Deadline
+	}
+	const deadlineGrace = 2 * time.Second
+	bound := func() (context.Context, context.CancelFunc) {
+		if !transportOn {
+			return context.Background(), func() {}
+		}
+		return context.WithTimeout(context.Background(), deadline)
+	}
+
 	// The injector drives broker failures and capacity shrinks; every
 	// down/shrink event is forwarded to the runtime's repair layer, which
-	// walks the live sessions holding the affected resources.
+	// walks the live sessions holding the affected resources. Network
+	// events (partition/heal/delay) invalidate no committed holds — their
+	// synthetic route: resources match no reservation — so they skip the
+	// sweep.
 	inj := fault.New(env.pool, env.topology)
 	inj.Instrument(env.ins.faults)
+	inj.SetTransport(rt.Transport())
 	inj.OnFault(func(ev fault.Event) {
 		mu.Lock()
 		result.Injected++
 		mu.Unlock()
 		switch ev.Kind {
-		case fault.KindRecover, fault.KindCapacityRestore:
+		case fault.KindRecover, fault.KindCapacityRestore,
+			fault.KindPartition, fault.KindHeal, fault.KindDelayRoute:
 			return
 		}
-		rep := rt.RepairAffected(ev.Resources)
+		ctx, cancel := bound()
+		t0 := time.Now()
+		rep := rt.RepairAffectedContext(ctx, ev.Resources)
+		elapsed := time.Since(t0)
+		cancel()
+		if transportOn && elapsed > deadline+deadlineGrace {
+			fail("repair sweep overran its deadline: %v > %v", elapsed, deadline)
+		}
 		mu.Lock()
 		result.Affected += rep.Affected
 		result.Repaired += rep.Repaired
 		result.Degraded += rep.Degraded
 		result.RepairFailed += rep.Failed
+		result.Abandoned += rep.Abandoned
 		mu.Unlock()
 	})
 	sweep := func(now broker.Time) {
@@ -222,6 +351,7 @@ func RunChaos(sc StressConfig) (*ChaosResult, error) {
 	go func() {
 		defer driverWG.Done()
 		defer close(ticks)
+		hosts := env.topology.Hosts()
 		for i := 0; i < fc.Steps; i++ {
 			clock.Advance(fc.StepEvery)
 			now := clock.Now()
@@ -234,6 +364,20 @@ func RunChaos(sc StressConfig) (*ChaosResult, error) {
 				// the walk's dice stay cold: fail one deterministic
 				// resource (the walk may recover it later).
 				_ = inj.FailResource(now, locals[0].Resource())
+			}
+			if transportOn && len(hosts) >= 2 {
+				// Guarantee at least one full partition/heal cycle per run,
+				// whatever the walk's dice do: cut one route early, heal
+				// every remaining cut at the midpoint so the second half
+				// also measures the healed protocol.
+				if i == 1 {
+					_ = inj.PartitionLink(hosts[0], hosts[1])
+				}
+				if i == fc.Steps/2 {
+					for _, p := range inj.Partitioned() {
+						_ = inj.HealLink(p[0], p[1])
+					}
+				}
 			}
 			sweep(now)
 			for c := 0; c < sc.Sessions; c++ {
@@ -282,9 +426,16 @@ func RunChaos(sc StressConfig) (*ChaosResult, error) {
 				sh := env.drawSession(cfg, crng)
 				service := env.services[sh.service-1][sh.variant]
 				binding, _ := sessionResources(sh)
-				s, err := rt.Establish(topo.ServerHost(sh.service), proxy.SessionSpec{
+				ctx, cancel := bound()
+				t0 := time.Now()
+				s, err := rt.EstablishContext(ctx, topo.ServerHost(sh.service), proxy.SessionSpec{
 					Service: service, Binding: binding, Planner: planner,
 				})
+				elapsed := time.Since(t0)
+				cancel()
+				if transportOn && elapsed > deadline+deadlineGrace {
+					fail("client %d: establish overran its deadline: %v > %v", g, elapsed, deadline)
+				}
 				switch {
 				case err == nil:
 					mu.Lock()
@@ -313,6 +464,19 @@ func RunChaos(sc StressConfig) (*ChaosResult, error) {
 					mu.Lock()
 					result.AdmitRefused++
 					mu.Unlock()
+				case errors.Is(err, transport.ErrOverloaded):
+					// The overload gate shed the attempt before any work.
+					mu.Lock()
+					result.Shed++
+					mu.Unlock()
+				case errors.Is(err, context.DeadlineExceeded),
+					errors.Is(err, transport.ErrCircuitOpen):
+					// Lost messages burned the deadline, or a breaker failed
+					// the route fast — either way the protocol aborted
+					// cleanly instead of hanging.
+					mu.Lock()
+					result.TimedOut++
+					mu.Unlock()
 				default:
 					fail("client %d: establish: %v", g, err)
 				}
@@ -338,9 +502,14 @@ func RunChaos(sc StressConfig) (*ChaosResult, error) {
 	close(stop)
 	driverWG.Wait()
 
-	// End of chaos: heal the environment, let every outstanding lease
-	// expire, and run the final sweep. Anything still held after this is
-	// a leaked reservation.
+	// End of chaos: let every delayed or duplicated delivery still inside
+	// the fabric land before measuring anything — a delayed prepare can
+	// legitimately create leased holds after its coordinator gave up, and
+	// those holds must exist before the lease clock advances so the final
+	// sweep reclaims them. Then heal the environment, let every
+	// outstanding lease expire, and run the final sweep. Anything still
+	// held after this is a leaked reservation.
+	rt.Transport().Settle()
 	inj.RecoverAll(clock.Now())
 	if fc.LeaseTTL > 0 {
 		clock.Advance(fc.LeaseTTL + fc.StepEvery + 1)
@@ -380,8 +549,8 @@ func RunChaos(sc StressConfig) (*ChaosResult, error) {
 	if live := rt.LiveSessions(); live != 0 {
 		failures = append(failures, fmt.Sprintf("%d sessions still registered after drain", live))
 	}
-	if got, want := result.Established+result.PlanInfeasible+result.AdmitRefused,
-		sc.Sessions*sc.Iterations; got != want {
+	if got, want := result.Established+result.PlanInfeasible+result.AdmitRefused+
+		result.Shed+result.TimedOut, sc.Sessions*sc.Iterations; got != want {
 		failures = append(failures, fmt.Sprintf("outcome count %d != %d attempts", got, want))
 	}
 	if result.Repaired+result.Degraded+result.RepairFailed != result.Affected {

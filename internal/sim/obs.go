@@ -30,6 +30,9 @@ type instruments struct {
 	// faults carries the fault-injection and session-repair counters of
 	// chaos runs; inert without a registry.
 	faults *obs.FaultMetrics
+	// transport carries the message/drop/duplication/breaker counters of
+	// unreliable-messaging chaos runs; inert without a registry.
+	transport *obs.TransportMetrics
 }
 
 const (
@@ -59,6 +62,7 @@ func newInstruments(r *obs.Registry) instruments {
 	in.simTime = r.Gauge(obs.MetricSimTime, "Current simulation clock in TUs.")
 	in.admit = obs.NewAdmitMetrics(r)
 	in.faults = obs.NewFaultMetrics(r)
+	in.transport = obs.NewTransportMetrics(r)
 	return in
 }
 

@@ -11,6 +11,7 @@ import (
 	"qosres/internal/stats"
 	"qosres/internal/topo"
 	"qosres/internal/trace"
+	"qosres/internal/transport"
 	"qosres/internal/workload"
 )
 
@@ -48,6 +49,37 @@ func (env *environment) buildRuntime(cfg Config, clock proxy.Clock) (*proxy.Runt
 		// into the run's registry.
 		rt.SetLeaseTTL(cfg.Faults.LeaseTTL)
 		rt.InstrumentFaults(env.ins.faults)
+		if tc := cfg.Faults.Transport; tc != nil {
+			// Unreliable-messaging mode: replace the default perfect fabric
+			// with one that delays, loses, and duplicates per the config,
+			// optionally guarded by per-route circuit breakers, and bound
+			// the number of concurrently admitted sessions.
+			seed := tc.Seed
+			if seed == 0 {
+				seed = cfg.Seed + 15485863
+			}
+			var bc *transport.BreakerConfig
+			if tc.BreakerThreshold > 0 {
+				bc = &transport.BreakerConfig{
+					Threshold: tc.BreakerThreshold,
+					Cooldown:  tc.BreakerCooldown,
+				}
+			}
+			f := transport.New(transport.Options{
+				Seed: seed,
+				Defaults: transport.RouteConfig{
+					Latency: tc.Latency,
+					Loss:    tc.Loss,
+					Dup:     tc.Dup,
+				},
+				Breaker: bc,
+				Metrics: env.ins.transport,
+			})
+			if err := rt.SetTransport(f); err != nil {
+				return nil, err
+			}
+			rt.SetMaxInFlight(tc.MaxInFlight)
+		}
 	}
 	if env.ins.enabled() {
 		// The three-phase protocol records into the same stage

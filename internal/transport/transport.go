@@ -1,0 +1,485 @@
+// Package transport is the message-passing fabric between the QoSProxies
+// of a runtime deployment. The paper's runtime is genuinely distributed —
+// per-host QoSProxies and Resource Brokers exchange RSVP-style signaling
+// messages — so the protocol implementation must survive what real
+// networks do to messages: delay, loss, duplication, and partitions.
+//
+// The fabric routes request/reply calls between named endpoints. Every
+// route (unordered host pair) carries an injectable RouteConfig: a
+// per-delivery latency, a loss probability, and a duplication
+// probability, all driven by one seeded RNG so chaos runs are
+// reproducible for a fixed seed and call sequence. Routes can further be
+// partitioned (every message silently dropped) and healed at runtime,
+// which is how the fault injector models network splits.
+//
+// Two protection mechanisms guard the callers:
+//
+//   - a per-route circuit breaker (closed → open → half-open, see
+//     breaker.go) stops a caller from hammering a peer whose calls keep
+//     timing out — an open breaker fails calls fast until a cooldown
+//     elapses and a single half-open probe succeeds;
+//   - a bounded in-flight gate (see gate.go) lets a runtime shed
+//     admission work with an explicit ErrOverloaded instead of queueing
+//     unboundedly under overload.
+//
+// Loopback calls (from == to) model the proxy talking to itself and
+// never cross the simulated network: they are delivered reliably with no
+// loss, latency, duplication, or breaker accounting.
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"qosres/internal/obs"
+)
+
+// Addr names a fabric endpoint — in the runtime deployment, a host ID.
+type Addr string
+
+var (
+	// ErrNoEndpoint is returned by Call when the destination address has
+	// no registered endpoint.
+	ErrNoEndpoint = errors.New("transport: no endpoint at address")
+	// ErrCircuitOpen is returned by Call when the route's circuit
+	// breaker is open: the peer's recent calls kept failing and the
+	// cooldown has not elapsed, so the call is failed fast instead of
+	// waiting out another deadline.
+	ErrCircuitOpen = errors.New("transport: circuit open")
+	// ErrClosed is returned by Call when the destination endpoint has
+	// been closed (its host was shut down).
+	ErrClosed = errors.New("transport: endpoint closed")
+)
+
+// RouteConfig is the injectable unreliability of one route (unordered
+// pair of endpoints). The zero value is a perfect route: instant,
+// lossless, exactly-once.
+type RouteConfig struct {
+	// Latency is the wall-clock one-way delivery delay applied to every
+	// message (and every reply) on the route.
+	Latency time.Duration
+	// Loss is the per-delivery probability in [0, 1] that a message (or
+	// a reply) is silently dropped.
+	Loss float64
+	// Dup is the per-delivery probability in [0, 1] that a message (or a
+	// reply) is delivered twice.
+	Dup float64
+}
+
+// Options configures a Fabric.
+type Options struct {
+	// Seed drives the loss/duplication rolls. The zero seed is valid
+	// (and, with zero Defaults and no per-route overrides, never
+	// consulted).
+	Seed int64
+	// Defaults is the RouteConfig of every route without an override.
+	Defaults RouteConfig
+	// Breaker, when non-nil, arms a circuit breaker on every non-loopback
+	// route.
+	Breaker *BreakerConfig
+	// Metrics, when non-nil, receives message/drop/dup/timeout/breaker
+	// counters. A nil value (or one built from a nil registry) records
+	// nothing at no cost.
+	Metrics *obs.TransportMetrics
+}
+
+// pair is an unordered endpoint pair, the key of route state.
+type pair [2]Addr
+
+func norm(a, b Addr) pair {
+	if b < a {
+		a, b = b, a
+	}
+	return pair{a, b}
+}
+
+// Delivery is one inbound message at an endpoint.
+type Delivery struct {
+	// From is the sender's address.
+	From Addr
+	// Payload is the message body.
+	Payload interface{}
+	reply   func(interface{})
+}
+
+// Reply sends the response back to the caller over the fabric. The
+// reply crosses the same route as the request, so it too can be lost,
+// delayed, or duplicated. Replying to a one-way message is a no-op.
+func (d Delivery) Reply(payload interface{}) {
+	if d.reply != nil {
+		d.reply(payload)
+	}
+}
+
+// Endpoint is one registered fabric address: a bounded inbox of
+// deliveries plus a close signal.
+type Endpoint struct {
+	addr  Addr
+	inbox chan Delivery
+	done  chan struct{}
+	once  sync.Once
+}
+
+// Addr returns the endpoint's address.
+func (e *Endpoint) Addr() Addr { return e.addr }
+
+// Inbox returns the delivery channel the endpoint's owner must drain.
+func (e *Endpoint) Inbox() <-chan Delivery { return e.inbox }
+
+// Done is closed when the endpoint closes; inbox-drain loops select on
+// it to stop.
+func (e *Endpoint) Done() <-chan struct{} { return e.done }
+
+// Close marks the endpoint down: pending and future deliveries to it are
+// dropped. Idempotent.
+func (e *Endpoint) Close() {
+	e.once.Do(func() { close(e.done) })
+}
+
+// Fabric routes messages between endpoints with injectable per-route
+// unreliability. Safe for concurrent use.
+type Fabric struct {
+	mu          sync.Mutex
+	rng         *rand.Rand
+	defaults    RouteConfig
+	endpoints   map[Addr]*Endpoint
+	routes      map[pair]RouteConfig
+	partitioned map[pair]bool
+	breakerCfg  *BreakerConfig
+	breakers    map[[2]Addr]*Breaker // keyed by ordered (from, to)
+	metrics     *obs.TransportMetrics
+	// pending counts asynchronous (delayed or duplicated) deliveries in
+	// flight; settleCh, when non-nil, is closed as pending hits zero so
+	// Settle can wait for the fabric to drain. A plain WaitGroup cannot
+	// express this: a delivered message's reply may legitimately start a
+	// new asynchronous send while a settler waits, which is Add-after-Wait.
+	pending  int
+	settleCh chan struct{}
+}
+
+// New creates a fabric. With zero Options the fabric is perfect: every
+// call is delivered instantly, exactly once, with no breaker in the way.
+func New(opts Options) *Fabric {
+	m := opts.Metrics
+	if m == nil {
+		m = &obs.TransportMetrics{}
+	}
+	return &Fabric{
+		rng:         rand.New(rand.NewSource(opts.Seed)),
+		defaults:    opts.Defaults,
+		endpoints:   make(map[Addr]*Endpoint),
+		routes:      make(map[pair]RouteConfig),
+		partitioned: make(map[pair]bool),
+		breakerCfg:  opts.Breaker,
+		breakers:    make(map[[2]Addr]*Breaker),
+		metrics:     m,
+	}
+}
+
+// Endpoint registers (or re-registers) the address and returns its
+// endpoint. Re-registering replaces the previous endpoint — the fabric
+// equivalent of a host process restarting — so a stopped runtime can be
+// started again.
+func (f *Fabric) Endpoint(addr Addr, depth int) *Endpoint {
+	if depth < 1 {
+		depth = 1
+	}
+	ep := &Endpoint{
+		addr:  addr,
+		inbox: make(chan Delivery, depth),
+		done:  make(chan struct{}),
+	}
+	f.mu.Lock()
+	f.endpoints[addr] = ep
+	f.mu.Unlock()
+	return ep
+}
+
+// endpoint resolves an address.
+func (f *Fabric) endpoint(addr Addr) (*Endpoint, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	ep, ok := f.endpoints[addr]
+	return ep, ok
+}
+
+// SetRoute overrides the route config of the unordered pair (a, b).
+func (f *Fabric) SetRoute(a, b Addr, cfg RouteConfig) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.routes[norm(a, b)] = cfg
+}
+
+// Route returns the effective config of the route (a, b).
+func (f *Fabric) Route(a, b Addr) RouteConfig {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.routeLocked(a, b)
+}
+
+func (f *Fabric) routeLocked(a, b Addr) RouteConfig {
+	if cfg, ok := f.routes[norm(a, b)]; ok {
+		return cfg
+	}
+	return f.defaults
+}
+
+// ClearRoutes drops every per-route override, restoring the defaults —
+// the heal-side of delay injection.
+func (f *Fabric) ClearRoutes() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.routes = make(map[pair]RouteConfig)
+}
+
+// Partition cuts the route between a and b in both directions: every
+// message and reply between them is silently dropped until Heal.
+func (f *Fabric) Partition(a, b Addr) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.partitioned[norm(a, b)] = true
+}
+
+// Heal removes the partition between a and b.
+func (f *Fabric) Heal(a, b Addr) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	delete(f.partitioned, norm(a, b))
+}
+
+// HealAll removes every partition.
+func (f *Fabric) HealAll() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.partitioned = make(map[pair]bool)
+}
+
+// Partitioned reports whether the route between a and b is cut.
+func (f *Fabric) Partitioned(a, b Addr) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.partitioned[norm(a, b)]
+}
+
+// Partitions lists the currently-cut routes, sorted.
+func (f *Fabric) Partitions() [][2]Addr {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([][2]Addr, 0, len(f.partitioned))
+	for p := range f.partitioned {
+		out = append(out, [2]Addr(p))
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// breaker returns the breaker guarding calls from one endpoint to
+// another, creating it on first use; nil when breakers are disabled.
+func (f *Fabric) breaker(from, to Addr) *Breaker {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.breakerCfg == nil {
+		return nil
+	}
+	key := [2]Addr{from, to}
+	br, ok := f.breakers[key]
+	if !ok {
+		route := string(from) + "->" + string(to)
+		m := f.metrics
+		br = NewBreaker(*f.breakerCfg, func(s BreakerState) {
+			m.BreakerState(route, float64(s))
+		})
+		f.breakers[key] = br
+	}
+	return br
+}
+
+// BreakerState reports the state of the breaker on (from, to);
+// BreakerClosed when breakers are disabled or the route was never used.
+func (f *Fabric) BreakerState(from, to Addr) BreakerState {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if br, ok := f.breakers[[2]Addr{from, to}]; ok {
+		return br.State()
+	}
+	return BreakerClosed
+}
+
+// Settle blocks until every asynchronous (delayed or duplicated)
+// delivery has been handed to its destination or dropped, looping until
+// the count is stably zero (a landing delivery's reply may start new
+// asynchronous sends). Chaos harnesses call it before checking drain
+// invariants so no straggler message can land after the books are
+// inspected.
+func (f *Fabric) Settle() {
+	for {
+		f.mu.Lock()
+		if f.pending == 0 {
+			f.mu.Unlock()
+			return
+		}
+		if f.settleCh == nil {
+			f.settleCh = make(chan struct{})
+		}
+		ch := f.settleCh
+		f.mu.Unlock()
+		<-ch
+	}
+}
+
+// track registers one asynchronous delivery; untrack retires it and
+// wakes settlers when the fabric drains.
+func (f *Fabric) track() {
+	f.mu.Lock()
+	f.pending++
+	f.mu.Unlock()
+}
+
+func (f *Fabric) untrack() {
+	f.mu.Lock()
+	f.pending--
+	if f.pending == 0 && f.settleCh != nil {
+		close(f.settleCh)
+		f.settleCh = nil
+	}
+	f.mu.Unlock()
+}
+
+// Call sends payload from one endpoint to another and waits for the
+// reply or the context. The request and the reply each independently
+// suffer the route's latency, loss, and duplication; a partitioned or
+// lossy route therefore surfaces as ctx expiry, never as an unbounded
+// block — which is why every caller must bound ctx when the fabric is
+// imperfect. kind labels the message family in the metrics.
+func (f *Fabric) Call(ctx context.Context, from, to Addr, kind string, payload interface{}) (interface{}, error) {
+	ep, ok := f.endpoint(to)
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoEndpoint, to)
+	}
+	f.metrics.Sent(kind)
+
+	if from == to {
+		// Loopback: the proxy talking to itself never crosses the
+		// network. Reliable, instant, breaker-free.
+		replyCh := make(chan interface{}, 1)
+		d := Delivery{From: from, Payload: payload, reply: func(resp interface{}) {
+			select {
+			case replyCh <- resp:
+			default:
+			}
+		}}
+		select {
+		case ep.inbox <- d:
+		case <-ep.done:
+			return nil, fmt.Errorf("transport: %s: %w", to, ErrClosed)
+		case <-ctx.Done():
+			f.metrics.Timeout()
+			return nil, fmt.Errorf("transport: call %s->%s (%s): %w", from, to, kind, ctx.Err())
+		}
+		select {
+		case resp := <-replyCh:
+			return resp, nil
+		case <-ctx.Done():
+			f.metrics.Timeout()
+			return nil, fmt.Errorf("transport: call %s->%s (%s): %w", from, to, kind, ctx.Err())
+		}
+	}
+
+	br := f.breaker(from, to)
+	if br != nil && !br.Allow() {
+		f.metrics.FastFail()
+		return nil, fmt.Errorf("transport: %s->%s: %w", from, to, ErrCircuitOpen)
+	}
+
+	// The reply channel holds two slots so a duplicated reply never
+	// blocks the replier; Call consumes the first copy.
+	replyCh := make(chan interface{}, 2)
+	d := Delivery{From: from, Payload: payload, reply: func(resp interface{}) {
+		f.send(to, from, func() bool {
+			select {
+			case replyCh <- resp:
+			default:
+			}
+			return true
+		})
+	}}
+	f.send(from, to, func() bool {
+		select {
+		case ep.inbox <- d:
+			return true
+		case <-ep.done:
+			return false
+		}
+	})
+
+	select {
+	case resp := <-replyCh:
+		if br != nil {
+			br.Success()
+		}
+		return resp, nil
+	case <-ctx.Done():
+		if br != nil {
+			br.Failure()
+		}
+		f.metrics.Timeout()
+		return nil, fmt.Errorf("transport: call %s->%s (%s): %w", from, to, kind, ctx.Err())
+	}
+}
+
+// send applies the route's chaos to one delivery attempt and hands every
+// surviving copy to enq. enq reports whether the destination accepted
+// the copy (false = endpoint closed). Zero-latency single copies are
+// enqueued inline (the common perfect-fabric path costs no goroutine);
+// delayed and duplicated copies are delivered asynchronously and tracked
+// for Settle.
+func (f *Fabric) send(from, to Addr, enq func() bool) {
+	f.mu.Lock()
+	if f.partitioned[norm(from, to)] {
+		f.mu.Unlock()
+		f.metrics.Dropped("partition")
+		return
+	}
+	cfg := f.routeLocked(from, to)
+	lost := cfg.Loss > 0 && f.rng.Float64() < cfg.Loss
+	duplicated := !lost && cfg.Dup > 0 && f.rng.Float64() < cfg.Dup
+	f.mu.Unlock()
+	if lost {
+		f.metrics.Dropped("loss")
+		return
+	}
+	copies := 1
+	if duplicated {
+		copies = 2
+		f.metrics.Duplicate()
+	}
+	deliver := func() {
+		if cfg.Latency > 0 {
+			time.Sleep(cfg.Latency)
+		}
+		if !enq() {
+			f.metrics.Dropped("closed")
+		}
+	}
+	if copies == 1 && cfg.Latency == 0 {
+		deliver()
+		return
+	}
+	for i := 0; i < copies; i++ {
+		f.track()
+		go func() {
+			defer f.untrack()
+			deliver()
+		}()
+	}
+}

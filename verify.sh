@@ -10,7 +10,10 @@ go vet ./...
 echo "== go build ./..."
 go build ./...
 
-echo "== go test -race ./..."
-go test -race ./...
+echo "== go test -race -shuffle=on ./..."
+# -shuffle=on randomizes test (and subtest) execution order so
+# order-dependent tests fail loudly instead of passing by accident; the
+# chosen seed is printed for replay with -shuffle=<seed>.
+go test -race -shuffle=on ./...
 
 echo "verify: OK"
