@@ -1,0 +1,82 @@
+// Command qostrace reconstructs causal distributed-trace span trees
+// from a JSONL event stream (simqos -trace, with -trace-sample or
+// -chaos) and prints the analysis: per-root-kind latency quantiles,
+// critical-path phase/route attribution, typed-event counts, p99
+// outlier exemplars with their critical paths, and the completeness
+// counters (orphan spans, rootless and multi-root traces).
+//
+// Usage:
+//
+//	qostrace [-input run.jsonl] [-fail-incomplete] [-paths 0]
+//
+// -input defaults to stdin (also spelled -). With -fail-incomplete the
+// command exits 1 when any trace reconstructs incompletely — the CI
+// gate behind the chaos trace artifact. With -paths N, the full
+// critical path of the N slowest traces is printed after the report.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"qosres/internal/trace"
+	"qosres/internal/tracetree"
+)
+
+func main() {
+	var (
+		input          = flag.String("input", "-", "JSONL trace file to analyze (- for stdin)")
+		failIncomplete = flag.Bool("fail-incomplete", false, "exit 1 when any trace reconstructs incompletely (orphan spans, rootless or multi-root traces)")
+		paths          = flag.Int("paths", 0, "additionally print the critical path of the N slowest traces")
+	)
+	flag.Parse()
+
+	var r io.Reader = os.Stdin
+	if *input != "-" && *input != "" {
+		f, err := os.Open(*input)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	events, err := trace.ReadJSONL(r)
+	if err != nil {
+		fatal(err)
+	}
+	forest := tracetree.FromEvents(events)
+	tracetree.Report(os.Stdout, forest)
+
+	if *paths > 0 {
+		trees := make([]*tracetree.Tree, 0, len(forest.Trees))
+		for _, t := range forest.Trees {
+			if t.Root != nil {
+				trees = append(trees, t)
+			}
+		}
+		sort.Slice(trees, func(i, j int) bool {
+			return trees[i].Root.Duration > trees[j].Root.Duration
+		})
+		if len(trees) > *paths {
+			trees = trees[:*paths]
+		}
+		fmt.Printf("\nslowest %d critical path(s):\n", len(trees))
+		for _, t := range trees {
+			fmt.Printf("  %s: %s\n", t.TraceID, tracetree.PathString(t.CriticalPath()))
+		}
+	}
+
+	if *failIncomplete && !forest.Complete() {
+		fmt.Fprintf(os.Stderr, "qostrace: incomplete forest: %d orphan spans, %d rootless, %d multi-root trace(s)\n",
+			forest.OrphanSpans, forest.Rootless, forest.MultiRoot)
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "qostrace:", err)
+	os.Exit(1)
+}

@@ -8,8 +8,14 @@
 //	simqos -alg basic -rate 100 -seed 1 [-duration 10800] [-stale 0]
 //	       [-scale 4] [-diversity 0]
 //	       [-metrics :9090] [-hold] [-trace run.jsonl] [-spans]
+//	       [-trace-sample 0.01]
 //	       [-chaos [-loss 0.1] [-dup 0.05] [-latency 1ms] [-partition 0.1]
 //	        [-deadline 250ms] [-max-inflight 0]]
+//
+// With -trace-sample, sessions are head-sampled into causal distributed
+// trace trees (errored admissions always rescued) exported to the
+// -trace JSONL as span_end/span_event lines; reconstruct and analyze
+// them with qostrace. Chaos runs always trace at sample 1.0.
 //
 // With -chaos plus any transport flag, the chaos harness rebases the
 // reservation protocol on an unreliable message fabric (loss,
@@ -60,6 +66,7 @@ func main() {
 		hold       = flag.Bool("hold", false, "with -metrics: keep serving after the run until interrupted")
 		traceOut   = flag.String("trace", "", "write the event trace as JSON lines to this file (- for stdout)")
 		spans      = flag.Bool("spans", false, "with -trace: include planner stage span events")
+		traceSampl = flag.Float64("trace-sample", 0, "head-sampling probability of distributed trace trees (errored admissions always rescued); retained trees export to -trace as span_end/span_event lines")
 		chaos      = flag.Bool("chaos", false, "run the concurrent chaos harness (fault injection, session repair, reservation leases) instead of the deterministic simulation")
 		loss       = flag.Float64("loss", 0, "with -chaos: per-delivery probability that a protocol message (or reply) is lost in transit")
 		dup        = flag.Float64("dup", 0, "with -chaos: per-delivery probability that a protocol message (or reply) is delivered twice")
@@ -80,6 +87,7 @@ func main() {
 	cfg.TemplateCache = *tplCache
 	cfg.MaxAdmitRetries = *admitRetry
 	cfg.TimelineWindow = *timeline
+	cfg.TraceSample = *traceSampl
 
 	reg := obs.New()
 	cfg.Obs = reg
@@ -127,6 +135,11 @@ func main() {
 		sc.Config.TemplateCache = *tplCache
 		sc.Config.MaxAdmitRetries = *admitRetry
 		sc.Config.Obs = reg
+		// Chaos always traces at sample 1.0 (the harness asserts trace
+		// completeness); with -trace the span trees land in the JSONL for
+		// qostrace's critical-path analysis.
+		sc.Config.Tracer = cfg.Tracer
+		sc.Config.TraceSample = cfg.TraceSample
 		fc := sim.DefaultFaultsConfig()
 		if *loss > 0 || *dup > 0 || *partition > 0 || *netLatency > 0 ||
 			*deadline > 0 || *maxInFlt > 0 {
@@ -396,6 +409,76 @@ func printTransport(reg *obs.Registry) {
 	tbl.AddRow("admissions shed", fmt.Sprintf("%.0f", value(obs.MetricAdmissionShed)))
 	tbl.AddRow("repairs abandoned at deadline", fmt.Sprintf("%.0f", value(obs.MetricRepairAbandoned)))
 	fmt.Printf("\ntransport (unreliable messaging):\n%s", tbl)
+	printCallLatency(snap)
+}
+
+// printCallLatency renders the fabric call-latency histograms
+// (qosres_transport_call_seconds) aggregated across routes, one row per
+// message kind. Silent when no call was ever timed.
+func printCallLatency(snap obs.SnapshotData) {
+	type agg struct {
+		count  uint64
+		bounds []float64
+		counts []uint64 // per-bucket, finite bounds only
+	}
+	kinds := map[string]*agg{}
+	var order []string
+	for _, h := range snap.Histograms {
+		if h.Name != obs.MetricTransportCallSeconds {
+			continue
+		}
+		kind := h.Labels["kind"]
+		a := kinds[kind]
+		if a == nil {
+			a = &agg{bounds: make([]float64, len(h.Buckets)), counts: make([]uint64, len(h.Buckets))}
+			for i, b := range h.Buckets {
+				a.bounds[i] = b.UpperBound
+			}
+			kinds[kind] = a
+			order = append(order, kind)
+		}
+		var prev uint64
+		for i, b := range h.Buckets {
+			a.counts[i] += b.Count - prev
+			prev = b.Count
+		}
+		a.count += h.Count
+	}
+	if len(order) == 0 {
+		return
+	}
+	sort.Strings(order)
+	// Linear interpolation inside the landing bucket, same estimate as
+	// obs.Histogram.Quantile; the overflow bucket reports the largest
+	// finite bound.
+	quantile := func(a *agg, q float64) float64 {
+		if a.count == 0 || len(a.bounds) == 0 {
+			return 0
+		}
+		target := q * float64(a.count)
+		var cum float64
+		for i, c := range a.counts {
+			prev := cum
+			cum += float64(c)
+			if cum < target || c == 0 {
+				continue
+			}
+			lower := 0.0
+			if i > 0 {
+				lower = a.bounds[i-1]
+			}
+			return lower + (a.bounds[i]-lower)*(target-prev)/float64(c)
+		}
+		return a.bounds[len(a.bounds)-1]
+	}
+	tbl := &stats.Table{Header: []string{"fabric call", "count", "p50 µs", "p99 µs"}}
+	for _, k := range order {
+		a := kinds[k]
+		tbl.AddRow(k, fmt.Sprintf("%d", a.count),
+			fmt.Sprintf("%.1f", 1e6*quantile(a, 0.50)),
+			fmt.Sprintf("%.1f", 1e6*quantile(a, 0.99)))
+	}
+	fmt.Printf("\nfabric call latency (per message kind):\n%s", tbl)
 }
 
 // printUtilization summarizes the end-of-run per-resource utilization

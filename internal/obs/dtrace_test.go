@@ -1,0 +1,230 @@
+package obs
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// recordedSink collects exported spans for assertions.
+type recordedSink struct {
+	spans []SpanRecord
+}
+
+func (s *recordedSink) ExportSpan(sp SpanRecord) { s.spans = append(s.spans, sp) }
+
+// TestTraceRecorderBuildsTree pins the core lifecycle: a sampled root
+// with nested children and typed events flushes, at completion, into
+// one retained trace whose spans carry the right parents, statuses and
+// events — and the flush waits for children that outlive the root.
+func TestTraceRecorderBuildsTree(t *testing.T) {
+	sink := &recordedSink{}
+	rec := NewTraceRecorder(nil, TraceOptions{Sample: 1, Sink: sink})
+
+	root := rec.Root("establish", "H1")
+	if !root.Recording() {
+		t.Fatal("sample-1 root not recording")
+	}
+	stage := root.Child("reserve", "H1")
+	call := stage.Child("prepare", "H1->H2")
+	call.Event(EventRetry, "attempt 2")
+
+	// The participant side: a span parented via the wire context.
+	remote := rec.ChildOf(call.Context(), "prepare", "H2")
+
+	call.EndStatus("timeout")
+	stage.End()
+	root.End()
+	// The root has ended but the remote span is still open: the trace
+	// must not flush yet.
+	if got := len(rec.Completed()); got != 0 {
+		t.Fatalf("trace flushed with %d open span(s) pending", got)
+	}
+	if got := rec.OpenTraces(); got != 1 {
+		t.Fatalf("OpenTraces = %d, want 1", got)
+	}
+	remote.End()
+
+	done := rec.Completed()
+	if len(done) != 1 {
+		t.Fatalf("Completed() = %d traces, want 1", len(done))
+	}
+	tr := done[0]
+	if !tr.Errored {
+		t.Error("trace with a timeout span not marked errored")
+	}
+	if len(tr.Spans) != 4 {
+		t.Fatalf("trace has %d spans, want 4", len(tr.Spans))
+	}
+	byName := map[string]SpanRecord{}
+	for _, sp := range tr.Spans {
+		byName[sp.Name+"@"+sp.Scope] = sp
+	}
+	rootSp := byName["establish@H1"]
+	if !rootSp.Root() {
+		t.Error("establish span is not the root")
+	}
+	if p := byName["prepare@H1->H2"].Parent; p != byName["reserve@H1"].Span {
+		t.Errorf("call span parent = %d, want the stage span", p)
+	}
+	if p := byName["prepare@H2"].Parent; p != byName["prepare@H1->H2"].Span {
+		t.Errorf("remote span parent = %d, want the call span", p)
+	}
+	cs := byName["prepare@H1->H2"]
+	if cs.Status != "timeout" {
+		t.Errorf("call span status = %q", cs.Status)
+	}
+	if len(cs.Events) != 1 || cs.Events[0].Type != EventRetry {
+		t.Errorf("call span events = %+v, want one retry", cs.Events)
+	}
+	if len(sink.spans) != 4 {
+		t.Errorf("sink received %d spans, want 4", len(sink.spans))
+	}
+}
+
+// TestTraceRecorderEventOnEndedSpan pins the duplicate-suppression
+// path: an event addressed to a span that already ended still attaches,
+// as long as the trace is resident; after the trace flushes, it is
+// dropped silently.
+func TestTraceRecorderEventOnEndedSpan(t *testing.T) {
+	rec := NewTraceRecorder(nil, TraceOptions{Sample: 1})
+	root := rec.Root("establish", "H1")
+	call := root.Child("prepare", "H1->H2")
+	sc := call.Context()
+	call.End()
+
+	// Call span ended, root still open: the event must land.
+	rec.EventOn(sc, EventDuplicateSuppressed, "prepare")
+	root.End()
+	done := rec.Completed()
+	if len(done) != 1 {
+		t.Fatalf("Completed() = %d traces, want 1", len(done))
+	}
+	var found bool
+	for _, sp := range done[0].Spans {
+		for _, ev := range sp.Events {
+			if ev.Type == EventDuplicateSuppressed {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("duplicate-suppressed event on an ended span was lost")
+	}
+
+	// Flushed trace: the late event (and a late child) must be inert.
+	rec.EventOn(sc, EventDuplicateSuppressed, "late")
+	if late := rec.ChildOf(sc, "prepare", "H2"); late.Recording() {
+		t.Error("ChildOf recorded under a flushed trace")
+	}
+	if got := rec.OpenTraces(); got != 0 {
+		t.Fatalf("OpenTraces = %d after flush", got)
+	}
+}
+
+// TestTraceRecorderRescuesErroredTraces pins tail rescue: with head
+// sampling off, an all-ok trace is dropped but a trace containing an
+// errored span is retained.
+func TestTraceRecorderRescuesErroredTraces(t *testing.T) {
+	rec := NewTraceRecorder(nil, TraceOptions{Sample: 0, RescueErrors: true})
+
+	ok := rec.Root("establish", "H1")
+	ok.Child("plan", "H1").End()
+	ok.End()
+	if got := len(rec.Completed()); got != 0 {
+		t.Fatalf("all-ok unsampled trace retained (%d)", got)
+	}
+
+	bad := rec.Root("establish", "H1")
+	bad.Child("reserve", "H1").EndStatus("refused")
+	bad.End()
+	done := rec.Completed()
+	if len(done) != 1 || !done[0].Errored {
+		t.Fatalf("errored trace not rescued: %+v", done)
+	}
+}
+
+// TestTraceRecorderEvictsAtCapacity pins the bounded resident store:
+// completions beyond MaxResident evict the oldest trace and advance
+// qosres_trace_evictions_total.
+func TestTraceRecorderEvictsAtCapacity(t *testing.T) {
+	reg := New()
+	rec := NewTraceRecorder(reg, TraceOptions{Sample: 1, MaxResident: 2})
+	var first uint64
+	for i := 0; i < 5; i++ {
+		root := rec.Root("establish", "H1")
+		if i == 0 {
+			first = root.Context().Trace
+		}
+		root.End()
+	}
+	done := rec.Completed()
+	if len(done) != 2 {
+		t.Fatalf("resident traces = %d, want 2", len(done))
+	}
+	for _, tr := range done {
+		if tr.Trace == first {
+			t.Error("oldest trace survived eviction")
+		}
+	}
+	var evicted float64
+	for _, c := range reg.Snapshot().Counters {
+		if c.Name == MetricTraceEvictions {
+			evicted += c.Value
+		}
+	}
+	if evicted != 3 {
+		t.Fatalf("%s = %g, want 3", MetricTraceEvictions, evicted)
+	}
+}
+
+// TestTraceRecorderUnsampledZeroAlloc protects the plan-path fast lane:
+// with tracing compiled in but sampling off, the whole span surface —
+// root, children, events, context plumbing, exemplar IDs — must not
+// allocate at all.
+func TestTraceRecorderUnsampledZeroAlloc(t *testing.T) {
+	rec := NewTraceRecorder(nil, TraceOptions{Sample: 0})
+	var nilRec *TraceRecorder
+	ctx := context.Background()
+	errBoom := errors.New("boom")
+	allocs := testing.AllocsPerRun(1000, func() {
+		root := rec.Root("establish", "H1")
+		c := root.Child("reserve", "H1")
+		c.Event(EventRetry, "attempt 2")
+		cctx := ContextWithSpan(ctx, c)
+		sp := SpanFromContext(cctx)
+		sp.EndErr(errBoom, "error")
+		if sp.TraceID() != "" {
+			t.Fatal("inert span has a trace ID")
+		}
+		rec.EventOn(root.Context(), EventShed, "")
+		rec.ChildOf(c.Context(), "prepare", "H2").End()
+		root.EndStatus("shed")
+		nilRec.Root("establish", "H1").End()
+	})
+	if allocs != 0 {
+		t.Fatalf("unsampled tracing path allocates %.1f per op, want 0", allocs)
+	}
+}
+
+// TestTraceRecorderHeadSampling sanity-checks the sampling roll: with
+// probability 0.5 over many roots, both outcomes occur, and unsampled
+// roots (rescue off) retain nothing.
+func TestTraceRecorderHeadSampling(t *testing.T) {
+	rec := NewTraceRecorder(nil, TraceOptions{Sample: 0.5, MaxResident: 4096, Seed: 42})
+	sampled := 0
+	const n = 400
+	for i := 0; i < n; i++ {
+		root := rec.Root("establish", "H1")
+		if root.Recording() {
+			sampled++
+		}
+		root.End()
+	}
+	if sampled == 0 || sampled == n {
+		t.Fatalf("sample=0.5 produced %d/%d sampled roots", sampled, n)
+	}
+	if got := len(rec.Completed()); got != sampled {
+		t.Fatalf("retained %d traces, want %d (the sampled ones)", got, sampled)
+	}
+}

@@ -266,6 +266,18 @@ type Histogram struct {
 	counts []uint64
 	sum    float64
 	total  uint64
+	// exemplars pairs each bucket with the trace that most recently
+	// landed in it; allocated lazily on the first exemplar so plain
+	// observations pay nothing.
+	exemplars []Exemplar
+}
+
+// Exemplar ties a bucket's most recent observation to the trace that
+// produced it, letting dashboards jump from a latency bucket to a
+// concrete trace tree.
+type Exemplar struct {
+	Value   float64 `json:"value"`
+	TraceID string  `json:"trace_id"`
 }
 
 func newHistogram(bounds []float64) *Histogram {
@@ -286,6 +298,42 @@ func (h *Histogram) Observe(v float64) {
 	h.sum += v
 	h.total++
 	h.mu.Unlock()
+}
+
+// ObserveExemplar records one value and attaches the trace that
+// produced it as the landing bucket's exemplar (replacing any previous
+// one). An empty trace ID degrades to a plain Observe.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	if h == nil {
+		return
+	}
+	if traceID == "" {
+		h.Observe(v)
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.mu.Lock()
+	h.counts[i]++
+	h.sum += v
+	h.total++
+	if h.exemplars == nil {
+		h.exemplars = make([]Exemplar, len(h.counts))
+	}
+	h.exemplars[i] = Exemplar{Value: v, TraceID: traceID}
+	h.mu.Unlock()
+}
+
+// exemplarSnapshot copies the per-bucket exemplars (nil when none were
+// ever attached).
+func (h *Histogram) exemplarSnapshot() []Exemplar {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.exemplars == nil {
+		return nil
+	}
+	out := make([]Exemplar, len(h.exemplars))
+	copy(out, h.exemplars)
+	return out
 }
 
 // Count returns the number of observations.

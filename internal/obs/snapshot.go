@@ -31,10 +31,12 @@ type HistogramValue struct {
 	Buckets []BucketValue     `json:"buckets"`
 }
 
-// BucketValue is one cumulative histogram bucket.
+// BucketValue is one cumulative histogram bucket. Exemplar, when
+// present, is the trace that most recently landed in this bucket.
 type BucketValue struct {
-	UpperBound float64 `json:"le"`
-	Count      uint64  `json:"count"`
+	UpperBound float64   `json:"le"`
+	Count      uint64    `json:"count"`
+	Exemplar   *Exemplar `json:"exemplar,omitempty"`
 }
 
 // Snapshot copies every metric out of the registry. A nil registry
@@ -56,6 +58,7 @@ func (r *Registry) Snapshot() SnapshotData {
 				Name: f.name, Labels: labels, Value: ch.g.Value()})
 		case TypeHistogram:
 			bounds, counts, sum, total := ch.h.snapshot()
+			exemplars := ch.h.exemplarSnapshot()
 			hv := HistogramValue{
 				Name: f.name, Labels: labels, Count: total, Sum: sum,
 				P50: ch.h.Quantile(0.50), P90: ch.h.Quantile(0.90), P99: ch.h.Quantile(0.99),
@@ -64,7 +67,12 @@ func (r *Registry) Snapshot() SnapshotData {
 			var cum uint64
 			for i, b := range bounds {
 				cum += counts[i]
-				hv.Buckets = append(hv.Buckets, BucketValue{UpperBound: b, Count: cum})
+				bv := BucketValue{UpperBound: b, Count: cum}
+				if exemplars != nil && exemplars[i].TraceID != "" {
+					ex := exemplars[i]
+					bv.Exemplar = &ex
+				}
+				hv.Buckets = append(hv.Buckets, bv)
 			}
 			snap.Histograms = append(snap.Histograms, hv)
 		}

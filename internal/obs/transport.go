@@ -20,6 +20,10 @@ const (
 	// MetricTransportBreakerState gauges each route's breaker position
 	// (0 closed, 1 half-open, 2 open).
 	MetricTransportBreakerState = "qosres_transport_breaker_state"
+	// MetricTransportCallSeconds is the per-route call-latency
+	// histogram (seconds), labeled route=<from->to> and kind=<message
+	// kind>; it covers every call outcome (reply, timeout, fast-fail).
+	MetricTransportCallSeconds = "qosres_transport_call_seconds"
 	// MetricAdmissionShed counts admission requests refused by the
 	// bounded in-flight gate (overload shedding).
 	MetricAdmissionShed = "qosres_admission_shed_total"
@@ -54,6 +58,10 @@ func NewTransportMetrics(r *Registry) *TransportMetrics {
 			"Fabric calls failed fast by an open circuit breaker."),
 	}
 }
+
+// Enabled reports whether the metrics record anything (a backing
+// registry exists). Safe on a nil receiver.
+func (m *TransportMetrics) Enabled() bool { return m != nil && m.reg != nil }
 
 // Sent counts one message of the given kind. Safe on a nil receiver or
 // one built from a nil registry.
@@ -98,6 +106,17 @@ func (m *TransportMetrics) FastFail() {
 		return
 	}
 	m.BreakerFastFails.Inc()
+}
+
+// Call records one fabric call's end-to-end latency in seconds for a
+// route ("from->to") and message kind. Safe on a nil receiver.
+func (m *TransportMetrics) Call(route, kind string, seconds float64) {
+	if m == nil {
+		return
+	}
+	m.reg.Histogram(MetricTransportCallSeconds,
+		"Fabric call latency in seconds, by route and message kind.",
+		StageBuckets(), "route", route, "kind", kind).Observe(seconds)
 }
 
 // BreakerState gauges one route's breaker position (0 closed, 1

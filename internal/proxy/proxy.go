@@ -125,6 +125,11 @@ type QoSProxy struct {
 	// order remembers pending insertion order for bounded GC.
 	order []string
 
+	// tracer records participant spans causally parented under the
+	// coordinator's message spans; nil-safe, copied from the runtime at
+	// Start.
+	tracer *obs.TraceRecorder
+
 	// ep and done belong to the current Start..Stop cycle; a restarted
 	// runtime re-registers the endpoint and spawns a fresh serve loop.
 	ep   *transport.Endpoint
@@ -175,7 +180,21 @@ func (p *QoSProxy) serve(ep *transport.Endpoint, done chan struct{}) {
 
 // handle dispatches one delivery. Replies cross the fabric back to the
 // caller (and suffer the route's chaos on the way).
+//
+// Tracing: the first copy of a traced delivery opens a participant span
+// causally parented under the caller's message span; the second copy of
+// a duplicated delivery is still processed (the idempotency layer
+// resolves it, and its reply covers a lost first reply) but annotates a
+// duplicate-suppressed event instead of opening a second span.
 func (p *QoSProxy) handle(d transport.Delivery) {
+	if d.Span.Sampled {
+		if d.Dup {
+			p.tracer.EventOn(d.Span, obs.EventDuplicateSuppressed, d.Kind)
+		} else if d.Kind != "" {
+			sp := p.tracer.ChildOf(d.Span, d.Kind, string(p.host))
+			defer sp.End()
+		}
+	}
 	switch req := d.Payload.(type) {
 	case availabilityRequest:
 		d.Reply(p.handleAvailability(req))
@@ -240,6 +259,9 @@ type Runtime struct {
 	// faults receives repair-outcome counter increments (see
 	// InstrumentFaults); always non-nil, inert by default.
 	faults *obs.FaultMetrics
+	// tracer records distributed traces of Establish and repair sweeps
+	// (see InstrumentTracing); nil (the default) is inert.
+	tracer *obs.TraceRecorder
 	// reports caches the last availability report received from each
 	// resource's owning proxy. When a participant is unreachable,
 	// admission degrades to planning from this cache, aged by α (see
@@ -334,6 +356,25 @@ func (rt *Runtime) leaseTTLNow() broker.Time {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	return rt.leaseTTL
+}
+
+// InstrumentTracing attaches a distributed-trace recorder: every
+// Establish and repair sweep then opens a trace whose spans follow the
+// protocol across the fabric (stage children, per-message call spans,
+// remote participant spans). Call before Start so the proxies see the
+// recorder; a nil recorder leaves the runtime untraced at no cost.
+func (rt *Runtime) InstrumentTracing(rec *obs.TraceRecorder) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.tracer = rec
+}
+
+// traceRecorder returns the attached recorder (possibly nil; a nil
+// recorder is inert).
+func (rt *Runtime) traceRecorder() *obs.TraceRecorder {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.tracer
 }
 
 // InstrumentFaults attaches repair-outcome counters: every fault-driven
@@ -576,6 +617,7 @@ func (rt *Runtime) Start() {
 	}
 	rt.started = true
 	for _, p := range rt.proxies {
+		p.tracer = rt.tracer
 		p.ep = rt.fabric.Endpoint(p.addr(), 16)
 		p.done = make(chan struct{})
 		p.wg.Add(1)

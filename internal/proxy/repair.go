@@ -21,9 +21,12 @@ package proxy
 
 import (
 	"context"
+	"fmt"
 	"sort"
+	"strings"
 
 	"qosres/internal/core"
+	"qosres/internal/obs"
 )
 
 // RepairOutcome classifies what the repair protocol did to one session.
@@ -112,6 +115,12 @@ func (rt *Runtime) RepairAffectedContext(ctx context.Context, failed []string) R
 	// with a fixed seed repair in a stable order.
 	sort.Slice(sessions, func(i, j int) bool { return sessions[i].Plan.PathLevels < sessions[j].Plan.PathLevels })
 
+	// Trace root: one trace per sweep; each affected session's repair
+	// hangs a child span under it (whose re-admission stages nest in
+	// turn). Every exit path terminates the root.
+	root := rt.traceRecorder().Root("repair", strings.Join(failed, ","))
+	ctx = obs.ContextWithSpan(ctx, root)
+
 	var rep RepairReport
 	m := rt.faultMetrics()
 	for i, s := range sessions {
@@ -119,6 +128,7 @@ func (rt *Runtime) RepairAffectedContext(ctx context.Context, failed []string) R
 			n := len(sessions) - i
 			rep.Abandoned += n
 			m.RepairAbandoned.Add(float64(n))
+			root.Event(obs.EventDeadlineExceeded, fmt.Sprintf("%d session(s) abandoned", n))
 			break
 		}
 		switch s.repair(ctx, set) {
@@ -137,6 +147,11 @@ func (rt *Runtime) RepairAffectedContext(ctx context.Context, failed []string) R
 			m.RepairFailed.Inc()
 		}
 	}
+	if rep.Abandoned > 0 {
+		root.EndStatus("deadline_exceeded")
+	} else {
+		root.End()
+	}
 	return rep
 }
 
@@ -146,7 +161,7 @@ func (rt *Runtime) RepairAffectedContext(ctx context.Context, failed []string) R
 // repair either runs before it (the session is gone, RepairUnaffected)
 // or after it (releasing whichever reservation the repair installed),
 // never interleaved with it.
-func (s *Session) repair(ctx context.Context, failed map[string]bool) RepairOutcome {
+func (s *Session) repair(ctx context.Context, failed map[string]bool) (outcome RepairOutcome) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.state != StateActive || s.reservation == nil {
@@ -166,6 +181,19 @@ func (s *Session) repair(ctx context.Context, failed map[string]bool) RepairOutc
 	rt := s.runtime
 	now := rt.clock.Now()
 	oldRank := s.plan.Rank
+
+	// One child span per affected session under the sweep's root; the
+	// re-admission's stage spans nest under it via the context.
+	sp := obs.SpanFromContext(ctx).Child("repair_session", string(s.mainHost))
+	ctx = obs.ContextWithSpan(ctx, sp)
+	defer func() {
+		switch outcome {
+		case RepairRepaired:
+			sp.End()
+		default:
+			sp.EndStatus(outcome.String())
+		}
+	}()
 
 	// Step 1: release the invalidated reservation whole. The brokers
 	// keep their book of holds across failures, so the release drains

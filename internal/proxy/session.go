@@ -205,18 +205,27 @@ func (rt *Runtime) EstablishContext(ctx context.Context, mainHost topo.HostID, s
 		return nil, fmt.Errorf("proxy: runtime not started")
 	}
 
+	// Trace root: one trace per admission attempt sequence. Every exit
+	// path below terminates it, so shed or refused sessions never leave
+	// an orphan root behind.
+	root := rt.traceRecorder().Root(obs.StageEstablish, string(mainHost))
+	ctx = obs.ContextWithSpan(ctx, root)
+
 	// Overload protection: shed rather than queue when the runtime is
 	// saturated with in-flight admissions.
 	gate := rt.admitGate()
 	if err := gate.TryAcquire(); err != nil {
 		_, admit, _ := rt.admitState()
 		admit.Shed.Inc()
+		root.Event(obs.EventShed, string(mainHost))
+		root.EndStatus("shed")
 		return nil, fmt.Errorf("proxy: establish on %s: %w", mainHost, err)
 	}
 	defer gate.Release()
 
 	plan, res, err := rt.admitOnce(ctx, mainHost, spec)
 	if err != nil {
+		root.EndStatus(admitStatus(err))
 		return nil, err
 	}
 	s := &Session{
@@ -232,15 +241,71 @@ func (rt *Runtime) EstablishContext(ctx context.Context, mainHost topo.HostID, s
 		// A freshly committed hold cannot already be expired; failure
 		// here means a broker of the plan does not support leases.
 		_ = res.Release(rt.clock.Now())
+		root.EndStatus("error")
 		return nil, err
 	}
 	rt.register(s)
+	root.End()
 	return s, nil
+}
+
+// admitStatus maps an admission error to a span status.
+func admitStatus(err error) string {
+	switch {
+	case err == nil:
+		return obs.StatusOK
+	case errors.Is(err, core.ErrInfeasible):
+		return "infeasible"
+	case errors.Is(err, broker.ErrInsufficient):
+		return "refused"
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return "deadline_exceeded"
+	case errors.Is(err, transport.ErrCircuitOpen):
+		return "circuit_open"
+	default:
+		return "error"
+	}
+}
+
+// stageSpan couples one admission stage's histogram observation (with a
+// trace-ID exemplar when the trace is sampled) with a child span of the
+// admission trace. Inert — no clock read, no allocation — when neither
+// metrics nor tracing is on.
+type stageSpan struct {
+	h     *obs.Histogram
+	span  obs.ActiveSpan
+	tid   string
+	start time.Time
+	on    bool
+}
+
+// startStageSpan begins one stage under the admission's root span.
+func startStageSpan(h *obs.Histogram, parent obs.ActiveSpan, name, scope string) stageSpan {
+	st := stageSpan{h: h, span: parent.Child(name, scope), tid: parent.TraceID()}
+	if st.h != nil || st.span.Recording() {
+		st.start = time.Now()
+		st.on = true
+	}
+	return st
+}
+
+// end records the stage latency (exemplared with the trace ID when
+// sampled) and terminates the child span: StatusOK when err is nil,
+// status otherwise.
+func (st stageSpan) end(err error, status string) {
+	if !st.on {
+		return
+	}
+	st.h.ObserveExemplar(time.Since(st.start).Seconds(), st.tid)
+	st.span.EndErr(err, status)
 }
 
 // admitOnce runs phases 1-3 (with the bounded replanning retry loop)
 // for one spec and returns the admitted plan and its reservation. It is
-// the shared admission engine of Establish and the repair layer.
+// the shared admission engine of Establish and the repair layer. The
+// context carries the admission's root span (when tracing): each stage
+// hangs a child span under it, and the fabric calls of phases 1 and 3
+// parent under their stage's span in turn.
 func (rt *Runtime) admitOnce(ctx context.Context, mainHost topo.HostID, spec SessionSpec) (*core.Plan, reservation, error) {
 	resources, err := sessionResourceSet(spec)
 	if err != nil {
@@ -249,10 +314,13 @@ func (rt *Runtime) admitOnce(ctx context.Context, mainHost topo.HostID, spec Ses
 	stages := rt.planStages()
 	policy, admit, jitter := rt.admitState()
 	tpl := rt.templateFor(spec)
+	root := obs.SpanFromContext(ctx)
+	host := string(mainHost)
 
 	var lastErr error
 	for attempt := 0; ; attempt++ {
 		if err := ctx.Err(); err != nil {
+			root.Event(obs.EventDeadlineExceeded, "admission")
 			if lastErr != nil {
 				return nil, nil, fmt.Errorf("proxy: admission abandoned at deadline after %d attempt(s): %w", attempt, lastErr)
 			}
@@ -261,9 +329,9 @@ func (rt *Runtime) admitOnce(ctx context.Context, mainHost topo.HostID, spec Ses
 		// Phase 1: collect availability from the owning proxies, in
 		// parallel. Each attempt takes a fresh snapshot: retrying against
 		// the stale one would just recompute the refused plan.
-		sp := obs.StartSpan(stages.Snapshot)
-		snap, err := rt.collectAvailability(ctx, mainHost, resources)
-		sp.End()
+		st := startStageSpan(stages.Snapshot, root, obs.StageSnapshot, host)
+		snap, err := rt.collectAvailability(obs.ContextWithSpan(ctx, st.span), mainHost, resources)
+		st.end(err, "error")
 		if err != nil {
 			return nil, nil, err
 		}
@@ -271,20 +339,20 @@ func (rt *Runtime) admitOnce(ctx context.Context, mainHost topo.HostID, spec Ses
 		// Phase 2: local computation at the main proxy. The compiled
 		// template (shared by every attempt and every session of this
 		// (service, binding) pair) yields the same graph as qrg.Build.
-		sp = obs.StartSpan(stages.Build)
+		st = startStageSpan(stages.Build, root, obs.StageBuild, host)
 		var g *qrg.Graph
 		if tpl != nil {
 			g, err = tpl.Instantiate(snap)
 		} else {
 			g, err = qrg.Build(spec.Service, spec.Binding, snap)
 		}
-		sp.End()
+		st.end(err, "error")
 		if err != nil {
 			return nil, nil, err
 		}
-		sp = obs.StartSpan(stages.Plan)
+		st = startStageSpan(stages.Plan, root, obs.StagePlan, host)
 		plan, err := spec.Planner.Plan(g)
-		sp.End()
+		st.end(err, "infeasible")
 		if tpl != nil {
 			// Plans own their data; recycle the graph buffers for the
 			// next instantiation.
@@ -298,9 +366,13 @@ func (rt *Runtime) admitOnce(ctx context.Context, mainHost topo.HostID, spec Ses
 
 		// Phase 3: two-phase validate-at-commit across the plan's owning
 		// proxies.
-		sp = obs.StartSpan(stages.Reserve)
-		res, err := rt.commitPlan(ctx, mainHost, plan.Requirement())
-		sp.End()
+		st = startStageSpan(stages.Reserve, root, obs.StageReserve, host)
+		res, err := rt.commitPlan(obs.ContextWithSpan(ctx, st.span), mainHost, plan.Requirement())
+		if err != nil && errors.Is(err, broker.ErrInsufficient) {
+			st.end(err, "refused")
+		} else {
+			st.end(err, "error")
+		}
 		if err == nil {
 			return plan, res, nil
 		}
@@ -318,6 +390,10 @@ func (rt *Runtime) admitOnce(ctx context.Context, mainHost topo.HostID, spec Ses
 			return nil, nil, fmt.Errorf("proxy: admission refused after %d attempt(s): %w", attempt+1, lastErr)
 		}
 		admit.Retries.Inc()
+		root.Event(obs.EventRetry, fmt.Sprintf("attempt %d", attempt+2))
+		if policy.Backoff > 0 {
+			root.Event(obs.EventBackoff, "")
+		}
 		policy.wait(ctx, attempt+1, jitter)
 	}
 }
@@ -397,10 +473,12 @@ func (rt *Runtime) collectAvailability(ctx context.Context, mainHost topo.HostID
 		Avail: make(qos.ResourceVector, len(resources)),
 		Alpha: make(map[string]float64, len(resources)),
 	}
+	span := obs.SpanFromContext(ctx)
 	var firstErr error
 	for range groups {
 		res := <-results
 		if res.degrade {
+			span.Event(obs.EventDegradedToCached, string(res.host))
 			for _, r := range res.rs {
 				if cached, ok := rt.cachedReport(r); ok {
 					age := cached.Alpha

@@ -45,6 +45,7 @@ import (
 	"time"
 
 	"qosres/internal/broker"
+	"qosres/internal/obs"
 	"qosres/internal/qos"
 	"qosres/internal/topo"
 	"qosres/internal/transport"
@@ -326,9 +327,11 @@ func (rt *Runtime) commitPlan(ctx context.Context, mainHost topo.HostID, req qos
 	}
 	abortAll := func() {
 		// Detached context: cleanup must proceed even when the caller's
-		// deadline already expired, but stay bounded.
+		// deadline already expired, but stay bounded. The caller's trace
+		// span carries over so abort calls stay inside the trace tree.
 		actx, cancel := context.WithTimeout(context.Background(), abortTimeout)
 		defer cancel()
+		actx = obs.ContextWithSpan(actx, obs.SpanFromContext(ctx))
 		var wg sync.WaitGroup
 		for host := range shares {
 			wg.Add(1)

@@ -11,8 +11,11 @@ import (
 	"qosres/internal/broker"
 	"qosres/internal/core"
 	"qosres/internal/fault"
+	"qosres/internal/obs"
 	"qosres/internal/proxy"
 	"qosres/internal/topo"
+	"qosres/internal/trace"
+	"qosres/internal/tracetree"
 	"qosres/internal/transport"
 )
 
@@ -248,6 +251,22 @@ func RunChaos(sc StressConfig) (*ChaosResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Chaos always traces at sample 1.0: the trace-completeness invariant
+	// below needs every admission's and every repair sweep's span tree.
+	// The collector feeds the invariant; when the run also writes a JSONL
+	// trace (cfg.Tracer), the same spans tee into it for offline
+	// critical-path analysis (cmd/qostrace).
+	collector := &tracetree.Collector{}
+	var spanOut trace.Tracer = collector
+	if cfg.Tracer != nil {
+		spanOut = trace.Tee(collector, cfg.Tracer)
+	}
+	env.tracerec = obs.NewTraceRecorder(cfg.Obs, obs.TraceOptions{
+		Sample:       1,
+		RescueErrors: true,
+		Seed:         sc.Seed + 6700417,
+		Sink:         tracetree.NewSink(spanOut),
+	})
 	clock := &proxy.ManualClock{}
 	rt, err := env.buildRuntime(cfg, clock)
 	if err != nil {
@@ -556,6 +575,35 @@ func RunChaos(sc StressConfig) (*ChaosResult, error) {
 	if result.Repaired+result.Degraded+result.RepairFailed != result.Affected {
 		failures = append(failures, fmt.Sprintf("repair tally %d+%d+%d != %d affected",
 			result.Repaired, result.Degraded, result.RepairFailed, result.Affected))
+	}
+	// Invariant 4 (trace completeness): every admission attempt and every
+	// repair sweep flushed a complete span tree — no orphan spans, no
+	// unterminated roots, no multi-root traces — even under loss,
+	// duplication, and partitions, and every established session shows up
+	// as an ok establish root. Participant spans opened by deliveries
+	// that Settle just drained end inside the proxies' serve loops; give
+	// those stragglers a bounded moment before judging.
+	for waited := 0; env.tracerec.OpenTraces() > 0 && waited < 2000; waited++ {
+		time.Sleep(time.Millisecond)
+	}
+	if open := env.tracerec.OpenTraces(); open > 0 {
+		failures = append(failures, fmt.Sprintf("%d trace(s) still open after drain", open))
+	}
+	forest := tracetree.FromEvents(collector.Events())
+	if !forest.Complete() {
+		failures = append(failures, fmt.Sprintf(
+			"incomplete trace forest: %d orphan spans, %d rootless, %d multi-root trace(s)",
+			forest.OrphanSpans, forest.Rootless, forest.MultiRoot))
+	}
+	okEstablish := 0
+	for _, t := range forest.Trees {
+		if t.Root != nil && t.Root.Name == obs.StageEstablish && t.Root.Status == obs.StatusOK {
+			okEstablish++
+		}
+	}
+	if okEstablish != result.Established {
+		failures = append(failures, fmt.Sprintf("%d ok establish trace(s) != %d established sessions",
+			okEstablish, result.Established))
 	}
 	if len(failures) > 0 {
 		return nil, fmt.Errorf("sim: chaos invariants violated: %v", failures)

@@ -86,6 +86,13 @@ type Config struct {
 	// trace.Span events to the Tracer (wall-clock durations). Useful
 	// only with a non-nil Tracer.
 	TraceSpans bool
+	// TraceSample enables causal distributed tracing of session
+	// admissions: each arrival's establishment rolls head sampling with
+	// this probability (errored admissions are always tail-rescued), and
+	// retained span trees are exported to the Tracer as span_end /
+	// span_event lines. 0 disables tracing entirely — the admission hot
+	// path then never locks, reads the clock, or allocates for tracing.
+	TraceSample float64
 	// NoTieBreak disables the basic algorithm's section 4.1.2
 	// predecessor tie-break rule (ablation).
 	NoTieBreak bool
@@ -204,6 +211,9 @@ func (c Config) Validate() error {
 	}
 	if c.MaxAdmitRetries < 0 {
 		return fmt.Errorf("sim: negative admission retry bound %d", c.MaxAdmitRetries)
+	}
+	if c.TraceSample < 0 || c.TraceSample > 1 {
+		return fmt.Errorf("sim: trace sample %g out of [0,1]", c.TraceSample)
 	}
 	if c.Faults != nil {
 		if !c.UseRuntime {

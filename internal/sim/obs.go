@@ -125,14 +125,15 @@ func (env *environment) startStage() stageTimer {
 }
 
 // endStage records the elapsed wall-clock time into the stage histogram
-// and, when span tracing is on, emits a trace.Span event.
-func (env *environment) endStage(st stageTimer, h *obs.Histogram, stage string,
+// (exemplared with the distributed-trace ID when the arrival is
+// sampled) and, when span tracing is on, emits a trace.Span event.
+func (env *environment) endStage(st stageTimer, h *obs.Histogram, stage, tid string,
 	now broker.Time, sid uint64, service, class string) {
 	if !st.on {
 		return
 	}
 	d := time.Since(st.t0).Seconds()
-	h.Observe(d)
+	h.ObserveExemplar(d, tid)
 	if env.traceSpans {
 		env.tracer.Trace(trace.Event{
 			At: now, Kind: trace.Span, Session: sid,

@@ -5,6 +5,7 @@ import (
 
 	"qosres/internal/obs"
 	"qosres/internal/trace"
+	"qosres/internal/tracetree"
 )
 
 // TestRunRecordsMetrics checks that an instrumented run populates the
@@ -187,5 +188,67 @@ func TestTraceSpansEmitted(t *testing.T) {
 	}
 	if c.Count(trace.Span) != 0 {
 		t.Fatalf("span events emitted without TraceSpans: %d", c.Count(trace.Span))
+	}
+}
+
+// TestRuntimeSpanTreeParity extends trace parity to the distributed
+// span trees: a direct run and a UseRuntime run, both with full trace
+// sampling, must reconstruct complete forests whose admission roots
+// carry the same statuses over the same stage-child sequences. The
+// runtime's trees additionally contain fabric call spans and remote
+// participant spans nested under the stages — the comparison therefore
+// covers root status plus the ordered stage children, the shared
+// vocabulary of both execution modes.
+func TestRuntimeSpanTreeParity(t *testing.T) {
+	signatures := func(useRuntime bool) map[string]int {
+		t.Helper()
+		cfg := quickConfig(AlgBasic, 150)
+		cfg.Duration = 600
+		cfg.UseRuntime = useRuntime
+		cfg.TraceSample = 1
+		col := &tracetree.Collector{}
+		cfg.Tracer = col
+		if _, err := Run(cfg); err != nil {
+			t.Fatal(err)
+		}
+		forest := tracetree.FromEvents(col.Events())
+		if !forest.Complete() {
+			t.Fatalf("useRuntime=%v: incomplete forest: %d orphan spans, %d rootless, %d multi-root",
+				useRuntime, forest.OrphanSpans, forest.Rootless, forest.MultiRoot)
+		}
+		stageNames := map[string]bool{
+			obs.StageSnapshot: true, obs.StageBuild: true,
+			obs.StagePlan: true, obs.StageReserve: true,
+		}
+		sigs := map[string]int{}
+		for _, tree := range forest.Trees {
+			if tree.Root == nil || tree.Root.Name != obs.StageEstablish {
+				continue
+			}
+			sig := tree.Root.Status
+			for _, c := range tree.Root.Children {
+				if stageNames[c.Name] {
+					sig += "|" + c.Name
+				}
+			}
+			sigs[sig]++
+		}
+		return sigs
+	}
+
+	direct := signatures(false)
+	runtime := signatures(true)
+	if len(direct) == 0 {
+		t.Fatal("direct run produced no admission traces")
+	}
+	for sig, n := range direct {
+		if runtime[sig] != n {
+			t.Errorf("signature %q: direct %d trace(s), runtime %d", sig, n, runtime[sig])
+		}
+	}
+	for sig, n := range runtime {
+		if _, ok := direct[sig]; !ok {
+			t.Errorf("signature %q: runtime-only (%d trace(s))", sig, n)
+		}
 	}
 }

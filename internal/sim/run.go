@@ -14,6 +14,7 @@ import (
 	"qosres/internal/svc"
 	"qosres/internal/topo"
 	"qosres/internal/trace"
+	"qosres/internal/tracetree"
 	"qosres/internal/workload"
 )
 
@@ -155,6 +156,9 @@ type environment struct {
 	// timed is true when either metrics or span tracing needs stage
 	// wall-clock timings.
 	timed bool
+	// tracerec records causal distributed-trace span trees of session
+	// establishments; nil (TraceSample 0) costs the hot path nothing.
+	tracerec *obs.TraceRecorder
 	// templates serves compiled QRG templates when Config.TemplateCache
 	// is set; nil keeps the from-scratch reference path.
 	templates *qrg.TemplateCache
@@ -179,6 +183,21 @@ func buildEnvironment(cfg Config, rng *rand.Rand) (*environment, error) {
 	}
 	env.traceSpans = cfg.TraceSpans && cfg.Tracer != nil
 	env.timed = env.ins.enabled() || env.traceSpans
+	if cfg.TraceSample > 0 {
+		// Distributed tracing: head-sample admissions into span trees,
+		// rescue errored ones, and export retained trees to the Tracer
+		// (when set) as span_end/span_event lines for offline analysis.
+		var sink obs.TraceSink
+		if cfg.Tracer != nil {
+			sink = tracetree.NewSink(cfg.Tracer)
+		}
+		env.tracerec = obs.NewTraceRecorder(cfg.Obs, obs.TraceOptions{
+			Sample:       cfg.TraceSample,
+			RescueErrors: true,
+			Seed:         cfg.Seed + 2654435769,
+			Sink:         sink,
+		})
+	}
 	env.pool = broker.NewPoolWindow(env.topology, cfg.AlphaWindow)
 
 	capDraw := func() float64 {
@@ -347,7 +366,17 @@ func (env *environment) handleArrival(cfg Config, rng *rand.Rand, planner core.P
 		Service: service.Name, Class: class.String(),
 	})
 
+	// Distributed-trace root for this arrival's establishment. The stage
+	// children mirror the runtime path's span names so both execution
+	// modes produce comparable trees; every exit path below ends the
+	// root. All of it is inert (no lock, no clock, no allocation) when
+	// the arrival is not sampled.
+	host := string(topo.ServerHost(sh.service))
+	root := env.tracerec.Root(obs.StageEstablish, host)
+	tid := root.TraceID()
+
 	stSnap := env.startStage()
+	spSnap := root.Child(obs.StageSnapshot, host)
 	var snap *broker.Snapshot
 	var err error
 	if cfg.StaleE > 0 {
@@ -364,12 +393,16 @@ func (env *environment) handleArrival(cfg Config, rng *rand.Rand, planner core.P
 		snap, err = env.pool.Snapshot(now, resources)
 	}
 	if err != nil {
+		spSnap.EndStatus("error")
+		root.EndStatus("error")
 		return err
 	}
-	env.endStage(stSnap, env.ins.stages.Snapshot, obs.StageSnapshot, now, sid, service.Name, class.String())
+	spSnap.End()
+	env.endStage(stSnap, env.ins.stages.Snapshot, obs.StageSnapshot, tid, now, sid, service.Name, class.String())
 	env.ins.sampleAlpha(snap)
 
 	stBuild := env.startStage()
+	spBuild := root.Child(obs.StageBuild, host)
 	contention, _ := qrg.ContentionByName(cfg.Contention)
 	var g *qrg.Graph
 	var tpl *qrg.Template
@@ -378,21 +411,25 @@ func (env *environment) handleArrival(cfg Config, rng *rand.Rand, planner core.P
 		// template against this snapshot; plan-for-plan identical to
 		// the from-scratch build below.
 		tpl, err = env.templates.Get(service, binding)
-		if err != nil {
-			return err
+		if err == nil {
+			g, err = tpl.InstantiateWithOptions(snap, qrg.BuildOptions{Contention: contention})
 		}
-		g, err = tpl.InstantiateWithOptions(snap, qrg.BuildOptions{Contention: contention})
 	} else {
 		g, err = qrg.BuildWithOptions(service, binding, snap, qrg.BuildOptions{Contention: contention})
 	}
 	if err != nil {
+		spBuild.EndStatus("error")
+		root.EndStatus("error")
 		return err
 	}
-	env.endStage(stBuild, env.ins.stages.Build, obs.StageBuild, now, sid, service.Name, class.String())
+	spBuild.End()
+	env.endStage(stBuild, env.ins.stages.Build, obs.StageBuild, tid, now, sid, service.Name, class.String())
 
 	stPlan := env.startStage()
+	spPlan := root.Child(obs.StagePlan, host)
 	plan, err := planner.Plan(g)
-	env.endStage(stPlan, env.ins.stages.Plan, obs.StagePlan, now, sid, service.Name, class.String())
+	spPlan.EndErr(err, "infeasible")
+	env.endStage(stPlan, env.ins.stages.Plan, obs.StagePlan, tid, now, sid, service.Name, class.String())
 	if tpl != nil {
 		// The plan owns all its data; the graph's buffers can go back
 		// to the template pool for the next arrival.
@@ -407,9 +444,11 @@ func (env *environment) handleArrival(cfg Config, rng *rand.Rand, planner core.P
 			At: now, Kind: trace.PlanFailed, Session: sid,
 			Service: service.Name, Class: class.String(),
 		})
+		root.EndStatus("infeasible")
 		return nil
 	}
 	if err != nil {
+		root.EndStatus("error")
 		return err
 	}
 	env.ins.planned.Inc()
@@ -422,10 +461,17 @@ func (env *environment) handleArrival(cfg Config, rng *rand.Rand, planner core.P
 	})
 
 	stRes := env.startStage()
+	spRes := root.Child(obs.StageReserve, host)
 	res, err := env.pool.ReserveAll(now, plan.Requirement())
-	env.endStage(stRes, env.ins.stages.Reserve, obs.StageReserve, now, sid, service.Name, class.String())
+	if errors.Is(err, broker.ErrInsufficient) {
+		spRes.EndStatus("refused")
+	} else {
+		spRes.EndErr(err, "error")
+	}
+	env.endStage(stRes, env.ins.stages.Reserve, obs.StageReserve, tid, now, sid, service.Name, class.String())
 	if err != nil {
 		if !errors.Is(err, broker.ErrInsufficient) {
+			root.EndStatus("error")
 			return err
 		}
 		// Only possible under stale observations: the plan looked
@@ -441,8 +487,10 @@ func (env *environment) handleArrival(cfg Config, rng *rand.Rand, planner core.P
 			Level: plan.EndToEnd.Name, Rank: plan.Rank,
 			Psi: plan.Psi, Bottleneck: plan.Bottleneck, Path: plan.PathLevels,
 		})
+		root.EndStatus("refused")
 		return nil
 	}
+	root.End()
 	env.ins.reserved.Inc()
 	env.ins.observeAcceptedPlan(plan)
 	env.ins.sampleUtilization(env.pool, resources)

@@ -89,6 +89,13 @@ func (env *environment) buildRuntime(cfg Config, clock proxy.Clock) (*proxy.Runt
 		rt.Instrument(env.ins.stages)
 		rt.InstrumentAdmission(env.ins.admit)
 	}
+	if env.tracerec != nil {
+		// Distributed tracing gates itself on TraceSample, not on the
+		// metrics registry: the runtime roots one trace per Establish,
+		// stage spans and fabric-call spans nest under it, and remote
+		// participants parent their spans via the propagated context.
+		rt.InstrumentTracing(env.tracerec)
+	}
 	for _, h := range env.topology.Hosts() {
 		if _, err := rt.AddHost(h); err != nil {
 			return nil, err
@@ -160,7 +167,7 @@ func (env *environment) handleArrivalRuntime(cfg Config, rt *proxy.Runtime,
 	session, err := rt.Establish(topo.ServerHost(sh.service), proxy.SessionSpec{
 		Service: service, Binding: binding, Planner: planner,
 	})
-	env.endStage(stEst, env.ins.stages.Establish, obs.StageEstablish, now, sid, service.Name, class.String())
+	env.endStage(stEst, env.ins.stages.Establish, obs.StageEstablish, "", now, sid, service.Name, class.String())
 	if errors.Is(err, core.ErrInfeasible) {
 		env.ins.planFailed.Inc()
 		metrics.PlanFailures++

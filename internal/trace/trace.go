@@ -36,6 +36,14 @@ const (
 	// Span is a planning-stage timing observation (see the Stage and
 	// Duration event fields); emitted only when span tracing is enabled.
 	Span
+	// SpanEnd is one completed span of a distributed trace tree (see
+	// the Trace/Span/Parent/Scope/Status fields); emitted at trace
+	// completion when distributed tracing is enabled.
+	SpanEnd
+	// SpanEvent is one typed adversity event (retry, backoff, shed,
+	// partition drop, duplicate suppressed, ...) annotated on a span of
+	// a distributed trace tree.
+	SpanEvent
 )
 
 // String names the kind.
@@ -55,13 +63,18 @@ func (k Kind) String() string {
 		return "released"
 	case Span:
 		return "span"
+	case SpanEnd:
+		return "span_end"
+	case SpanEvent:
+		return "span_event"
 	}
 	return fmt.Sprintf("Kind(%d)", int(k))
 }
 
 // Kinds lists every event kind in lifecycle order.
 func Kinds() []Kind {
-	return []Kind{Arrival, Planned, PlanFailed, Reserved, ReserveFailed, Released, Span}
+	return []Kind{Arrival, Planned, PlanFailed, Reserved, ReserveFailed, Released,
+		Span, SpanEnd, SpanEvent}
 }
 
 // KindFromString parses a Kind's String rendering.
@@ -114,10 +127,27 @@ type Event struct {
 	// Path is the dash-joined selected path (chain services).
 	Path string `json:"path,omitempty"`
 	// Stage names the planning stage of a Span event (see package obs
-	// for the stage vocabulary).
+	// for the stage vocabulary); for SpanEnd/SpanEvent events it names
+	// the span (establish, snapshot, prepare, ...) or the event type.
 	Stage string `json:"stage,omitempty"`
-	// Duration is the wall-clock seconds a Span event's stage took.
+	// Duration is the wall-clock seconds a Span event's stage took; for
+	// SpanEnd events, the span's duration; for SpanEvent events, the
+	// event's offset from its span's start.
 	Duration float64 `json:"duration,omitempty"`
+	// TraceID is the distributed trace identifier (fixed-width hex) of
+	// SpanEnd/SpanEvent events.
+	TraceID string `json:"trace,omitempty"`
+	// SpanID is the span identifier (hex) of SpanEnd/SpanEvent events.
+	SpanID string `json:"span,omitempty"`
+	// ParentID is the parent span identifier (hex); empty for roots.
+	ParentID string `json:"parent,omitempty"`
+	// Scope locates where the span ran (a host, or a route "from->to").
+	Scope string `json:"scope,omitempty"`
+	// Status is the span's terminal status ("ok", "timeout",
+	// "partition", "circuit_open", ...).
+	Status string `json:"status,omitempty"`
+	// Detail carries free-form SpanEvent context (e.g. attempt number).
+	Detail string `json:"detail,omitempty"`
 }
 
 // Tracer consumes events. Implementations must be safe for use from a
@@ -132,6 +162,28 @@ type Nop struct{}
 
 // Trace implements Tracer.
 func (Nop) Trace(Event) {}
+
+// Tee fans every event out to each of the given tracers in order (nil
+// entries are skipped). Concurrency-safety is whatever the slowest
+// member provides.
+func Tee(ts ...Tracer) Tracer {
+	live := make(tee, 0, len(ts))
+	for _, t := range ts {
+		if t != nil {
+			live = append(live, t)
+		}
+	}
+	return live
+}
+
+type tee []Tracer
+
+// Trace implements Tracer.
+func (t tee) Trace(ev Event) {
+	for _, x := range t {
+		x.Trace(ev)
+	}
+}
 
 // Ring keeps the last N events in memory.
 type Ring struct {
@@ -198,6 +250,7 @@ type CSV struct {
 var csvHeader = []string{
 	"time", "kind", "session", "service", "class",
 	"level", "rank", "psi", "bottleneck", "path", "stage", "duration",
+	"trace", "span", "parent", "scope", "status", "detail",
 }
 
 // NewCSV creates a CSV tracer and writes the header row.
@@ -230,6 +283,12 @@ func (c *CSV) Trace(ev Event) {
 		ev.Path,
 		ev.Stage,
 		strconv.FormatFloat(ev.Duration, 'g', -1, 64),
+		ev.TraceID,
+		ev.SpanID,
+		ev.ParentID,
+		ev.Scope,
+		ev.Status,
+		ev.Detail,
 	})
 }
 

@@ -102,6 +102,17 @@ func norm(a, b Addr) pair {
 type Delivery struct {
 	// From is the sender's address.
 	From Addr
+	// Kind is the message family the caller passed to Call.
+	Kind string
+	// Span is the caller's span context, carried inside the message so
+	// the receiver can causally parent its own spans under the caller's
+	// even across loss and duplication. Zero when the caller's trace is
+	// not being recorded.
+	Span obs.SpanContext
+	// Dup marks the second copy of a duplicated delivery: receivers
+	// should suppress it for tracing purposes (annotate a
+	// duplicate-suppressed event instead of opening a second span).
+	Dup bool
 	// Payload is the message body.
 	Payload interface{}
 	reply   func(interface{})
@@ -368,29 +379,53 @@ func (f *Fabric) Call(ctx context.Context, from, to Addr, kind string, payload i
 	}
 	f.metrics.Sent(kind)
 
+	// Per-call tracing and latency: both are inert (no clock read, no
+	// route-string allocation) unless the caller's trace is recorded or
+	// call-latency metrics are on.
+	caller := obs.SpanFromContext(ctx)
+	timed := caller.Recording() || f.metrics.Enabled()
+	var route string
+	var start time.Time
+	if timed {
+		route = string(from) + "->" + string(to)
+		start = time.Now()
+	}
+	cs := caller.Child(kind, route)
+	finish := func(status string) {
+		if timed {
+			f.metrics.Call(route, kind, time.Since(start).Seconds())
+		}
+		cs.EndStatus(status)
+	}
+
 	if from == to {
 		// Loopback: the proxy talking to itself never crosses the
 		// network. Reliable, instant, breaker-free.
 		replyCh := make(chan interface{}, 1)
-		d := Delivery{From: from, Payload: payload, reply: func(resp interface{}) {
-			select {
-			case replyCh <- resp:
-			default:
-			}
-		}}
+		d := Delivery{From: from, Kind: kind, Span: cs.Context(), Payload: payload,
+			reply: func(resp interface{}) {
+				select {
+				case replyCh <- resp:
+				default:
+				}
+			}}
 		select {
 		case ep.inbox <- d:
 		case <-ep.done:
+			finish("closed")
 			return nil, fmt.Errorf("transport: %s: %w", to, ErrClosed)
 		case <-ctx.Done():
 			f.metrics.Timeout()
+			finish("timeout")
 			return nil, fmt.Errorf("transport: call %s->%s (%s): %w", from, to, kind, ctx.Err())
 		}
 		select {
 		case resp := <-replyCh:
+			finish(obs.StatusOK)
 			return resp, nil
 		case <-ctx.Done():
 			f.metrics.Timeout()
+			finish("timeout")
 			return nil, fmt.Errorf("transport: call %s->%s (%s): %w", from, to, kind, ctx.Err())
 		}
 	}
@@ -398,57 +433,92 @@ func (f *Fabric) Call(ctx context.Context, from, to Addr, kind string, payload i
 	br := f.breaker(from, to)
 	if br != nil && !br.Allow() {
 		f.metrics.FastFail()
+		// The refused call still records a terminated child span so the
+		// trace tree stays complete (no orphan roots on shed sessions).
+		cs.Event(obs.EventBreakerFastFail, route)
+		finish("circuit_open")
 		return nil, fmt.Errorf("transport: %s->%s: %w", from, to, ErrCircuitOpen)
 	}
 
 	// The reply channel holds two slots so a duplicated reply never
 	// blocks the replier; Call consumes the first copy.
 	replyCh := make(chan interface{}, 2)
-	d := Delivery{From: from, Payload: payload, reply: func(resp interface{}) {
-		f.send(to, from, func() bool {
-			select {
-			case replyCh <- resp:
-			default:
+	d := Delivery{From: from, Kind: kind, Span: cs.Context(), Payload: payload,
+		reply: func(resp interface{}) {
+			if reason := f.send(to, from, func(bool) bool {
+				select {
+				case replyCh <- resp:
+				default:
+				}
+				return true
+			}); reason != "" {
+				cs.Event(dropEvent(reason), "reply")
 			}
-			return true
-		})
-	}}
-	f.send(from, to, func() bool {
+		}}
+	reqDrop := f.send(from, to, func(dup bool) bool {
+		dd := d
+		dd.Dup = dup
 		select {
-		case ep.inbox <- d:
+		case ep.inbox <- dd:
 			return true
 		case <-ep.done:
 			return false
 		}
 	})
+	if reqDrop != "" {
+		cs.Event(dropEvent(reqDrop), "request")
+	}
 
 	select {
 	case resp := <-replyCh:
 		if br != nil {
 			br.Success()
 		}
+		finish(obs.StatusOK)
 		return resp, nil
 	case <-ctx.Done():
 		if br != nil {
 			br.Failure()
 		}
 		f.metrics.Timeout()
+		// Terminate the span with the most specific known cause: a
+		// request leg dropped by a partition or the loss knob explains
+		// the missing reply better than a bare timeout.
+		switch reqDrop {
+		case "partition", "loss":
+			finish(reqDrop)
+		default:
+			finish("timeout")
+		}
 		return nil, fmt.Errorf("transport: call %s->%s (%s): %w", from, to, kind, ctx.Err())
 	}
 }
 
+// dropEvent maps a send drop reason to its span event type.
+func dropEvent(reason string) string {
+	switch reason {
+	case "partition":
+		return obs.EventPartitionDrop
+	case "loss":
+		return obs.EventLossDrop
+	}
+	return "drop_" + reason
+}
+
 // send applies the route's chaos to one delivery attempt and hands every
-// surviving copy to enq. enq reports whether the destination accepted
-// the copy (false = endpoint closed). Zero-latency single copies are
-// enqueued inline (the common perfect-fabric path costs no goroutine);
-// delayed and duplicated copies are delivered asynchronously and tracked
-// for Settle.
-func (f *Fabric) send(from, to Addr, enq func() bool) {
+// surviving copy to enq. enq receives whether the copy is the duplicate
+// (second) copy and reports whether the destination accepted it (false =
+// endpoint closed). Zero-latency single copies are enqueued inline (the
+// common perfect-fabric path costs no goroutine); delayed and duplicated
+// copies are delivered asynchronously and tracked for Settle. The
+// returned reason is non-empty ("partition", "loss") when the delivery
+// was dropped synchronously before any copy could depart.
+func (f *Fabric) send(from, to Addr, enq func(dup bool) bool) string {
 	f.mu.Lock()
 	if f.partitioned[norm(from, to)] {
 		f.mu.Unlock()
 		f.metrics.Dropped("partition")
-		return
+		return "partition"
 	}
 	cfg := f.routeLocked(from, to)
 	lost := cfg.Loss > 0 && f.rng.Float64() < cfg.Loss
@@ -456,30 +526,32 @@ func (f *Fabric) send(from, to Addr, enq func() bool) {
 	f.mu.Unlock()
 	if lost {
 		f.metrics.Dropped("loss")
-		return
+		return "loss"
 	}
 	copies := 1
 	if duplicated {
 		copies = 2
 		f.metrics.Duplicate()
 	}
-	deliver := func() {
+	deliver := func(dup bool) {
 		if cfg.Latency > 0 {
 			time.Sleep(cfg.Latency)
 		}
-		if !enq() {
+		if !enq(dup) {
 			f.metrics.Dropped("closed")
 		}
 	}
 	if copies == 1 && cfg.Latency == 0 {
-		deliver()
-		return
+		deliver(false)
+		return ""
 	}
 	for i := 0; i < copies; i++ {
 		f.track()
+		dup := i > 0
 		go func() {
 			defer f.untrack()
-			deliver()
+			deliver(dup)
 		}()
 	}
+	return ""
 }
