@@ -22,13 +22,14 @@ import (
 
 func main() {
 	var (
-		run      = flag.String("run", "all", "comma-separated experiments: fig11, table1, table2, table3, table4, fig12, fig13, quality, planbench (planbench is opt-in, not part of all)")
+		run      = flag.String("run", "all", "comma-separated experiments: fig11, table1, table2, table3, table4, fig12, fig13, quality, planbench, admitbench (planbench and admitbench are opt-in, not part of all)")
 		seed     = flag.Int64("seed", 1, "base random seed")
 		duration = flag.Float64("duration", 10800, "simulated time units per run")
 		scale    = flag.Float64("scale", 0, "workload base scale override (0 = calibrated default)")
 		plot     = flag.Bool("plot", false, "also render figures as ASCII charts")
 		csvDir   = flag.String("csv", "", "also write each experiment's data as CSV files into this directory")
 		benchOut = flag.String("benchjson", "", "with -run planbench, also write the comparison to this JSON file (e.g. BENCH_plan.json)")
+		admitOut = flag.String("admitjson", "", "with -run admitbench, also write the sweep to this JSON file (e.g. BENCH_admit.json)")
 	)
 	flag.Parse()
 
@@ -164,6 +165,22 @@ func main() {
 				fail(err)
 			}
 			fmt.Printf("wrote %s\n", *benchOut)
+		}
+		fmt.Println()
+	}
+	// Also opt-in: the admission-throughput sweep (group-commit batching
+	// vs serialized 2PC) behind the BENCH_admit.json artifact.
+	if want["admitbench"] {
+		res, err := experiments.AdmitBench(*seed)
+		if err != nil {
+			fail(err)
+		}
+		experiments.PrintAdmitBench(os.Stdout, res)
+		if *admitOut != "" {
+			if err := experiments.WriteAdmitBenchJSON(*admitOut, res); err != nil {
+				fail(err)
+			}
+			fmt.Printf("wrote %s\n", *admitOut)
 		}
 		fmt.Println()
 	}

@@ -2,7 +2,6 @@ package broker
 
 import (
 	"fmt"
-	"sort"
 
 	"qosres/internal/qos"
 )
@@ -19,13 +18,14 @@ import (
 // every broker of the plan, or two sessions can interleave their partial
 // reservations and refuse each other even though either would fit alone.
 //
-// ReserveAtomic provides that commit: it resolves every requirement to
+// ReserveAtomic provides that commit as the one-member special case of
+// the group-commit round in batch.go: the requirement is resolved to
 // its underlying Local brokers (end-to-end Network resources expand to
-// their route links), locks all of them in ascending resource-ID order
-// (the package-wide multi-lock order, making the commit deadlock-free),
-// validates each broker's aggregate demand against its availability, and
-// only then creates every hold. A refusal therefore leaves no residue at
-// all, and a success can never over-commit any broker.
+// their route links), their distinct lock stripes are acquired in the
+// package-wide acquisition-rank order, every broker's aggregate demand
+// is validated against its current book, and only then is every hold
+// created. A refusal therefore leaves no residue at all, and a success
+// can never over-commit any broker.
 
 // atomicPart is one requirement entry of an atomic reservation plan.
 type atomicPart struct {
@@ -34,29 +34,28 @@ type atomicPart struct {
 	amount float64
 }
 
-// ReserveAtomic reserves every (resource, amount) pair of req
-// all-or-nothing against the brokers returned by resolve: either every
-// hold (including every per-link hold of network resources) is created,
-// or none is and the bottleneck's ErrInsufficient is returned. Unlike
-// sequential reserve-then-rollback, validation happens before any state
-// changes, so concurrent callers never observe — or fail because of —
-// partial reservations, and no broker can ever exceed its capacity.
-//
-// Deadlock freedom: this is the only code path in the package that holds
-// more than one Local mutex at a time, and it always acquires them in
-// ascending resource-ID order.
-func ReserveAtomic(now Time, resolve func(string) (Broker, bool), req qos.ResourceVector) (*MultiReservation, error) {
-	var parts []atomicPart
+// resolvedPlan is one requirement vector resolved to its underlying
+// Local brokers, ready to validate and commit under stripe locks.
+type resolvedPlan struct {
+	parts []atomicPart
 	// demand aggregates the total amount required from each underlying
 	// Local broker; the same link can back several network resources of
 	// one plan (shared route segments) and must satisfy their sum.
-	demand := make(map[*Local]float64)
-	var locals []*Local
+	demand map[*Local]float64
+	// locals are the distinct brokers of demand, in first-seen order.
+	locals []*Local
+}
+
+// resolvePlan expands a requirement vector to the Local brokers backing
+// it. No locks are taken.
+func resolvePlan(resolve func(string) (Broker, bool), req qos.ResourceVector) (resolvedPlan, error) {
+	var rp resolvedPlan
+	rp.demand = make(map[*Local]float64)
 	need := func(l *Local, amount float64) {
-		if _, seen := demand[l]; !seen {
-			locals = append(locals, l)
+		if _, seen := rp.demand[l]; !seen {
+			rp.locals = append(rp.locals, l)
 		}
-		demand[l] += amount
+		rp.demand[l] += amount
 	}
 	for _, r := range req.Names() {
 		amount := req[r]
@@ -64,52 +63,53 @@ func ReserveAtomic(now Time, resolve func(string) (Broker, bool), req qos.Resour
 			continue
 		}
 		if amount < 0 {
-			return nil, fmt.Errorf("broker: resource %s: negative reservation %g", r, amount)
+			return resolvedPlan{}, fmt.Errorf("broker: resource %s: negative reservation %g", r, amount)
 		}
 		b, ok := resolve(r)
 		if !ok {
-			return nil, fmt.Errorf("broker: reserve of unknown resource %s", r)
+			return resolvedPlan{}, fmt.Errorf("broker: reserve of unknown resource %s", r)
 		}
 		switch t := b.(type) {
 		case *Local:
 			need(t, amount)
-			parts = append(parts, atomicPart{local: t, amount: amount})
+			rp.parts = append(rp.parts, atomicPart{local: t, amount: amount})
 		case *Network:
 			for _, l := range t.links {
 				need(l, amount)
 			}
-			parts = append(parts, atomicPart{net: t, amount: amount})
+			rp.parts = append(rp.parts, atomicPart{net: t, amount: amount})
 		default:
-			return nil, fmt.Errorf("broker: resource %s: %T does not support atomic reservation", r, b)
+			return resolvedPlan{}, fmt.Errorf("broker: resource %s: %T does not support atomic reservation", r, b)
 		}
 	}
+	return rp, nil
+}
 
-	sort.Slice(locals, func(i, j int) bool { return locals[i].resource < locals[j].resource })
-	for _, l := range locals {
-		l.mu.Lock()
-	}
-	unlock := func() {
-		for i := len(locals) - 1; i >= 0; i-- {
-			locals[i].mu.Unlock()
-		}
-	}
-
-	// Validate every broker before committing to any: the whole plan is
-	// admitted against current availability, or refused without residue.
-	// availLocked folds in the failure state, so a plan touching a down
+// shortfallLocked validates the plan's aggregate demand against every
+// broker's current book and returns the first bottleneck, or nil when
+// the whole plan fits. extra carries demand already granted to earlier
+// members of the same group-commit round (nil outside a batch).
+// Callers must hold the stripe locks of every broker in the plan.
+func (rp resolvedPlan) shortfallLocked(extra map[*Local]float64) error {
+	// fitsLocked folds in the failure state, so a plan touching a down
 	// resource (or one whose capacity collapsed below its holds) is
 	// refused here like any other shortfall.
-	for _, l := range locals {
-		if avail := l.availLocked(); demand[l] > avail+availEpsilon {
-			unlock()
-			return nil, fmt.Errorf("broker: resource %s: need %g, have %g: %w",
-				l.resource, demand[l], avail, ErrInsufficient)
+	for _, l := range rp.locals {
+		need := rp.demand[l] + extra[l]
+		if !l.fitsLocked(need) {
+			return fmt.Errorf("broker: resource %s: need %g, have %g: %w",
+				l.resource, rp.demand[l], l.availLocked()-extra[l], ErrInsufficient)
 		}
 	}
+	return nil
+}
 
-	// Commit: every hold is now guaranteed to fit.
+// commitLocked creates every hold of a validated plan. Callers must
+// hold the stripe locks of every broker in the plan and have validated
+// the plan with shortfallLocked.
+func (rp resolvedPlan) commitLocked(now Time) *MultiReservation {
 	m := &MultiReservation{}
-	for _, p := range parts {
+	for _, p := range rp.parts {
 		if p.local != nil {
 			m.parts = append(m.parts, multiPart{broker: p.local, id: p.local.reserveLocked(now, p.amount)})
 			continue
@@ -120,8 +120,28 @@ func ReserveAtomic(now Time, resolve func(string) (Broker, bool), req qos.Resour
 		}
 		m.parts = append(m.parts, multiPart{broker: p.net, id: p.net.adopt(held)})
 	}
-	unlock()
-	return m, nil
+	return m
+}
+
+// ReserveAtomic reserves every (resource, amount) pair of req
+// all-or-nothing against the brokers returned by resolve: either every
+// hold (including every per-link hold of network resources) is created,
+// or none is and the bottleneck's ErrInsufficient is returned. Unlike
+// sequential reserve-then-rollback, validation happens before any state
+// changes, so concurrent callers never observe — or fail because of —
+// partial reservations, and no broker can ever exceed its capacity.
+//
+// Deadlock freedom: the commit paths (this function, ReserveBatch, and
+// Network.availAll) are the only code in the package that holds more
+// than one stripe lock at a time, and all acquire distinct stripes in
+// ascending acquisition-rank order — a total order even across pools
+// and for brokers sharing a resource ID (see stripe.go).
+func ReserveAtomic(now Time, resolve func(string) (Broker, bool), req qos.ResourceVector) (*MultiReservation, error) {
+	res, errs, _ := ReserveBatch(now, resolve, []qos.ResourceVector{req})
+	if errs[0] != nil {
+		return nil, errs[0]
+	}
+	return res[0], nil
 }
 
 // ReserveAllAtomic is ReserveAll with commit-time validation: the whole

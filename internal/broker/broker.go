@@ -26,7 +26,6 @@ import (
 	"errors"
 	"fmt"
 	"sort"
-	"sync"
 )
 
 // Time is simulation time in the paper's abstract Time Units (TUs).
@@ -46,12 +45,16 @@ var ErrUnknownReservation = errors.New("broker: unknown reservation")
 // Report is what a broker tells a querying QoSProxy: the current
 // availability and the availability change index α of equation (5).
 // α >= 1 means the availability trend is "up" or "unchanged"; α < 1 means
-// the trend is "down".
+// the trend is "down". Epoch stamps the observation with the broker's
+// book epoch (see stripe.go) so consumers can tell whether the book
+// moved between two reports; for network brokers it is the sum of the
+// route links' epochs.
 type Report struct {
 	Resource string
 	Avail    float64
 	Alpha    float64
 	At       Time
+	Epoch    uint64
 }
 
 // Broker is the interface of a Resource Broker (basic operations listed
@@ -105,18 +108,27 @@ type reportSample struct {
 }
 
 // Local is a Resource Broker for a single local resource or network link.
-// It is safe for concurrent use.
+// It is safe for concurrent use. Its book lives on a lock stripe
+// (possibly shared with other brokers of its pool — see stripe.go);
+// every field below the stripe pointer is guarded by the stripe mutex.
 type Local struct {
 	resource    string
 	capacity    float64
 	alphaWindow Time
+	// seq is the broker's registration index: the deterministic
+	// tie-break for orderings when two distinct brokers share a
+	// resource ID. Immutable after construction.
+	seq uint64
 
-	mu        sync.Mutex
+	stripe    *stripe
 	reserved  float64
 	holds     map[ReservationID]hold
 	nextID    ReservationID
 	changeLog []availSample
 	reports   []reportSample
+	// epoch counts this broker's availability-affecting mutations; the
+	// stripe keeps its own aggregate counter.
+	epoch uint64
 	// failed marks the resource as down (a fault-injected or observed
 	// outage): availability reports zero and new reservations are
 	// refused, while the book of existing holds is preserved so the
@@ -131,7 +143,14 @@ func NewLocal(resource string, capacity float64) (*Local, error) {
 }
 
 // NewLocalWindow creates a broker with an explicit α averaging window.
+// The broker gets a private lock stripe; pool-registered brokers share
+// the pool's StripeSet instead (see newLocalOn).
 func NewLocalWindow(resource string, capacity float64, window Time) (*Local, error) {
+	return newLocalOn(newStripe(), resource, capacity, window)
+}
+
+// newLocalOn creates a broker whose book lives on the given stripe.
+func newLocalOn(s *stripe, resource string, capacity float64, window Time) (*Local, error) {
 	if resource == "" {
 		return nil, fmt.Errorf("broker: empty resource name")
 	}
@@ -145,6 +164,8 @@ func NewLocalWindow(resource string, capacity float64, window Time) (*Local, err
 		resource:    resource,
 		capacity:    capacity,
 		alphaWindow: window,
+		seq:         localSeq.Add(1),
+		stripe:      s,
 		holds:       make(map[ReservationID]hold),
 		changeLog:   []availSample{{at: 0, avail: capacity}},
 	}, nil
@@ -157,8 +178,8 @@ func (b *Local) Resource() string { return b.resource }
 // shrink and recover over time (see SetCapacity); Capacity reports the
 // amount currently in force.
 func (b *Local) Capacity() float64 {
-	b.mu.Lock()
-	defer b.mu.Unlock()
+	b.stripe.Lock()
+	defer b.stripe.Unlock()
 	return b.capacity
 }
 
@@ -166,7 +187,7 @@ func (b *Local) Capacity() float64 {
 // failed resource offers nothing, a live one offers capacity minus the
 // reserved total (which can be negative after a capacity collapse, until
 // the repair layer releases the overhanging holds). Callers must hold
-// b.mu.
+// the stripe lock.
 func (b *Local) availLocked() float64 {
 	if b.failed {
 		return 0
@@ -176,21 +197,21 @@ func (b *Local) availLocked() float64 {
 
 // Available implements Broker.
 func (b *Local) Available() float64 {
-	b.mu.Lock()
-	defer b.mu.Unlock()
+	b.stripe.Lock()
+	defer b.stripe.Unlock()
 	return b.availLocked()
 }
 
 // AvailableAt implements Broker: the availability in force at time asOf,
 // reconstructed from the change log.
 func (b *Local) AvailableAt(asOf Time) float64 {
-	b.mu.Lock()
-	defer b.mu.Unlock()
+	b.stripe.Lock()
+	defer b.stripe.Unlock()
 	return b.availableAtLocked(asOf)
 }
 
 // availableAtLocked reconstructs the availability in force at asOf from
-// the change log. Callers must hold b.mu.
+// the change log. Callers must hold the stripe lock.
 func (b *Local) availableAtLocked(asOf Time) float64 {
 	// Find the last change at or before asOf.
 	i := sort.Search(len(b.changeLog), func(i int) bool { return b.changeLog[i].at > asOf })
@@ -205,16 +226,16 @@ func (b *Local) availableAtLocked(asOf Time) float64 {
 // when no past reports fall in the window, or the average is zero, α is
 // 1.0 ("unchanged").
 func (b *Local) Report(now Time) Report {
-	b.mu.Lock()
-	defer b.mu.Unlock()
+	b.stripe.Lock()
+	defer b.stripe.Unlock()
 	avail := b.availLocked()
 	alpha := b.alphaLocked(now, avail)
 	b.reports = append(b.reports, reportSample{at: now, avail: avail})
-	return Report{Resource: b.resource, Avail: avail, Alpha: alpha, At: now}
+	return Report{Resource: b.resource, Avail: avail, Alpha: alpha, At: now, Epoch: b.epoch}
 }
 
 // alphaLocked computes α against the reports within (now-window, now]
-// without recording a new report. Callers must hold b.mu.
+// without recording a new report. Callers must hold the stripe lock.
 func (b *Local) alphaLocked(now Time, avail float64) float64 {
 	// Prune reports that fell out of every plausible window. Keep the log
 	// bounded even under heavy query load.
@@ -242,19 +263,53 @@ func (b *Local) Reserve(now Time, amount float64) (ReservationID, error) {
 	if amount < 0 {
 		return 0, fmt.Errorf("broker: resource %s: negative reservation %g", b.resource, amount)
 	}
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	avail := b.availLocked()
-	if amount > avail+availEpsilon {
-		return 0, fmt.Errorf("broker: resource %s: need %g, have %g: %w", b.resource, amount, avail, ErrInsufficient)
+	b.stripe.Lock()
+	defer b.stripe.Unlock()
+	if !b.fitsLocked(amount) {
+		return 0, fmt.Errorf("broker: resource %s: need %g, have %g: %w", b.resource, amount, b.availLocked(), ErrInsufficient)
 	}
 	return b.reserveLocked(now, amount), nil
 }
 
+// fitsLocked reports whether a new hold of amount fits the book: the
+// post-commit reserved total may not exceed the capacity in force.
+// The only forgiveness is proportional float64 rounding noise of the
+// sums involved (capNoise) — an absolute epsilon of net new demand is
+// NOT forgiven, which the previous check (amount <= avail + 1e-9) did:
+// at exactly-full capacity it admitted an extra 1e-9 per admission, an
+// overcommit that admit/release churn could renew indefinitely.
+// Callers must hold the stripe lock.
+func (b *Local) fitsLocked(amount float64) bool {
+	if b.failed && amount > 0 {
+		return false
+	}
+	post := b.reserved + amount
+	if post <= b.capacity {
+		return true
+	}
+	return post-b.capacity <= capNoise(b.capacity)
+}
+
+// capNoise is the rounding forgiveness for a book of the given scale:
+// proportional to capacity (a few thousand ULPs), so genuine summation
+// noise of requirements that add up to exactly the capacity is
+// forgiven, while eps-scale (1e-9) net new demand at the capacities
+// this system runs at (10²–10⁶) is refused.
+func capNoise(capacity float64) float64 {
+	if capacity < 0 {
+		capacity = -capacity
+	}
+	n := capacity * 1e-12
+	if n < 1e-15 {
+		n = 1e-15
+	}
+	return n
+}
+
 // reserveLocked creates a hold without checking availability. Callers
-// must hold b.mu and have validated that amount fits; the atomic
-// multi-resource commit path validates every broker of a plan before
-// committing any of them.
+// must hold the stripe lock and have validated that amount fits; the
+// atomic multi-resource commit path validates every broker of a plan
+// before committing any of them.
 func (b *Local) reserveLocked(now Time, amount float64) ReservationID {
 	b.nextID++
 	id := b.nextID
@@ -266,8 +321,8 @@ func (b *Local) reserveLocked(now Time, amount float64) ReservationID {
 
 // Release implements Broker.
 func (b *Local) Release(now Time, id ReservationID) error {
-	b.mu.Lock()
-	defer b.mu.Unlock()
+	b.stripe.Lock()
+	defer b.stripe.Unlock()
 	h, ok := b.holds[id]
 	if !ok {
 		return fmt.Errorf("broker: resource %s: reservation %d: %w", b.resource, id, ErrUnknownReservation)
@@ -284,8 +339,8 @@ func (b *Local) Release(now Time, id ReservationID) error {
 // Reservations returns the number of live reservations, for tests and
 // leak checks.
 func (b *Local) Reservations() int {
-	b.mu.Lock()
-	defer b.mu.Unlock()
+	b.stripe.Lock()
+	defer b.stripe.Unlock()
 	return len(b.holds)
 }
 
@@ -293,16 +348,29 @@ func (b *Local) Reservations() int {
 // is meaningful even while the resource is failed or its capacity has
 // collapsed below the held total.
 func (b *Local) Reserved() float64 {
-	b.mu.Lock()
-	defer b.mu.Unlock()
+	b.stripe.Lock()
+	defer b.stripe.Unlock()
 	return b.reserved
 }
 
-// availEpsilon absorbs float64 rounding when requirements sum exactly to
-// the availability.
-const availEpsilon = 1e-9
+// HoldAmounts returns the amounts of every live hold, sorted ascending.
+// Two books with equal multisets of hold amounts are observably
+// equivalent regardless of the order the holds were admitted in —
+// the equivalence tests of the group-commit path compare exactly this.
+func (b *Local) HoldAmounts() []float64 {
+	b.stripe.Lock()
+	out := make([]float64, 0, len(b.holds))
+	for _, h := range b.holds {
+		out = append(out, h.amount)
+	}
+	b.stripe.Unlock()
+	sort.Float64s(out)
+	return out
+}
 
 func (b *Local) logChangeLocked(now Time) {
+	b.epoch++
+	b.stripe.epoch++
 	avail := b.availLocked()
 	if n := len(b.changeLog); n > 0 && b.changeLog[n-1].at == now {
 		b.changeLog[n-1].avail = avail
@@ -316,8 +384,8 @@ func (b *Local) logChangeLocked(now Time) {
 // call this periodically so memory stays proportional to the staleness
 // window rather than to the full run.
 func (b *Local) TrimLog(keepAfter Time) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
+	b.stripe.Lock()
+	defer b.stripe.Unlock()
 	i := sort.Search(len(b.changeLog), func(i int) bool { return b.changeLog[i].at > keepAfter })
 	if i == 0 {
 		return

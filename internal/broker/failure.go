@@ -43,8 +43,8 @@ type Leaser interface {
 // reservations are refused until Recover. Existing holds are preserved.
 // Failing an already-failed broker is a no-op.
 func (b *Local) Fail(now Time) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
+	b.stripe.Lock()
+	defer b.stripe.Unlock()
 	if b.failed {
 		return
 	}
@@ -55,8 +55,8 @@ func (b *Local) Fail(now Time) {
 // Recover clears the failure, restoring the availability that the book
 // of holds implies. Recovering a healthy broker is a no-op.
 func (b *Local) Recover(now Time) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
+	b.stripe.Lock()
+	defer b.stripe.Unlock()
 	if !b.failed {
 		return
 	}
@@ -66,8 +66,8 @@ func (b *Local) Recover(now Time) {
 
 // Failed reports whether the resource is currently down.
 func (b *Local) Failed() bool {
-	b.mu.Lock()
-	defer b.mu.Unlock()
+	b.stripe.Lock()
+	defer b.stripe.Unlock()
 	return b.failed
 }
 
@@ -80,8 +80,8 @@ func (b *Local) SetCapacity(now Time, capacity float64) error {
 	if capacity < 0 {
 		return fmt.Errorf("broker: resource %s: negative capacity %g", b.resource, capacity)
 	}
-	b.mu.Lock()
-	defer b.mu.Unlock()
+	b.stripe.Lock()
+	defer b.stripe.Unlock()
 	b.capacity = capacity
 	b.logChangeLocked(now)
 	return nil
@@ -89,8 +89,8 @@ func (b *Local) SetCapacity(now Time, capacity float64) error {
 
 // SetLease implements Leaser for a local hold.
 func (b *Local) SetLease(id ReservationID, expiry Time) error {
-	b.mu.Lock()
-	defer b.mu.Unlock()
+	b.stripe.Lock()
+	defer b.stripe.Unlock()
 	h, ok := b.holds[id]
 	if !ok {
 		return fmt.Errorf("broker: resource %s: reservation %d: %w", b.resource, id, ErrUnknownReservation)
@@ -105,8 +105,8 @@ func (b *Local) SetLease(id ReservationID, expiry Time) error {
 // zero) are never touched — in particular the per-link holds owned by a
 // Network reservation, whose lifecycle the network-level lease governs.
 func (b *Local) ExpireLeases(now Time) int {
-	b.mu.Lock()
-	defer b.mu.Unlock()
+	b.stripe.Lock()
+	defer b.stripe.Unlock()
 	n := 0
 	for id, h := range b.holds {
 		if h.expiry > 0 && h.expiry <= now {

@@ -20,10 +20,11 @@ type Network struct {
 	resource    string
 	links       []*Local
 	alphaWindow Time
-	// lockOrder is the route's distinct links sorted by resource ID —
-	// the package-wide multi-lock order. Available and AvailableAt lock
-	// all of them to read a consistent snapshot (see availAll).
-	lockOrder []*Local
+	// lockOrder is the distinct lock stripes backing the route's links,
+	// sorted by stripe acquisition rank — the package-wide multi-lock
+	// order. Available and AvailableAt lock all of them to read a
+	// consistent snapshot (see availAll).
+	lockOrder []*stripe
 
 	mu      sync.Mutex
 	holds   map[ReservationID]netHold
@@ -63,17 +64,17 @@ func NewNetworkWindow(resource string, links []*Local, window Time) (*Network, e
 	}
 	ls := make([]*Local, len(links))
 	copy(ls, links)
-	// Distinct links in ascending resource-ID order, the only order in
-	// which this package ever acquires multiple Local mutexes.
-	seen := make(map[*Local]bool, len(ls))
-	order := make([]*Local, 0, len(ls))
+	// Distinct stripes in ascending acquisition-rank order, the only
+	// order in which this package ever acquires multiple stripe locks.
+	seen := make(map[*stripe]bool, len(ls))
+	order := make([]*stripe, 0, len(ls))
 	for _, l := range ls {
-		if !seen[l] {
-			seen[l] = true
-			order = append(order, l)
+		if !seen[l.stripe] {
+			seen[l.stripe] = true
+			order = append(order, l.stripe)
 		}
 	}
-	sort.Slice(order, func(i, j int) bool { return order[i].resource < order[j].resource })
+	sortStripes(order)
 	return &Network{
 		resource:    resource,
 		links:       ls,
@@ -105,28 +106,41 @@ func (n *Network) Capacity() float64 {
 	return min
 }
 
-// availAll locks every distinct link of the route (in the package-wide
-// ascending resource-ID order, so it can never deadlock against the
-// atomic commit path) and returns the route minimum of read(link) as a
-// consistent snapshot. Reading the links one lock at a time instead can
-// yield a torn minimum that no instant ever exhibited — e.g. a hold
-// moving atomically from one link to another would be seen on neither —
-// which is exactly the stale-but-plausible lie that admission must not
-// plan against.
+// availAll locks every distinct stripe backing the route (in the
+// package-wide ascending acquisition-rank order, so it can never
+// deadlock against the atomic commit path) and returns the route
+// minimum of read(link) as a consistent snapshot. Reading the links one
+// lock at a time instead can yield a torn minimum that no instant ever
+// exhibited — e.g. a hold moving atomically from one link to another
+// would be seen on neither — which is exactly the stale-but-plausible
+// lie that admission must not plan against.
 func (n *Network) availAll(read func(*Local) float64) float64 {
-	for _, l := range n.lockOrder {
-		l.mu.Lock()
-	}
+	lockAll(n.lockOrder)
 	min := read(n.links[0])
 	for _, l := range n.links[1:] {
 		if a := read(l); a < min {
 			min = a
 		}
 	}
-	for i := len(n.lockOrder) - 1; i >= 0; i-- {
-		n.lockOrder[i].mu.Unlock()
-	}
+	unlockAll(n.lockOrder)
 	return min
+}
+
+// epochSum reads the sum of the route links' book epochs under one
+// consistent all-stripes snapshot. Links appearing several times on the
+// route count once.
+func (n *Network) epochSum() uint64 {
+	lockAll(n.lockOrder)
+	var sum uint64
+	seen := make(map[*Local]bool, len(n.links))
+	for _, l := range n.links {
+		if !seen[l] {
+			seen[l] = true
+			sum += l.epoch
+		}
+	}
+	unlockAll(n.lockOrder)
+	return sum
 }
 
 // Available implements Broker: the minimum of the link availabilities,
@@ -147,11 +161,12 @@ func (n *Network) AvailableAt(asOf Time) float64 {
 // so it reflects the end-to-end trend rather than any single link's.
 func (n *Network) Report(now Time) Report {
 	avail := n.Available()
+	epoch := n.epochSum()
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	alpha := n.alphaLocked(now, avail)
 	n.reports = append(n.reports, reportSample{at: now, avail: avail})
-	return Report{Resource: n.resource, Avail: avail, Alpha: alpha, At: now}
+	return Report{Resource: n.resource, Avail: avail, Alpha: alpha, At: now, Epoch: epoch}
 }
 
 func (n *Network) alphaLocked(now Time, avail float64) float64 {
@@ -212,9 +227,9 @@ func (n *Network) rollbackLinkHolds(now Time, held []linkHold, cause error) {
 
 // adopt publishes a set of per-link holds as one end-to-end
 // reservation and returns its ID. The atomic multi-resource commit
-// path calls it while still holding the link brokers' mutexes; that is
-// safe because n.mu is only ever acquired after (never before) link
-// mutexes anywhere in the package.
+// path calls it while still holding the link brokers' stripe locks;
+// that is safe because n.mu is only ever acquired after (never before)
+// stripe locks anywhere in the package.
 func (n *Network) adopt(held []linkHold) ReservationID {
 	n.mu.Lock()
 	defer n.mu.Unlock()

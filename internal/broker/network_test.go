@@ -283,9 +283,9 @@ func TestNetworkAvailableConsistentSnapshot(t *testing.T) {
 			default:
 			}
 			// Move the hold atomically: both link mutexes held, in the
-			// package-wide ascending resource-ID order.
-			l1.mu.Lock()
-			l2.mu.Lock()
+			// package-wide stripe acquisition order.
+			l1.stripe.Lock()
+			l2.stripe.Lock()
 			if onFirst {
 				l1.reserved -= 50
 				l2.reserved += 50
@@ -294,8 +294,8 @@ func TestNetworkAvailableConsistentSnapshot(t *testing.T) {
 				l1.reserved += 50
 			}
 			onFirst = !onFirst
-			l2.mu.Unlock()
-			l1.mu.Unlock()
+			l2.stripe.Unlock()
+			l1.stripe.Unlock()
 		}
 	}()
 

@@ -31,6 +31,10 @@ func NetResourceID(from, to topo.HostID) string { return fmt.Sprintf("net:%s->%s
 type Pool struct {
 	topology    *topo.Topology
 	alphaWindow Time
+	// stripes shards the pool's broker books across a fixed set of
+	// lock stripes (see stripe.go); brokers are hashed onto stripes by
+	// resource ID at registration.
+	stripes *StripeSet
 
 	mu     sync.Mutex
 	local  map[string]*Local   // host-local resources and links
@@ -44,16 +48,29 @@ func NewPool(topology *topo.Topology) *Pool {
 	return NewPoolWindow(topology, DefaultAlphaWindow)
 }
 
-// NewPoolWindow creates a pool whose brokers use the given α window.
+// NewPoolWindow creates a pool whose brokers use the given α window and
+// the default stripe count.
 func NewPoolWindow(topology *topo.Topology, window Time) *Pool {
+	return NewPoolStriped(topology, window, DefaultStripes)
+}
+
+// NewPoolStriped creates a pool whose broker books are sharded across
+// the given number of lock stripes (minimum 1; 1 degenerates to one
+// global book lock).
+func NewPoolStriped(topology *topo.Topology, window Time, stripes int) *Pool {
 	return &Pool{
 		topology:    topology,
 		alphaWindow: window,
+		stripes:     NewStripeSet(stripes),
 		local:       make(map[string]*Local),
 		net:         make(map[string]*Network),
 		byName:      make(map[string]Broker),
 	}
 }
+
+// StripeCount returns the number of lock stripes the pool's books are
+// sharded across.
+func (p *Pool) StripeCount() int { return p.stripes.Size() }
 
 // AddLocal registers a broker for a host-local resource and returns it.
 func (p *Pool) AddLocal(kind string, host topo.HostID, capacity float64) (*Local, error) {
@@ -71,7 +88,7 @@ func (p *Pool) AddLink(id topo.LinkID, capacity float64) (*Local, error) {
 }
 
 func (p *Pool) addLocal(resource string, capacity float64) (*Local, error) {
-	b, err := NewLocalWindow(resource, capacity, p.alphaWindow)
+	b, err := newLocalOn(p.stripes.forResource(resource), resource, capacity, p.alphaWindow)
 	if err != nil {
 		return nil, err
 	}
@@ -158,11 +175,16 @@ func (p *Pool) LocalBrokers() []*Local {
 
 // Snapshot is a consistent-enough view of availability and α for a set of
 // resources at one instant, the "snap-shot of end-to-end resource
-// requirement and availability" from which a QRG is constructed.
+// requirement and availability" from which a QRG is constructed. Epoch
+// carries each resource's book epoch at observation time (see
+// stripe.go) when the snapshot's producer recorded it; a nil map means
+// the snapshot is synthetic (tests, workload generators) and makes no
+// staleness claim.
 type Snapshot struct {
 	At    Time
 	Avail qos.ResourceVector
 	Alpha map[string]float64
+	Epoch map[string]uint64
 }
 
 // Snapshot queries the named resources and returns their reports. Each
@@ -173,6 +195,7 @@ func (p *Pool) Snapshot(now Time, resources []string) (*Snapshot, error) {
 		At:    now,
 		Avail: make(qos.ResourceVector, len(resources)),
 		Alpha: make(map[string]float64, len(resources)),
+		Epoch: make(map[string]uint64, len(resources)),
 	}
 	for _, r := range resources {
 		b, ok := p.Get(r)
@@ -182,6 +205,7 @@ func (p *Pool) Snapshot(now Time, resources []string) (*Snapshot, error) {
 		rep := b.Report(now)
 		s.Avail[r] = rep.Avail
 		s.Alpha[r] = rep.Alpha
+		s.Epoch[r] = rep.Epoch
 	}
 	return s, nil
 }
@@ -196,6 +220,7 @@ func (p *Pool) StaleSnapshot(now Time, resources []string, lag map[string]Time) 
 		At:    now,
 		Avail: make(qos.ResourceVector, len(resources)),
 		Alpha: make(map[string]float64, len(resources)),
+		Epoch: make(map[string]uint64, len(resources)),
 	}
 	for _, r := range resources {
 		b, ok := p.Get(r)
@@ -203,6 +228,7 @@ func (p *Pool) StaleSnapshot(now Time, resources []string, lag map[string]Time) 
 			return nil, fmt.Errorf("broker: snapshot of unknown resource %s", r)
 		}
 		rep := b.Report(now)
+		s.Epoch[r] = rep.Epoch
 		l := lag[r]
 		if l < 0 {
 			l = 0

@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"qosres/internal/obs"
+	"qosres/internal/sim"
+	"qosres/internal/stats"
+)
+
+// Admission-throughput benchmark: establish+release cycles per second
+// through the QoSProxy runtime's three-phase protocol, serialized
+// commits versus the group-commit batching front end, swept over
+// client concurrency. Backs the BENCH_admit.json CI artifact.
+
+// AdmitBenchGoroutines is the swept client-concurrency axis.
+var AdmitBenchGoroutines = []int{1, 4, 16, 32}
+
+// AdmitBenchSessions is the number of establish+release cycles per
+// measured cell — large enough that per-cell setup noise washes out.
+const AdmitBenchSessions = 4000
+
+// admitBenchMaxBatch is the round bound of the batched mode.
+const admitBenchMaxBatch = 16
+
+// AdmitBenchRow is one measured (mode, goroutines) cell.
+type AdmitBenchRow struct {
+	Mode           string  `json:"mode"`
+	Goroutines     int     `json:"goroutines"`
+	SessionsPerSec float64 `json:"sessions_per_sec"`
+	Established    int     `json:"established"`
+	// AvgBatchMembers is the mean group-commit round size (1 in
+	// serialized mode by definition; reported as 0 there).
+	AvgBatchMembers float64 `json:"avg_batch_members"`
+}
+
+// AdmitBenchResult aggregates the sweep. Speedup maps each goroutine
+// count to batched-over-serialized throughput, so >1 means batching
+// wins at that concurrency.
+type AdmitBenchResult struct {
+	Rows    []AdmitBenchRow    `json:"rows"`
+	Speedup map[string]float64 `json:"batched_speedup_by_goroutines"`
+}
+
+// AdmitBench runs the admission-throughput sweep.
+func AdmitBench(seed int64) (*AdmitBenchResult, error) {
+	res := &AdmitBenchResult{Speedup: make(map[string]float64)}
+	serial := make(map[int]float64)
+	for _, mode := range []struct {
+		name  string
+		batch int
+	}{
+		{"serialized", 0},
+		{"batched", admitBenchMaxBatch},
+	} {
+		for _, g := range AdmitBenchGoroutines {
+			reg := obs.New()
+			r, err := sim.RunAdmitThroughput(sim.AdmitBenchConfig{
+				Seed:       seed,
+				Goroutines: g,
+				Sessions:   AdmitBenchSessions,
+				BatchAdmit: mode.batch,
+				Obs:        reg,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("experiments: admitbench %s/%d: %w", mode.name, g, err)
+			}
+			row := AdmitBenchRow{
+				Mode:           mode.name,
+				Goroutines:     g,
+				SessionsPerSec: r.SessionsPerSec,
+				Established:    r.Established,
+			}
+			if mode.batch > 1 {
+				var batches, members float64
+				for _, c := range reg.Snapshot().Counters {
+					switch c.Name {
+					case obs.MetricAdmitBatches:
+						batches += c.Value
+					case obs.MetricAdmitBatchMembers:
+						members += c.Value
+					}
+				}
+				if batches > 0 {
+					row.AvgBatchMembers = members / batches
+				}
+				if s := serial[g]; s > 0 {
+					res.Speedup[fmt.Sprintf("%d", g)] = r.SessionsPerSec / s
+				}
+			} else {
+				serial[g] = r.SessionsPerSec
+			}
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	return res, nil
+}
+
+// WriteAdmitBenchJSON writes the result to path (the CI artifact
+// BENCH_admit.json).
+func WriteAdmitBenchJSON(path string, r *AdmitBenchResult) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// PrintAdmitBench renders the sweep.
+func PrintAdmitBench(w io.Writer, r *AdmitBenchResult) {
+	t := &stats.Table{Header: []string{"mode", "goroutines", "sessions/s", "avg round"}}
+	for _, row := range r.Rows {
+		avg := "-"
+		if row.AvgBatchMembers > 0 {
+			avg = fmt.Sprintf("%.1f", row.AvgBatchMembers)
+		}
+		t.AddRow(row.Mode, fmt.Sprintf("%d", row.Goroutines),
+			fmt.Sprintf("%.0f", row.SessionsPerSec), avg)
+	}
+	fmt.Fprintf(w, "Admission throughput: group-commit batching vs serialized 2PC\n%s", t)
+	for _, g := range AdmitBenchGoroutines {
+		if s, ok := r.Speedup[fmt.Sprintf("%d", g)]; ok {
+			fmt.Fprintf(w, "goroutines=%d: batched %.2fx serialized\n", g, s)
+		}
+	}
+}

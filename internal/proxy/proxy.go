@@ -206,6 +206,12 @@ func (p *QoSProxy) handle(d transport.Delivery) {
 		d.Reply(p.handleCommit(req))
 	case abortRequest:
 		d.Reply(p.handleAbort(req))
+	case batchPrepareRequest:
+		d.Reply(p.handleBatchPrepare(req))
+	case batchCommitRequest:
+		d.Reply(p.handleBatchCommit(req))
+	case batchAbortRequest:
+		d.Reply(p.handleBatchAbort(req))
 	case stallRequest:
 		<-req.release
 	}
@@ -269,6 +275,11 @@ type Runtime struct {
 	reports map[string]broker.Report
 	// nextReq numbers two-phase-commit request IDs.
 	nextReq uint64
+	// batchPolicy configures the group-commit admission front end (see
+	// SetBatchPolicy); batcher is the live collector of the current
+	// Start..Stop cycle, nil when batching is disabled.
+	batchPolicy BatchPolicy
+	batcher     *admitBatcher
 }
 
 // NewRuntime creates an empty runtime over a clock with the default
@@ -316,6 +327,33 @@ func (rt *Runtime) Transport() *transport.Fabric {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	return rt.fabric
+}
+
+// SetBatchPolicy configures the group-commit admission front end: with
+// MaxBatch of at least 2, concurrent Establish commits coalesce into
+// batched two-phase-commit rounds (one prepare and one commit message
+// per participating host per round, one stripe sweep per host). The
+// default policy disables batching — every commit runs the serialized
+// commitPlan path. Must be called before Start.
+func (rt *Runtime) SetBatchPolicy(p BatchPolicy) error {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.started {
+		return errors.New("proxy: runtime already started")
+	}
+	if p.Window < 0 {
+		p.Window = 0
+	}
+	rt.batchPolicy = p
+	return nil
+}
+
+// batchFrontEnd returns the live batching collector, or nil when
+// batching is disabled or the runtime is stopped.
+func (rt *Runtime) batchFrontEnd() *admitBatcher {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.batcher
 }
 
 // SetMaxInFlight bounds the number of concurrently admitted Establish
@@ -623,6 +661,11 @@ func (rt *Runtime) Start() {
 		p.wg.Add(1)
 		go p.serve(p.ep, p.done)
 	}
+	if rt.batchPolicy.MaxBatch > 1 {
+		rt.batcher = newAdmitBatcher(rt, rt.batchPolicy)
+		rt.batcher.wg.Add(1)
+		go rt.batcher.run()
+	}
 }
 
 // Stop terminates every proxy goroutine, closes their endpoints (the
@@ -634,11 +677,18 @@ func (rt *Runtime) Stop() {
 		return
 	}
 	rt.started = false
+	batcher := rt.batcher
+	rt.batcher = nil
 	proxies := make([]*QoSProxy, 0, len(rt.proxies))
 	for _, p := range rt.proxies {
 		proxies = append(proxies, p)
 	}
 	rt.mu.Unlock()
+	if batcher != nil {
+		// The collector and its in-flight rounds finish against the
+		// still-running serve goroutines before those are torn down.
+		batcher.stop()
+	}
 	for _, p := range proxies {
 		close(p.done)
 		p.ep.Close()

@@ -365,9 +365,17 @@ func (rt *Runtime) admitOnce(ctx context.Context, mainHost topo.HostID, spec Ses
 		}
 
 		// Phase 3: two-phase validate-at-commit across the plan's owning
-		// proxies.
+		// proxies — through the group-commit front end when batching is
+		// enabled, serialized otherwise. Either way a refusal leaves zero
+		// residual holds and is retried here against a fresh snapshot.
 		st = startStageSpan(stages.Reserve, root, obs.StageReserve, host)
-		res, err := rt.commitPlan(obs.ContextWithSpan(ctx, st.span), mainHost, plan.Requirement())
+		rctx := obs.ContextWithSpan(ctx, st.span)
+		var res reservation
+		if fe := rt.batchFrontEnd(); fe != nil {
+			res, err = fe.commit(rctx, mainHost, plan.Requirement())
+		} else {
+			res, err = rt.commitPlan(rctx, mainHost, plan.Requirement())
+		}
 		if err != nil && errors.Is(err, broker.ErrInsufficient) {
 			st.end(err, "refused")
 		} else {

@@ -1,0 +1,150 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"qosres/internal/obs"
+	"qosres/internal/proxy"
+	"qosres/internal/topo"
+)
+
+// This file is the admission-throughput benchmark harness behind
+// BenchmarkAdmitThroughput and the BENCH_admit.json artifact: how many
+// establish+release cycles per second the runtime's three-phase
+// protocol sustains as client concurrency grows, serialized commits
+// versus the group-commit batching front end.
+//
+// The workload deliberately concentrates: every client establishes the
+// same hot service (S1 from domain 3), so all sessions contend for the
+// same four brokers across three hosts — the serve goroutines and lock
+// stripes the batching front end exists to relieve. Capacities are
+// generous (1e6) so no session is refused: the measurement isolates
+// protocol cost, not admission-control outcomes.
+
+// AdmitBenchConfig parameterizes one RunAdmitThroughput call.
+type AdmitBenchConfig struct {
+	// Seed drives the environment draw.
+	Seed int64
+	// Goroutines is the number of concurrent clients.
+	Goroutines int
+	// Sessions is the total number of establish+release cycles, split
+	// evenly across the clients.
+	Sessions int
+	// BatchAdmit, when > 1, enables the group-commit front end with
+	// this round bound; 0 or 1 measures the serialized commit path.
+	BatchAdmit int
+	// Obs, when non-nil, receives the run's metrics (batch sizes,
+	// stripe counters, stage latencies) for reporting alongside the
+	// throughput number.
+	Obs *obs.Registry
+}
+
+// AdmitBenchResult is one measured throughput point.
+type AdmitBenchResult struct {
+	// Established counts sessions that committed (with the generous
+	// benchmark capacities this equals Sessions).
+	Established int
+	// Elapsed is the wall-clock time of the client phase (environment
+	// setup excluded).
+	Elapsed time.Duration
+	// SessionsPerSec is Established divided by Elapsed.
+	SessionsPerSec float64
+}
+
+// RunAdmitThroughput measures establish+release throughput through the
+// proxy runtime under the given concurrency and batching mode.
+func RunAdmitThroughput(ab AdmitBenchConfig) (*AdmitBenchResult, error) {
+	if ab.Goroutines < 1 || ab.Sessions < 1 {
+		return nil, fmt.Errorf("sim: admit bench needs at least one goroutine and one session, got %d×%d",
+			ab.Goroutines, ab.Sessions)
+	}
+	cfg := DefaultConfig(AlgBasic, 120, ab.Seed)
+	cfg.UseRuntime = true
+	// Generous books: the benchmark measures protocol cost, so nothing
+	// may be refused for capacity.
+	cfg.CapacityMin = 1e6
+	cfg.CapacityMax = 1e6
+	cfg.BatchAdmit = ab.BatchAdmit
+	cfg.Obs = ab.Obs
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(ab.Seed))
+	env, err := buildEnvironment(cfg, rng)
+	if err != nil {
+		return nil, err
+	}
+	planner, err := makePlanner(cfg, rng)
+	if err != nil {
+		return nil, err
+	}
+	rt, err := env.buildRuntime(cfg, &proxy.ManualClock{})
+	if err != nil {
+		return nil, err
+	}
+	defer rt.Stop()
+
+	// The hot session: service S1 established from domain 3 (whose
+	// proxy server is S2, so S1 is an eligible service there). Every
+	// client runs the identical spec — maximal contention.
+	sh := sessionShape{domain: 3, service: 1}
+	service := env.services[sh.service-1][sh.variant]
+	binding, _ := sessionResources(sh)
+	main := topo.ServerHost(sh.service)
+	spec := proxy.SessionSpec{Service: service, Binding: binding, Planner: planner}
+
+	var established atomic.Int64
+	errs := make([]error, ab.Goroutines)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for g := 0; g < ab.Goroutines; g++ {
+		n := ab.Sessions / ab.Goroutines
+		if g < ab.Sessions%ab.Goroutines {
+			n++
+		}
+		wg.Add(1)
+		go func(g, n int) {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				s, err := rt.Establish(main, spec)
+				if err != nil {
+					// With 1e6-unit books any failure is a harness bug, not
+					// an admission outcome.
+					errs[g] = fmt.Errorf("sim: admit bench client %d: %w", g, err)
+					return
+				}
+				established.Add(1)
+				if err := s.Release(); err != nil {
+					errs[g] = fmt.Errorf("sim: admit bench client %d: release: %w", g, err)
+					return
+				}
+			}
+		}(g, n)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
+	}
+
+	// Sanity: the books must be whole after the churn.
+	for _, b := range env.pool.LocalBrokers() {
+		if n := b.Reservations(); n != 0 {
+			return nil, fmt.Errorf("sim: admit bench leaked %d holds on %s", n, b.Resource())
+		}
+	}
+
+	res := &AdmitBenchResult{
+		Established: int(established.Load()),
+		Elapsed:     elapsed,
+	}
+	if elapsed > 0 {
+		res.SessionsPerSec = float64(res.Established) / elapsed.Seconds()
+	}
+	return res, nil
+}

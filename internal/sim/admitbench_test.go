@@ -1,0 +1,61 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkAdmitThroughput measures establish+release throughput
+// through the runtime's three-phase protocol: serialized commits
+// versus the group-commit batching front end, across client
+// concurrency. The sessions/s metric is the headline number; the same
+// sweep backs the BENCH_admit.json CI artifact (cmd/experiments
+// -run admitbench).
+func BenchmarkAdmitThroughput(b *testing.B) {
+	modes := []struct {
+		name  string
+		batch int
+	}{
+		{"serialized", 0},
+		{"batched", 16},
+	}
+	for _, m := range modes {
+		for _, g := range []int{1, 4, 16, 32} {
+			b.Run(fmt.Sprintf("%s/goroutines=%d", m.name, g), func(b *testing.B) {
+				res, err := RunAdmitThroughput(AdmitBenchConfig{
+					Seed:       1,
+					Goroutines: g,
+					Sessions:   b.N,
+					BatchAdmit: m.batch,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.SessionsPerSec, "sessions/s")
+			})
+		}
+	}
+}
+
+// TestAdmitThroughputHarness pins the harness contract both modes of
+// the benchmark rely on: every session establishes (generous books),
+// nothing leaks, and the throughput number is populated.
+func TestAdmitThroughputHarness(t *testing.T) {
+	for _, batch := range []int{0, 8} {
+		res, err := RunAdmitThroughput(AdmitBenchConfig{
+			Seed: 3, Goroutines: 4, Sessions: 64, BatchAdmit: batch,
+		})
+		if err != nil {
+			t.Fatalf("batch=%d: %v", batch, err)
+		}
+		if res.Established != 64 {
+			t.Fatalf("batch=%d: established %d of 64", batch, res.Established)
+		}
+		if res.SessionsPerSec <= 0 {
+			t.Fatalf("batch=%d: no throughput measured", batch)
+		}
+	}
+	if _, err := RunAdmitThroughput(AdmitBenchConfig{Goroutines: 0, Sessions: 1}); err == nil {
+		t.Fatal("zero goroutines accepted")
+	}
+}

@@ -43,6 +43,18 @@ func (env *environment) buildRuntime(cfg Config, clock proxy.Clock) (*proxy.Runt
 	// registry) so hit/miss counters cover both execution modes; a nil
 	// cache disables the fast lane for reference runs.
 	rt.SetTemplateCache(env.templates)
+	if cfg.BatchAdmit > 1 {
+		// Group-commit admission: concurrent commits coalesce into
+		// batched 2PC rounds. Single-threaded runs see one-member rounds
+		// and identical results; the stress/chaos harnesses see real
+		// coalescing.
+		if err := rt.SetBatchPolicy(proxy.BatchPolicy{
+			MaxBatch: cfg.BatchAdmit,
+			Window:   cfg.BatchWindow,
+		}); err != nil {
+			return nil, err
+		}
+	}
 	if cfg.Faults != nil {
 		// Chaos mode: lease every session's holds so a silent (orphaned)
 		// session can never strand capacity, and count repair outcomes
