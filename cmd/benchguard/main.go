@@ -1,0 +1,91 @@
+// Command benchguard is the CI bench-delta gate for the read-path
+// benchmark. It compares a freshly measured BENCH_read.json against
+// the committed baseline and fails (exit 1) when the serialized
+// sessions/sec at the guarded goroutine count regresses by more than
+// the allowed fraction. Only the serialized cell is guarded: it is the
+// least noisy mode (no batching rounds, no memo variance) and the
+// reference every speedup in the artifact is quoted against.
+//
+// Usage:
+//
+//	benchguard -baseline BENCH_read.json -current /tmp/BENCH_read.json
+//	           [-mode serialized] [-goroutines 16] [-max-regress 0.15]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"qosres/internal/experiments"
+)
+
+func main() {
+	var (
+		baseline   = flag.String("baseline", "BENCH_read.json", "committed baseline artifact")
+		current    = flag.String("current", "", "freshly measured artifact to check")
+		mode       = flag.String("mode", "serialized", "benchmark mode to guard")
+		goroutines = flag.Int("goroutines", 16, "goroutine count to guard")
+		maxRegress = flag.Float64("max-regress", 0.15, "maximum allowed fractional regression")
+	)
+	flag.Parse()
+	if *current == "" {
+		fmt.Fprintln(os.Stderr, "benchguard: -current is required")
+		os.Exit(2)
+	}
+	base, err := load(*baseline)
+	if err != nil {
+		fail(err)
+	}
+	cur, err := load(*current)
+	if err != nil {
+		fail(err)
+	}
+	bv, err := cell(base, *mode, *goroutines)
+	if err != nil {
+		fail(fmt.Errorf("baseline %s: %w", *baseline, err))
+	}
+	cv, err := cell(cur, *mode, *goroutines)
+	if err != nil {
+		fail(fmt.Errorf("current %s: %w", *current, err))
+	}
+	delta := (cv - bv) / bv
+	fmt.Printf("benchguard: %s@%dg baseline %.0f sessions/s, current %.0f sessions/s (%+.1f%%), allowed -%.0f%%\n",
+		*mode, *goroutines, bv, cv, 100*delta, 100**maxRegress)
+	if cv < bv*(1-*maxRegress) {
+		fmt.Fprintf(os.Stderr, "benchguard: FAIL — %s sessions/sec at %d goroutines regressed beyond the %.0f%% budget\n",
+			*mode, *goroutines, 100**maxRegress)
+		os.Exit(1)
+	}
+	fmt.Println("benchguard: OK")
+}
+
+func load(path string) (*experiments.ReadBenchResult, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r experiments.ReadBenchResult
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+func cell(r *experiments.ReadBenchResult, mode string, g int) (float64, error) {
+	for _, row := range r.Rows {
+		if row.Mode == mode && row.Goroutines == g {
+			if row.SessionsPerSec <= 0 {
+				return 0, fmt.Errorf("row %s/%d has non-positive sessions/sec", mode, g)
+			}
+			return row.SessionsPerSec, nil
+		}
+	}
+	return 0, fmt.Errorf("no row for mode %q at %d goroutines", mode, g)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "benchguard:", err)
+	os.Exit(1)
+}

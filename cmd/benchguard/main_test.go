@@ -1,0 +1,42 @@
+package main
+
+import (
+	"testing"
+
+	"qosres/internal/experiments"
+)
+
+func result(rows ...experiments.ReadBenchRow) *experiments.ReadBenchResult {
+	return &experiments.ReadBenchResult{Rows: rows}
+}
+
+func TestCellLookup(t *testing.T) {
+	r := result(
+		experiments.ReadBenchRow{Mode: "serialized", Goroutines: 16, SessionsPerSec: 11254},
+		experiments.ReadBenchRow{Mode: "batched+readpath", Goroutines: 16, SessionsPerSec: 25361},
+	)
+	v, err := cell(r, "serialized", 16)
+	if err != nil || v != 11254 {
+		t.Fatalf("cell(serialized, 16) = %v, %v; want 11254", v, err)
+	}
+	if _, err := cell(r, "serialized", 32); err == nil {
+		t.Fatal("missing goroutine count should error")
+	}
+	if _, err := cell(result(experiments.ReadBenchRow{Mode: "serialized", Goroutines: 16}), "serialized", 16); err == nil {
+		t.Fatal("non-positive sessions/sec should error")
+	}
+}
+
+func TestRegressionBudget(t *testing.T) {
+	// The guard condition used by main: fail when current falls below
+	// baseline*(1-maxRegress). 15% budget on an 11254 baseline puts the
+	// floor at ~9566 sessions/s.
+	baseline, budget := 11254.0, 0.15
+	floor := baseline * (1 - budget)
+	if !(9500.0 < floor) {
+		t.Fatalf("9500 sessions/s should fail the %.0f%% budget (floor %.1f)", 100*budget, floor)
+	}
+	if 9600.0 < floor {
+		t.Fatalf("9600 sessions/s should pass the %.0f%% budget (floor %.1f)", 100*budget, floor)
+	}
+}

@@ -22,7 +22,7 @@ import (
 
 func main() {
 	var (
-		run      = flag.String("run", "all", "comma-separated experiments: fig11, table1, table2, table3, table4, fig12, fig13, quality, planbench, admitbench (planbench and admitbench are opt-in, not part of all)")
+		run      = flag.String("run", "all", "comma-separated experiments: fig11, table1, table2, table3, table4, fig12, fig13, quality, planbench, admitbench, readbench (planbench, admitbench and readbench are opt-in, not part of all)")
 		seed     = flag.Int64("seed", 1, "base random seed")
 		duration = flag.Float64("duration", 10800, "simulated time units per run")
 		scale    = flag.Float64("scale", 0, "workload base scale override (0 = calibrated default)")
@@ -30,6 +30,7 @@ func main() {
 		csvDir   = flag.String("csv", "", "also write each experiment's data as CSV files into this directory")
 		benchOut = flag.String("benchjson", "", "with -run planbench, also write the comparison to this JSON file (e.g. BENCH_plan.json)")
 		admitOut = flag.String("admitjson", "", "with -run admitbench, also write the sweep to this JSON file (e.g. BENCH_admit.json)")
+		readOut  = flag.String("readjson", "", "with -run readbench, also write the read-path benchmark to this JSON file (e.g. BENCH_read.json)")
 	)
 	flag.Parse()
 
@@ -181,6 +182,22 @@ func main() {
 				fail(err)
 			}
 			fmt.Printf("wrote %s\n", *admitOut)
+		}
+		fmt.Println()
+	}
+	// Also opt-in: the lock-free read-path benchmark (epoch-validated
+	// snapshot cache + plan memoization) behind BENCH_read.json.
+	if want["readbench"] {
+		res, err := experiments.ReadBench(*seed)
+		if err != nil {
+			fail(err)
+		}
+		experiments.PrintReadBench(os.Stdout, res)
+		if *readOut != "" {
+			if err := experiments.WriteReadBenchJSON(*readOut, res); err != nil {
+				fail(err)
+			}
+			fmt.Printf("wrote %s\n", *readOut)
 		}
 		fmt.Println()
 	}

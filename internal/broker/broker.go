@@ -26,6 +26,8 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 )
 
 // Time is simulation time in the paper's abstract Time Units (TUs).
@@ -110,7 +112,11 @@ type reportSample struct {
 // Local is a Resource Broker for a single local resource or network link.
 // It is safe for concurrent use. Its book lives on a lock stripe
 // (possibly shared with other brokers of its pool — see stripe.go);
-// every field below the stripe pointer is guarded by the stripe mutex.
+// the book fields below the stripe pointer are guarded by the stripe
+// mutex. Read-side queries never take the stripe: the externally
+// observable state is republished as an immutable record behind pub at
+// the end of every mutation (see publish.go), and the α report window
+// lives under its own small mutex.
 type Local struct {
 	resource    string
 	capacity    float64
@@ -125,7 +131,6 @@ type Local struct {
 	holds     map[ReservationID]hold
 	nextID    ReservationID
 	changeLog []availSample
-	reports   []reportSample
 	// epoch counts this broker's availability-affecting mutations; the
 	// stripe keeps its own aggregate counter.
 	epoch uint64
@@ -134,6 +139,21 @@ type Local struct {
 	// refused, while the book of existing holds is preserved so the
 	// repair layer can release them in an orderly way. See failure.go.
 	failed bool
+
+	// pub is the atomically published book state, replaced under the
+	// stripe lock at the end of every mutation and at construction.
+	// Hot-path reads load it instead of locking the stripe.
+	pub atomic.Pointer[pubRecord]
+
+	// alphaMu guards the α report window. It is deliberately separate
+	// from the stripe: feeding the window is a read-side concern and
+	// must not contend with commits. alphaSum is the running sum of
+	// reports[i].avail, maintained so α is O(1) per query; it is kept
+	// bit-identical to a left-to-right recompute by resumming in slice
+	// order after every prune.
+	alphaMu  sync.Mutex
+	reports  []reportSample
+	alphaSum float64
 }
 
 // NewLocal creates a broker for the named resource with the given total
@@ -160,7 +180,7 @@ func newLocalOn(s *stripe, resource string, capacity float64, window Time) (*Loc
 	if window <= 0 {
 		return nil, fmt.Errorf("broker: resource %s has non-positive alpha window %g", resource, float64(window))
 	}
-	return &Local{
+	b := &Local{
 		resource:    resource,
 		capacity:    capacity,
 		alphaWindow: window,
@@ -168,7 +188,9 @@ func newLocalOn(s *stripe, resource string, capacity float64, window Time) (*Loc
 		stripe:      s,
 		holds:       make(map[ReservationID]hold),
 		changeLog:   []availSample{{at: 0, avail: capacity}},
-	}, nil
+	}
+	b.pub.Store(&pubRecord{avail: capacity, capacity: capacity})
+	return b, nil
 }
 
 // Resource implements Broker.
@@ -176,11 +198,9 @@ func (b *Local) Resource() string { return b.resource }
 
 // Capacity implements Broker. With fault injection the capacity can
 // shrink and recover over time (see SetCapacity); Capacity reports the
-// amount currently in force.
+// amount currently in force. Wait-free.
 func (b *Local) Capacity() float64 {
-	b.stripe.Lock()
-	defer b.stripe.Unlock()
-	return b.capacity
+	return b.published().capacity
 }
 
 // availLocked is the single source of truth for current availability: a
@@ -195,16 +215,23 @@ func (b *Local) availLocked() float64 {
 	return b.capacity - b.reserved
 }
 
-// Available implements Broker.
+// Available implements Broker. Wait-free: it loads the published book
+// state and never touches the stripe.
 func (b *Local) Available() float64 {
-	b.stripe.Lock()
-	defer b.stripe.Unlock()
-	return b.availLocked()
+	return b.published().avail
 }
 
 // AvailableAt implements Broker: the availability in force at time asOf,
-// reconstructed from the change log.
+// reconstructed from the change log. The hot path — asking "as of now",
+// i.e. at or after the last mutation — is served wait-free from the
+// published record, whose avail equals the change log's final entry
+// (same-instant mutations coalesce, so once pub.at <= asOf the log has
+// no later entry). Only genuinely historical queries walk the log under
+// the stripe lock.
 func (b *Local) AvailableAt(asOf Time) float64 {
+	if p := b.published(); asOf >= p.at {
+		return p.avail
+	}
 	b.stripe.Lock()
 	defer b.stripe.Unlock()
 	return b.availableAtLocked(asOf)
@@ -224,38 +251,44 @@ func (b *Local) availableAtLocked(asOf Time) float64 {
 // Report implements Broker. α is the ratio of the current availability to
 // the average of the values reported during the past window (equation 5);
 // when no past reports fall in the window, or the average is zero, α is
-// 1.0 ("unchanged").
+// 1.0 ("unchanged"). Availability and epoch come from one atomic load of
+// the published record — internally consistent, no stripe lock; only the
+// broker-private α window mutex is taken.
 func (b *Local) Report(now Time) Report {
-	b.stripe.Lock()
-	defer b.stripe.Unlock()
-	avail := b.availLocked()
-	alpha := b.alphaLocked(now, avail)
-	b.reports = append(b.reports, reportSample{at: now, avail: avail})
-	return Report{Resource: b.resource, Avail: avail, Alpha: alpha, At: now, Epoch: b.epoch}
+	p := b.published()
+	b.alphaMu.Lock()
+	alpha := b.alphaFeedLocked(now, p.avail)
+	b.alphaMu.Unlock()
+	return Report{Resource: b.resource, Avail: p.avail, Alpha: alpha, At: now, Epoch: p.epoch}
 }
 
-// alphaLocked computes α against the reports within (now-window, now]
-// without recording a new report. Callers must hold the stripe lock.
-func (b *Local) alphaLocked(now Time, avail float64) float64 {
+// alphaFeedLocked computes α against the reports within (now-window, now]
+// and then appends the new sample to the window. The running sum is
+// resynced by an in-order resum after every prune, so the α value is
+// bit-identical to recomputing the window sum from scratch on each call.
+// Callers must hold alphaMu.
+func (b *Local) alphaFeedLocked(now Time, avail float64) float64 {
 	// Prune reports that fell out of every plausible window. Keep the log
 	// bounded even under heavy query load.
 	cutoff := now - b.alphaWindow
 	first := sort.Search(len(b.reports), func(i int) bool { return b.reports[i].at > cutoff })
 	if first > 0 {
 		b.reports = append(b.reports[:0], b.reports[first:]...)
+		var sum float64
+		for _, r := range b.reports {
+			sum += r.avail
+		}
+		b.alphaSum = sum
 	}
-	if len(b.reports) == 0 {
-		return 1.0
+	alpha := 1.0
+	if len(b.reports) > 0 {
+		if avg := b.alphaSum / float64(len(b.reports)); avg > 0 {
+			alpha = avail / avg
+		}
 	}
-	var sum float64
-	for _, r := range b.reports {
-		sum += r.avail
-	}
-	avg := sum / float64(len(b.reports))
-	if avg <= 0 {
-		return 1.0
-	}
-	return avail / avg
+	b.reports = append(b.reports, reportSample{at: now, avail: avail})
+	b.alphaSum += avail
+	return alpha
 }
 
 // Reserve implements Broker.
@@ -374,9 +407,10 @@ func (b *Local) logChangeLocked(now Time) {
 	avail := b.availLocked()
 	if n := len(b.changeLog); n > 0 && b.changeLog[n-1].at == now {
 		b.changeLog[n-1].avail = avail
-		return
+	} else {
+		b.changeLog = append(b.changeLog, availSample{at: now, avail: avail})
 	}
-	b.changeLog = append(b.changeLog, availSample{at: now, avail: avail})
+	b.publishLocked(now)
 }
 
 // TrimLog drops change-log entries strictly older than keepAfter, keeping

@@ -66,9 +66,7 @@ func (b *Local) Recover(now Time) {
 
 // Failed reports whether the resource is currently down.
 func (b *Local) Failed() bool {
-	b.stripe.Lock()
-	defer b.stripe.Unlock()
-	return b.failed
+	return b.published().failed
 }
 
 // SetCapacity changes the total amount of the resource in force —

@@ -22,14 +22,20 @@ type Network struct {
 	alphaWindow Time
 	// lockOrder is the distinct lock stripes backing the route's links,
 	// sorted by stripe acquisition rank — the package-wide multi-lock
-	// order. Available and AvailableAt lock all of them to read a
-	// consistent snapshot (see availAll).
+	// order. It backs the locked read fallback (see readLockedAll) and
+	// the mutation paths; the hot read path validates lock-free instead
+	// (see readConsistent).
 	lockOrder []*stripe
+	// uniq indexes the first occurrence of each distinct link broker on
+	// the route (a link can appear several times). Epoch sums iterate it
+	// so duplicates count once, without a per-call dedup map.
+	uniq []int
 
-	mu      sync.Mutex
-	holds   map[ReservationID]netHold
-	nextID  ReservationID
-	reports []reportSample
+	mu       sync.Mutex
+	holds    map[ReservationID]netHold
+	nextID   ReservationID
+	reports  []reportSample
+	alphaSum float64
 }
 
 type linkHold struct {
@@ -75,11 +81,22 @@ func NewNetworkWindow(resource string, links []*Local, window Time) (*Network, e
 		}
 	}
 	sortStripes(order)
+	// First occurrence of each distinct link broker, for dedup'd epoch
+	// sums without per-call allocation.
+	seenLink := make(map[*Local]bool, len(ls))
+	uniq := make([]int, 0, len(ls))
+	for i, l := range ls {
+		if !seenLink[l] {
+			seenLink[l] = true
+			uniq = append(uniq, i)
+		}
+	}
 	return &Network{
 		resource:    resource,
 		links:       ls,
 		alphaWindow: window,
 		lockOrder:   order,
+		uniq:        uniq,
 		holds:       make(map[ReservationID]netHold),
 	}, nil
 }
@@ -113,7 +130,9 @@ func (n *Network) Capacity() float64 {
 // lock at a time instead can yield a torn minimum that no instant ever
 // exhibited — e.g. a hold moving atomically from one link to another
 // would be seen on neither — which is exactly the stale-but-plausible
-// lie that admission must not plan against.
+// lie that admission must not plan against. The hot path avoids it via
+// readConsistent; this remains the fallback and the historical-query
+// path.
 func (n *Network) availAll(read func(*Local) float64) float64 {
 	lockAll(n.lockOrder)
 	min := read(n.links[0])
@@ -126,67 +145,176 @@ func (n *Network) availAll(read func(*Local) float64) float64 {
 	return min
 }
 
-// epochSum reads the sum of the route links' book epochs under one
-// consistent all-stripes snapshot. Links appearing several times on the
-// route count once.
-func (n *Network) epochSum() uint64 {
-	lockAll(n.lockOrder)
-	var sum uint64
-	seen := make(map[*Local]bool, len(n.links))
-	for _, l := range n.links {
-		if !seen[l] {
-			seen[l] = true
-			sum += l.epoch
+// readRetries is how many lock-free consistency attempts a multi-link
+// read makes before degrading to the locked fallback. Conflicts require
+// a commit racing the read on the same route; back-to-back conflicts on
+// every attempt are rare enough that the fallback is effectively never
+// taken outside adversarial churn.
+const readRetries = 4
+
+// tryReadConsistent makes one seqlock-style attempt at a consistent
+// lock-free route read. Pass 1 loads each distinct link's published
+// record once, accumulating the route-minimum availability and the
+// dedup'd epoch sum; pass 2 re-sums the epochs. Epochs are monotone
+// non-decreasing and every mutation strictly increases its link's
+// epoch, so sum equality proves no link republished between a link's
+// two loads; and since all pass-1 loads happen before all pass-2 loads,
+// every link was unchanged across the instant separating the passes —
+// the pass-1 values coexisted then, i.e. the (min, epoch-sum) pair is a
+// consistent cut that availAll under all locks could also have
+// observed. The min over distinct links equals the min over the route:
+// duplicates contribute the same availability.
+func (n *Network) tryReadConsistent() (min float64, epochSum uint64, ok bool) {
+	var sum1 uint64
+	for k, i := range n.uniq {
+		p := n.links[i].published()
+		sum1 += p.epoch
+		if k == 0 || p.avail < min {
+			min = p.avail
 		}
 	}
+	var sum2 uint64
+	for _, i := range n.uniq {
+		sum2 += n.links[i].published().epoch
+	}
+	return min, sum1, sum1 == sum2
+}
+
+// readConsistent returns a consistent (route-min availability, dedup'd
+// epoch sum) pair: lock-free via tryReadConsistent when a quiet window
+// is found within readRetries attempts, otherwise exactly once under
+// all route stripes.
+func (n *Network) readConsistent() (min float64, epochSum uint64) {
+	for r := 0; r < readRetries; r++ {
+		if min, epochSum, ok := n.tryReadConsistent(); ok {
+			return min, epochSum
+		}
+	}
+	lockAll(n.lockOrder)
+	min = n.links[0].availLocked()
+	for _, l := range n.links[1:] {
+		if a := l.availLocked(); a < min {
+			min = a
+		}
+	}
+	for _, i := range n.uniq {
+		epochSum += n.links[i].epoch
+	}
 	unlockAll(n.lockOrder)
-	return sum
+	return min, epochSum
 }
 
 // Available implements Broker: the minimum of the link availabilities,
 // exactly the paper's rule for network Resource Brokers, read as one
-// consistent multi-link snapshot.
+// consistent multi-link snapshot — lock-free on the hot path.
 func (n *Network) Available() float64 {
-	return n.availAll((*Local).availLocked)
+	min, _ := n.readConsistent()
+	return min
 }
 
-// AvailableAt implements Broker over the link change logs, read under
-// the same consistent snapshot as Available.
+// AvailableAt implements Broker over the link change logs, read as a
+// consistent multi-link snapshot. Queries at or after every link's last
+// mutation — the hot "as of now" case — are answered lock-free: each
+// published record then equals its link's log value at asOf, and the
+// epoch revalidation in tryReadConsistent proves the records coexisted.
+// Genuinely historical queries take the locked log walk.
 func (n *Network) AvailableAt(asOf Time) float64 {
+	for r := 0; r < readRetries; r++ {
+		min, current, ok := n.tryReadConsistentAt(asOf)
+		if !current {
+			break
+		}
+		if ok {
+			return min
+		}
+	}
 	return n.availAll(func(l *Local) float64 { return l.availableAtLocked(asOf) })
+}
+
+// tryReadConsistentAt is tryReadConsistent restricted to records no
+// newer than asOf. current=false means some link mutated after asOf and
+// the published record cannot answer the query.
+func (n *Network) tryReadConsistentAt(asOf Time) (min float64, current, ok bool) {
+	var sum1 uint64
+	for k, i := range n.uniq {
+		p := n.links[i].published()
+		if p.at > asOf {
+			return 0, false, false
+		}
+		sum1 += p.epoch
+		if k == 0 || p.avail < min {
+			min = p.avail
+		}
+	}
+	var sum2 uint64
+	for _, i := range n.uniq {
+		sum2 += n.links[i].published().epoch
+	}
+	return min, true, sum1 == sum2
+}
+
+// CurrentEpoch returns the dedup'd sum of the route links' epochs as a
+// wait-free single-pass read. Because every link epoch is monotone
+// non-decreasing, a cached epoch sum that equals a later CurrentEpoch
+// value proves every sampled link was individually unchanged — sums of
+// monotone components collide only when each component is equal — which
+// is exactly the revalidation the snapshot cache needs. (A torn read
+// across an in-flight commit yields a sum that matches no quiescent
+// state, so it can only force a spurious miss, never a false hit.)
+func (n *Network) CurrentEpoch() uint64 {
+	var sum uint64
+	for _, i := range n.uniq {
+		sum += n.links[i].published().epoch
+	}
+	return sum
+}
+
+// FeedTick registers one observation tick in the network broker's α
+// window — exactly the sample Report(now) would have appended — without
+// recomputing α. See Local.FeedTick.
+func (n *Network) FeedTick(now Time) {
+	avail, _ := n.readConsistent()
+	n.mu.Lock()
+	n.alphaFeedLocked(now, avail)
+	n.mu.Unlock()
 }
 
 // Report implements Broker. The availability is the route minimum; α is
 // computed from this broker's own report history of route-minimum values,
 // so it reflects the end-to-end trend rather than any single link's.
+// Availability and epoch sum come from one consistent lock-free read.
 func (n *Network) Report(now Time) Report {
-	avail := n.Available()
-	epoch := n.epochSum()
+	avail, epoch := n.readConsistent()
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	alpha := n.alphaLocked(now, avail)
-	n.reports = append(n.reports, reportSample{at: now, avail: avail})
+	alpha := n.alphaFeedLocked(now, avail)
 	return Report{Resource: n.resource, Avail: avail, Alpha: alpha, At: now, Epoch: epoch}
 }
 
-func (n *Network) alphaLocked(now Time, avail float64) float64 {
+// alphaFeedLocked computes α against the window and appends the new
+// sample, maintaining the running sum exactly as Local.alphaFeedLocked
+// does (in-order resum after prune keeps the value bit-identical to a
+// from-scratch recompute). Callers must hold n.mu.
+func (n *Network) alphaFeedLocked(now Time, avail float64) float64 {
 	cutoff := now - n.alphaWindow
 	first := sort.Search(len(n.reports), func(i int) bool { return n.reports[i].at > cutoff })
 	if first > 0 {
 		n.reports = append(n.reports[:0], n.reports[first:]...)
+		var sum float64
+		for _, r := range n.reports {
+			sum += r.avail
+		}
+		n.alphaSum = sum
 	}
-	if len(n.reports) == 0 {
-		return 1.0
+	alpha := 1.0
+	if len(n.reports) > 0 {
+		if avg := n.alphaSum / float64(len(n.reports)); avg > 0 {
+			alpha = avail / avg
+		}
 	}
-	var sum float64
-	for _, r := range n.reports {
-		sum += r.avail
-	}
-	avg := sum / float64(len(n.reports))
-	if avg <= 0 {
-		return 1.0
-	}
-	return avail / avg
+	n.reports = append(n.reports, reportSample{at: now, avail: avail})
+	n.alphaSum += avail
+	return alpha
 }
 
 // Reserve implements Broker: reserve the amount on every link on the

@@ -190,16 +190,15 @@ type Snapshot struct {
 // Snapshot queries the named resources and returns their reports. Each
 // query also feeds the broker's α window, as in the paper's protocol
 // where proxies report availability to the main QoSProxy on every session.
+// The snapshot's buffers come from a recycling pool; callers that own
+// the snapshot exclusively may hand it back with RecycleSnapshot once
+// done planning, making steady-state queries allocation-free.
 func (p *Pool) Snapshot(now Time, resources []string) (*Snapshot, error) {
-	s := &Snapshot{
-		At:    now,
-		Avail: make(qos.ResourceVector, len(resources)),
-		Alpha: make(map[string]float64, len(resources)),
-		Epoch: make(map[string]uint64, len(resources)),
-	}
+	s := grabSnapshot(now)
 	for _, r := range resources {
 		b, ok := p.Get(r)
 		if !ok {
+			p.RecycleSnapshot(s)
 			return nil, fmt.Errorf("broker: snapshot of unknown resource %s", r)
 		}
 		rep := b.Report(now)
@@ -216,15 +215,11 @@ func (p *Pool) Snapshot(now Time, resources []string) (*Snapshot, error) {
 // window, matching the simulation of section 5.2.4 where only the
 // availability value is stale.
 func (p *Pool) StaleSnapshot(now Time, resources []string, lag map[string]Time) (*Snapshot, error) {
-	s := &Snapshot{
-		At:    now,
-		Avail: make(qos.ResourceVector, len(resources)),
-		Alpha: make(map[string]float64, len(resources)),
-		Epoch: make(map[string]uint64, len(resources)),
-	}
+	s := grabSnapshot(now)
 	for _, r := range resources {
 		b, ok := p.Get(r)
 		if !ok {
+			p.RecycleSnapshot(s)
 			return nil, fmt.Errorf("broker: snapshot of unknown resource %s", r)
 		}
 		rep := b.Report(now)

@@ -1,0 +1,259 @@
+package broker
+
+import (
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"qosres/internal/obs"
+)
+
+// readTestPool builds the standard figure-9 test pool plus one network
+// resource, returning the pool and the resource set an admission would
+// snapshot.
+func readTestPool(t *testing.T) (*Pool, []string) {
+	t.Helper()
+	p := testPool(t)
+	n, err := p.Network("H4", "H1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, []string{"cpu@H1", "cpu@H4", n.Resource()}
+}
+
+func TestSnapshotCacheHitSharesObjectAndRevalidates(t *testing.T) {
+	p, res := readTestPool(t)
+	reg := obs.New()
+	c := NewSnapshotCache(p, obs.NewReadMetrics(reg))
+
+	s1, err := c.Snapshot(1, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := c.Snapshot(2, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 != s2 {
+		t.Fatal("unchanged books: cache returned a different snapshot object")
+	}
+	if s2.Avail["cpu@H1"] != 100 {
+		t.Fatalf("cached avail = %g, want 100", s2.Avail["cpu@H1"])
+	}
+
+	// A commit moves the book: the next query must rebuild and see it.
+	b, _ := p.Get("cpu@H1")
+	if _, err := b.Reserve(3, 10); err != nil {
+		t.Fatal(err)
+	}
+	s3, err := c.Snapshot(4, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s3 == s2 {
+		t.Fatal("epoch moved but the cache served the stale snapshot")
+	}
+	if s3.Avail["cpu@H1"] != 90 {
+		t.Fatalf("rebuilt avail = %g, want 90", s3.Avail["cpu@H1"])
+	}
+
+	counts := metricValues(t, reg)
+	if counts[obs.MetricSnapshotCacheHits] != 1 || counts[obs.MetricSnapshotCacheMisses] != 2 {
+		t.Fatalf("hits/misses = %g/%g, want 1/2",
+			counts[obs.MetricSnapshotCacheHits], counts[obs.MetricSnapshotCacheMisses])
+	}
+
+	// Unknown resources fail without caching.
+	if _, err := c.Snapshot(5, []string{"nope"}); err == nil {
+		t.Fatal("unknown resource did not error")
+	}
+}
+
+// metricValues flattens a registry snapshot into name -> summed value.
+func metricValues(t *testing.T, reg *obs.Registry) map[string]float64 {
+	t.Helper()
+	out := make(map[string]float64)
+	snap := reg.Snapshot()
+	for _, c := range snap.Counters {
+		out[c.Name] += c.Value
+	}
+	return out
+}
+
+// TestSnapshotCacheZeroAllocsSteadyState pins the read-path allocation
+// contract: once the entry exists and the α-window sample slices have
+// reached their steady capacity, a cache hit allocates nothing — no
+// maps, no key buffers, no samples.
+func TestSnapshotCacheZeroAllocsSteadyState(t *testing.T) {
+	p, res := readTestPool(t)
+	c := NewSnapshotCache(p, nil)
+
+	now := Time(0)
+	query := func() {
+		now++ // advance so the α windows prune and stay bounded
+		if _, err := c.Snapshot(now, res); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 64; i++ {
+		query() // warm: build the entry, stabilize sample capacities
+	}
+	if allocs := testing.AllocsPerRun(200, query); allocs != 0 {
+		t.Fatalf("cached snapshot path allocates %g per query, want 0", allocs)
+	}
+}
+
+// TestSnapshotCacheAlphaParity proves the observation-tick feeding
+// contract: a workload queried through the cache leaves every broker's
+// α window in exactly the state the uncached workload does, so the α
+// trajectory (and everything planned from it) converges identically
+// with the cache on and off.
+func TestSnapshotCacheAlphaParity(t *testing.T) {
+	pc, res := readTestPool(t)
+	pu, _ := readTestPool(t)
+	c := NewSnapshotCache(pc, nil)
+
+	run := func(p *Pool, snap func(now Time) (*Snapshot, error)) {
+		t.Helper()
+		for now := Time(1); now <= 40; now++ {
+			if _, err := snap(now); err != nil {
+				t.Fatal(err)
+			}
+			if int(now)%7 == 0 {
+				b, _ := p.Get("cpu@H1")
+				if _, err := b.Reserve(now, 5); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	run(pc, func(now Time) (*Snapshot, error) { return c.Snapshot(now, res) })
+	run(pu, func(now Time) (*Snapshot, error) { return pu.Snapshot(now, res) })
+
+	sc, err := pc.Snapshot(41, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	su, err := pu.Snapshot(41, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sc.Alpha, su.Alpha) {
+		t.Fatalf("α diverged with the cache on:\ncached:   %v\nuncached: %v", sc.Alpha, su.Alpha)
+	}
+	if !reflect.DeepEqual(sc.Avail, su.Avail) {
+		t.Fatalf("availability diverged:\ncached:   %v\nuncached: %v", sc.Avail, su.Avail)
+	}
+}
+
+// TestPublishedReadsTornFreeUnderContention is the seqlock
+// linearizability stress: 16 wait-free readers race 16 reserving and
+// releasing writers on a Local and a Network broker. No reader may ever
+// observe an availability outside [0, capacity] or an epoch older than
+// one it already observed. Run under -race in CI, this also pins the
+// atomic publication against torn reads.
+func TestPublishedReadsTornFreeUnderContention(t *testing.T) {
+	p, _ := readTestPool(t)
+	lb, _ := p.Get("cpu@H1")
+	local := lb.(*Local)
+	net, err := p.Network("H4", "H1")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const (
+		readers = 16
+		writers = 16
+		rounds  = 400
+	)
+	var (
+		tick Time // strictly increasing logical clock, under mu
+		mu   sync.Mutex
+		done atomic.Bool
+		wwg  sync.WaitGroup // writers
+		rwg  sync.WaitGroup // readers
+		errs = make(chan string, readers+writers)
+	)
+	next := func() Time {
+		mu.Lock()
+		tick++
+		now := tick
+		mu.Unlock()
+		return now
+	}
+
+	check := func(what string, avail, capacity float64) bool {
+		if avail < 0 || avail > capacity {
+			errs <- what
+			return false
+		}
+		return true
+	}
+	for w := 0; w < writers; w++ {
+		wwg.Add(1)
+		go func(w int) {
+			defer wwg.Done()
+			for i := 0; i < rounds; i++ {
+				var b Broker = local
+				if w%2 == 0 {
+					b = net
+				}
+				id, err := b.Reserve(next(), 1)
+				if err == nil {
+					if err := b.Release(next(), id); err != nil {
+						errs <- "release: " + err.Error()
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		rwg.Add(1)
+		go func() {
+			defer rwg.Done()
+			var lastLocal, lastNet uint64
+			for !done.Load() {
+				pr := local.published()
+				if !check("local torn read", pr.avail, pr.capacity) {
+					return
+				}
+				if pr.epoch < lastLocal {
+					errs <- "local epoch went backwards"
+					return
+				}
+				lastLocal = pr.epoch
+				if !check("local Available", local.Available(), local.Capacity()) {
+					return
+				}
+				if !check("network Available", net.Available(), 100) {
+					return
+				}
+				if e := net.CurrentEpoch(); e < lastNet {
+					errs <- "network epoch went backwards"
+					return
+				} else {
+					lastNet = e
+				}
+				now := next()
+				if rep := local.Report(now); !check("local Report", rep.Avail, local.Capacity()) {
+					return
+				}
+				if !check("local AvailableAt", local.AvailableAt(now), local.Capacity()) {
+					return
+				}
+			}
+		}()
+	}
+
+	// Writers are bounded by rounds; once they drain, stop the readers.
+	wwg.Wait()
+	done.Store(true)
+	rwg.Wait()
+
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}

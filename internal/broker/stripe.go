@@ -117,9 +117,7 @@ func unlockAll(ss []*stripe) {
 // transitions) it has undergone. Two equal epochs bracket an unchanged
 // book.
 func (b *Local) Epoch() uint64 {
-	b.stripe.Lock()
-	defer b.stripe.Unlock()
-	return b.epoch
+	return b.published().epoch
 }
 
 // StripeOrder exposes the broker's stripe acquisition rank for tests

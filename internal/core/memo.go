@@ -1,0 +1,199 @@
+package core
+
+import (
+	"container/list"
+	"sort"
+	"sync"
+
+	"qosres/internal/broker"
+	"qosres/internal/obs"
+	"qosres/internal/qrg"
+)
+
+// DefaultPlanMemoSize is the LRU bound of NewPlanMemo: plans are small
+// (a handful of choices), so the bound exists to defend against a
+// churning key population — a leaking catalogue of templates or
+// planner values — rather than against memory pressure.
+const DefaultPlanMemoSize = 4096
+
+// PlanMemo memoizes reservation plans per (template, planner) pair,
+// validated by the epoch vector of the snapshot they were planned
+// against. Back-to-back admissions of the same service against an
+// unchanged book skip QRG instantiation and Dijkstra entirely and go
+// straight to validate-at-commit; any commit that touches a resource in
+// a memoized plan's epoch vector makes that vector stale, which evicts
+// exactly that entry (and only that entry) on its next lookup.
+//
+// Correctness leans on two facts. First, broker epochs are monotone and
+// bumped by every availability-affecting mutation, so an epoch vector
+// that matches the current snapshot proves the books are exactly as the
+// memoized plan observed them — same availabilities, same feasibility.
+// Second, commits never trust the plan anyway: validate-at-commit
+// re-checks every amount under the stripe locks, so even a plan served
+// against a book that changes a microsecond later is caught exactly as
+// a freshly computed stale plan would be. The one observable difference
+// a memo hit can make is α-flavoured: α keeps evolving with every
+// observation tick even while availability is unchanged, so a planner
+// consulting α (the tradeoff policy) could in principle choose
+// differently on a re-plan. The memo deliberately keys on the epoch
+// vector alone — availability-identical books are plan-identical — and
+// callers that want α-exact replanning leave the memo off.
+//
+// Memoized *Plan values are shared between admissions and must be
+// treated as immutable by every consumer (they already are: commit
+// paths only read them, and Plan.Requirement builds a fresh vector).
+type PlanMemo struct {
+	mu      sync.Mutex
+	entries map[memoKey]*list.Element
+	order   *list.List // front = most recently used
+	max     int        // 0 = unbounded
+
+	hits      *obs.Counter
+	misses    *obs.Counter
+	evictions *obs.Counter
+}
+
+// memoKey identifies one memoized plan: the compiled template (pointer
+// identity, like the template cache's service keying) and the planner
+// value that produced the plan. Every planner in this package is a
+// comparable value (Basic, Tradeoff, TwoPass, Exhaustive are field-wise
+// comparable structs; Random is a pointer), so planners distinguish
+// entries exactly when they would plan differently.
+type memoKey struct {
+	tpl     *qrg.Template
+	planner Planner
+}
+
+// memoEntry is the list-element payload: the key (for map removal on
+// eviction), the epoch vector the plan was validated against, and the
+// plan itself. At most one entry per key is live: a newer plan for the
+// same key replaces the older one.
+type memoEntry struct {
+	key       memoKey
+	resources []string // sorted epoch-vector resource IDs
+	epochs    []uint64 // parallel to resources
+	plan      *Plan
+}
+
+// NewPlanMemo returns an empty memo bounded at DefaultPlanMemoSize,
+// registering its counters with r (nil r disables metrics at zero
+// cost, the obs convention).
+func NewPlanMemo(r *obs.Registry) *PlanMemo {
+	return NewPlanMemoSize(r, DefaultPlanMemoSize)
+}
+
+// NewPlanMemoSize returns an empty memo holding at most maxEntries
+// plans (least-recently-used eviction); 0 means unlimited, negative
+// values collapse to 1.
+func NewPlanMemoSize(r *obs.Registry, maxEntries int) *PlanMemo {
+	if maxEntries < 0 {
+		maxEntries = 1
+	}
+	return &PlanMemo{
+		entries: make(map[memoKey]*list.Element),
+		order:   list.New(),
+		max:     maxEntries,
+		hits: r.Counter(obs.MetricPlanMemoHits,
+			"Admissions that reused a memoized plan against an unchanged epoch vector."),
+		misses: r.Counter(obs.MetricPlanMemoMisses,
+			"Admissions that instantiated and planned afresh."),
+		evictions: r.Counter(obs.MetricPlanMemoEvictions,
+			"Memoized plans invalidated by epoch bumps or displaced by the memo size bound."),
+	}
+}
+
+// Get returns the memoized plan for (tpl, planner) if the snapshot's
+// epoch vector proves the books are unchanged since it was computed. A
+// stale entry — any epoch moved — is evicted on the spot and counted as
+// an invalidation. Snapshots lacking an epoch for one of the entry's
+// resources (degraded or synthetic snapshots) can't validate anything:
+// they miss without evicting.
+func (m *PlanMemo) Get(tpl *qrg.Template, planner Planner, snap *broker.Snapshot) (*Plan, bool) {
+	if m == nil || tpl == nil || snap == nil || snap.Epoch == nil {
+		return nil, false
+	}
+	key := memoKey{tpl: tpl, planner: planner}
+	m.mu.Lock()
+	el, ok := m.entries[key]
+	if !ok {
+		m.mu.Unlock()
+		m.misses.Inc()
+		return nil, false
+	}
+	e := el.Value.(*memoEntry)
+	for i, r := range e.resources {
+		cur, ok := snap.Epoch[r]
+		if !ok {
+			m.mu.Unlock()
+			m.misses.Inc()
+			return nil, false
+		}
+		if cur != e.epochs[i] {
+			// A commit bumped this resource's epoch: the entry is stale
+			// and can never validate again (epochs are monotone), so
+			// evict exactly it.
+			m.order.Remove(el)
+			delete(m.entries, key)
+			m.mu.Unlock()
+			m.evictions.Inc()
+			m.misses.Inc()
+			return nil, false
+		}
+	}
+	m.order.MoveToFront(el)
+	plan := e.plan
+	m.mu.Unlock()
+	m.hits.Inc()
+	return plan, true
+}
+
+// Put memoizes a freshly computed plan against the epoch vector of the
+// snapshot it was planned from. Snapshots without a complete epoch map
+// make no staleness claim and are not memoized. A previous entry for
+// the same key is replaced (its vector is stale or it lost a race;
+// either way at most one plan per key stays live).
+func (m *PlanMemo) Put(tpl *qrg.Template, planner Planner, snap *broker.Snapshot, plan *Plan) {
+	if m == nil || tpl == nil || snap == nil || plan == nil || len(snap.Epoch) == 0 {
+		return
+	}
+	resources := make([]string, 0, len(snap.Epoch))
+	for r := range snap.Epoch {
+		resources = append(resources, r)
+	}
+	sort.Strings(resources)
+	epochs := make([]uint64, len(resources))
+	for i, r := range resources {
+		epochs[i] = snap.Epoch[r]
+	}
+	key := memoKey{tpl: tpl, planner: planner}
+	e := &memoEntry{key: key, resources: resources, epochs: epochs, plan: plan}
+	m.mu.Lock()
+	if el, ok := m.entries[key]; ok {
+		el.Value = e
+		m.order.MoveToFront(el)
+		m.mu.Unlock()
+		return
+	}
+	m.entries[key] = m.order.PushFront(e)
+	var displaced int
+	for m.max > 0 && len(m.entries) > m.max {
+		oldest := m.order.Back()
+		m.order.Remove(oldest)
+		delete(m.entries, oldest.Value.(*memoEntry).key)
+		displaced++
+	}
+	m.mu.Unlock()
+	for ; displaced > 0; displaced-- {
+		m.evictions.Inc()
+	}
+}
+
+// Len returns the number of live entries, for tests.
+func (m *PlanMemo) Len() int {
+	if m == nil {
+		return 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.entries)
+}

@@ -1,0 +1,176 @@
+package core
+
+import (
+	"testing"
+
+	"qosres/internal/broker"
+	"qosres/internal/obs"
+	"qosres/internal/qrg"
+	"qosres/internal/topo"
+)
+
+// memoSnap builds a snapshot carrying only an epoch vector — all Get
+// and Put read from a snapshot.
+func memoSnap(epochs map[string]uint64) *broker.Snapshot {
+	return &broker.Snapshot{Epoch: epochs}
+}
+
+func memoCounts(t *testing.T, reg *obs.Registry) (hits, misses, evictions float64) {
+	t.Helper()
+	snap := reg.Snapshot()
+	for _, c := range snap.Counters {
+		switch c.Name {
+		case obs.MetricPlanMemoHits:
+			hits += c.Value
+		case obs.MetricPlanMemoMisses:
+			misses += c.Value
+		case obs.MetricPlanMemoEvictions:
+			evictions += c.Value
+		}
+	}
+	return
+}
+
+// TestPlanMemoExactInvalidation pins the eviction contract: a commit
+// that bumps any resource in a memoized plan's epoch vector evicts
+// exactly that entry — and only that entry; entries over disjoint
+// resources keep hitting.
+func TestPlanMemoExactInvalidation(t *testing.T) {
+	reg := obs.New()
+	m := NewPlanMemo(reg)
+	tplA, tplB := &qrg.Template{}, &qrg.Template{}
+	planA, planB := &Plan{Rank: 1}, &Plan{Rank: 2}
+	planner := Basic{}
+
+	m.Put(tplA, planner, memoSnap(map[string]uint64{"cpu@H1": 3, "net:H1->H2": 7}), planA)
+	m.Put(tplB, planner, memoSnap(map[string]uint64{"cpu@H3": 5, "net:H3->H4": 2}), planB)
+	if m.Len() != 2 {
+		t.Fatalf("entries = %d, want 2", m.Len())
+	}
+
+	// Unchanged epochs: both hit, and A returns the exact plan object.
+	if p, ok := m.Get(tplA, planner, memoSnap(map[string]uint64{"cpu@H1": 3, "net:H1->H2": 7})); !ok || p != planA {
+		t.Fatalf("unchanged epochs: Get(A) = (%v, %v), want (planA, true)", p, ok)
+	}
+	if _, ok := m.Get(tplB, planner, memoSnap(map[string]uint64{"cpu@H3": 5, "net:H3->H4": 2})); !ok {
+		t.Fatal("unchanged epochs: Get(B) missed")
+	}
+
+	// A commit touching one of A's resources: A is evicted on the spot,
+	// B survives untouched.
+	if _, ok := m.Get(tplA, planner, memoSnap(map[string]uint64{"cpu@H1": 4, "net:H1->H2": 7})); ok {
+		t.Fatal("stale epoch vector: Get(A) hit")
+	}
+	if m.Len() != 1 {
+		t.Fatalf("after invalidation: entries = %d, want 1 (only A evicted)", m.Len())
+	}
+	if _, ok := m.Get(tplB, planner, memoSnap(map[string]uint64{"cpu@H3": 5, "net:H3->H4": 2})); !ok {
+		t.Fatal("B was evicted by A's invalidation")
+	}
+
+	// A snapshot missing one of the entry's resources (degraded host)
+	// can't validate anything: miss without evicting.
+	if _, ok := m.Get(tplB, planner, memoSnap(map[string]uint64{"cpu@H3": 5})); ok {
+		t.Fatal("incomplete epoch vector validated a memoized plan")
+	}
+	if m.Len() != 1 {
+		t.Fatalf("incomplete vector evicted: entries = %d, want 1", m.Len())
+	}
+
+	// Distinct planners are distinct keys even for the same template.
+	if _, ok := m.Get(tplB, Tradeoff{}, memoSnap(map[string]uint64{"cpu@H3": 5, "net:H3->H4": 2})); ok {
+		t.Fatal("planner is not part of the memo key")
+	}
+
+	hits, misses, evictions := memoCounts(t, reg)
+	if hits != 3 || evictions != 1 {
+		t.Fatalf("hits/evictions = %g/%g, want 3/1", hits, evictions)
+	}
+	if misses < 3 {
+		t.Fatalf("misses = %g, want >= 3", misses)
+	}
+}
+
+// TestPlanMemoDuplicateResourceIDs is the stripe-sharding edge case
+// carried over from the lock-stripe work: two independent brokers that
+// happen to publish the SAME resource ID (separate pools, as in
+// federated or test deployments) must invalidate independently — a
+// commit on one pool's broker evicts only the template memoized
+// against that pool's epochs, while the identically-named entry built
+// from the other pool keeps hitting.
+func TestPlanMemoDuplicateResourceIDs(t *testing.T) {
+	m := NewPlanMemo(nil)
+	pools := [2]*broker.Pool{}
+	snaps := [2]*broker.Snapshot{}
+	tpls := [2]*qrg.Template{{}, {}}
+	plans := [2]*Plan{{Rank: 1}, {Rank: 2}}
+	res := []string{"cpu@H1"}
+	for i := range pools {
+		pools[i] = broker.NewPool(topo.Figure9())
+		if _, err := pools[i].AddLocal("cpu", "H1", 100); err != nil {
+			t.Fatal(err)
+		}
+		var err error
+		if snaps[i], err = pools[i].Snapshot(1, res); err != nil {
+			t.Fatal(err)
+		}
+		m.Put(tpls[i], Basic{}, snaps[i], plans[i])
+	}
+	if m.Len() != 2 {
+		t.Fatalf("entries = %d, want 2", m.Len())
+	}
+
+	// Commit on pool 0's cpu@H1 only.
+	b, _ := pools[0].Get("cpu@H1")
+	if _, err := b.Reserve(2, 10); err != nil {
+		t.Fatal(err)
+	}
+	s0, err := pools[0].Snapshot(3, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := pools[1].Snapshot(3, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, ok := m.Get(tpls[0], Basic{}, s0); ok {
+		t.Fatal("pool-0 commit did not invalidate pool-0's entry")
+	}
+	if p, ok := m.Get(tpls[1], Basic{}, s1); !ok || p != plans[1] {
+		t.Fatal("pool-0 commit evicted pool-1's identically-named entry")
+	}
+	if m.Len() != 1 {
+		t.Fatalf("entries = %d, want 1", m.Len())
+	}
+}
+
+// TestPlanMemoLRUBound pins the size bound: the oldest entry is
+// displaced once the memo exceeds max, counting an eviction.
+func TestPlanMemoLRUBound(t *testing.T) {
+	m := NewPlanMemoSize(nil, 2)
+	tpls := []*qrg.Template{{}, {}, {}}
+	for i, tpl := range tpls {
+		m.Put(tpl, Basic{}, memoSnap(map[string]uint64{"r": uint64(i)}), &Plan{Rank: i})
+	}
+	if m.Len() != 2 {
+		t.Fatalf("entries = %d, want 2", m.Len())
+	}
+	if _, ok := m.Get(tpls[0], Basic{}, memoSnap(map[string]uint64{"r": 0})); ok {
+		t.Fatal("oldest entry survived the size bound")
+	}
+	for i := 1; i < 3; i++ {
+		if p, ok := m.Get(tpls[i], Basic{}, memoSnap(map[string]uint64{"r": uint64(i)})); !ok || p.Rank != i {
+			t.Fatalf("entry %d displaced, want resident", i)
+		}
+	}
+	// Nil memo and nil snapshot are inert.
+	var nilMemo *PlanMemo
+	if _, ok := nilMemo.Get(tpls[0], Basic{}, memoSnap(nil)); ok {
+		t.Fatal("nil memo hit")
+	}
+	m.Put(tpls[0], Basic{}, &broker.Snapshot{}, &Plan{})
+	if m.Len() != 2 {
+		t.Fatal("epoch-free snapshot was memoized")
+	}
+}

@@ -35,6 +35,9 @@ type AdmitBenchRow struct {
 	// AvgBatchMembers is the mean group-commit round size (1 in
 	// serialized mode by definition; reported as 0 there).
 	AvgBatchMembers float64 `json:"avg_batch_members"`
+	// MemoHitRate is plan-memo hits over lookups; only read-path rows
+	// carry it.
+	MemoHitRate float64 `json:"memo_hit_rate,omitempty"`
 }
 
 // AdmitBenchResult aggregates the sweep. Speedup maps each goroutine
@@ -43,6 +46,10 @@ type AdmitBenchRow struct {
 type AdmitBenchResult struct {
 	Rows    []AdmitBenchRow    `json:"rows"`
 	Speedup map[string]float64 `json:"batched_speedup_by_goroutines"`
+	// ReadPath is the epoch-validated read-path section: the same
+	// serialized sweep with plan memoization on, and its hit rate.
+	// BENCH_read.json carries the full read-path benchmark.
+	ReadPath []AdmitBenchRow `json:"read_path,omitempty"`
 }
 
 // AdmitBench runs the admission-throughput sweep.
@@ -95,6 +102,28 @@ func AdmitBench(seed int64) (*AdmitBenchResult, error) {
 			}
 			res.Rows = append(res.Rows, row)
 		}
+	}
+	// The read-path section: the serialized sweep with plan
+	// memoization on (BENCH_read.json carries the full read benchmark).
+	for _, g := range AdmitBenchGoroutines {
+		reg := obs.New()
+		r, err := sim.RunAdmitThroughput(sim.AdmitBenchConfig{
+			Seed:       seed,
+			Goroutines: g,
+			Sessions:   AdmitBenchSessions,
+			PlanMemo:   true,
+			Obs:        reg,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: admitbench readpath/%d: %w", g, err)
+		}
+		res.ReadPath = append(res.ReadPath, AdmitBenchRow{
+			Mode:           "serialized+readpath",
+			Goroutines:     g,
+			SessionsPerSec: r.SessionsPerSec,
+			Established:    r.Established,
+			MemoHitRate:    memoHitRate(reg),
+		})
 	}
 	return res, nil
 }

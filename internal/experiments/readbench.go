@@ -1,0 +1,250 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"testing"
+	"time"
+
+	"qosres/internal/broker"
+	"qosres/internal/obs"
+	"qosres/internal/sim"
+	"qosres/internal/stats"
+	"qosres/internal/topo"
+)
+
+// Read-path benchmark: the lock-free epoch-validated read side behind
+// the BENCH_read.json CI artifact. Two measurements:
+//
+//   - snapshot microbench: ns/op and allocs/op of an availability
+//     snapshot over the hot session's four resources, uncached
+//     (Pool.Snapshot + recycling) versus served by the epoch-validated
+//     SnapshotCache at steady state (hits: wait-free revalidation, the
+//     shared object returned as-is, zero allocations);
+//   - admission sweep: establish+release sessions/sec through the
+//     runtime at 1/4/16/32 clients, serialized versus the plan-memo
+//     read path (serialized and batched), with the memo hit rate.
+//
+// ReadBenchPR7SerializedBaseline keys each goroutine count to the
+// serialized sessions/sec of the committed PR-7 BENCH_admit.json — the
+// pre-read-path reference this PR's acceptance (>= 2x at 16-32
+// goroutines) and the CI bench-delta guard are measured against.
+var ReadBenchPR7SerializedBaseline = map[string]float64{
+	"1": 11579, "4": 11647, "16": 11254, "32": 11575,
+}
+
+// readBenchSnapshotIters sizes the snapshot microbench.
+const readBenchSnapshotIters = 200000
+
+// ReadBenchRow is one measured (mode, goroutines) admission cell.
+type ReadBenchRow struct {
+	Mode           string  `json:"mode"`
+	Goroutines     int     `json:"goroutines"`
+	SessionsPerSec float64 `json:"sessions_per_sec"`
+	Established    int     `json:"established"`
+	// MemoHitRate is plan-memo hits over lookups (0 in modes without
+	// the memo, and with one client, whose own commits always move the
+	// epochs it would revalidate against).
+	MemoHitRate float64 `json:"memo_hit_rate"`
+}
+
+// ReadBenchResult aggregates the read-path benchmark.
+type ReadBenchResult struct {
+	// Snapshot microbench over the hot session's four resources.
+	SnapshotUncachedNsOp    float64 `json:"snapshot_uncached_ns_op"`
+	SnapshotCachedNsOp      float64 `json:"snapshot_cached_ns_op"`
+	SnapshotCachedAllocsOp  float64 `json:"snapshot_cached_allocs_op"`
+	SnapshotUncachedAllocOp float64 `json:"snapshot_uncached_allocs_op"`
+
+	Rows []ReadBenchRow `json:"rows"`
+	// SpeedupVsSerialized maps "mode/goroutines" to throughput over the
+	// serialized mode measured in the same run.
+	SpeedupVsSerialized map[string]float64 `json:"speedup_vs_serialized"`
+	// SpeedupVsPR7Serialized maps "mode/goroutines" to throughput over
+	// the committed PR-7 serialized baseline (the pre-read-path tree).
+	SpeedupVsPR7Serialized map[string]float64 `json:"speedup_vs_pr7_serialized"`
+	PR7SerializedBaseline  map[string]float64 `json:"pr7_serialized_baseline_sessions_per_sec"`
+}
+
+// readBenchPool builds the generous-capacity figure-9 pool and the hot
+// session's resource set (service S1 established from domain 3).
+func readBenchPool() (*broker.Pool, []string, error) {
+	p := broker.NewPool(topo.Figure9())
+	for i := 1; i <= topo.NumServers; i++ {
+		if _, err := p.AddLocal("cpu", topo.ServerHost(i), 1e6); err != nil {
+			return nil, nil, err
+		}
+	}
+	for _, l := range topo.Figure9().Links() {
+		if _, err := p.AddLink(l.ID, 1e6); err != nil {
+			return nil, nil, err
+		}
+	}
+	server := topo.ServerHost(1)
+	proxy := topo.ServerHost(topo.ProxyServerFor(3))
+	client := topo.DomainHost(3)
+	n1, err := p.Network(server, proxy)
+	if err != nil {
+		return nil, nil, err
+	}
+	n2, err := p.Network(proxy, client)
+	if err != nil {
+		return nil, nil, err
+	}
+	return p, []string{
+		broker.LocalResourceID("cpu", server),
+		broker.LocalResourceID("cpu", proxy),
+		n1.Resource(), n2.Resource(),
+	}, nil
+}
+
+// ReadBench runs the read-path benchmark.
+func ReadBench(seed int64) (*ReadBenchResult, error) {
+	res := &ReadBenchResult{
+		SpeedupVsSerialized:    make(map[string]float64),
+		SpeedupVsPR7Serialized: make(map[string]float64),
+		PR7SerializedBaseline:  ReadBenchPR7SerializedBaseline,
+	}
+
+	// Snapshot microbench. The clock advances every query so the α
+	// windows prune and the sample slices hold a steady capacity.
+	pool, resources, err := readBenchPool()
+	if err != nil {
+		return nil, err
+	}
+	now := broker.Time(0)
+	uncached := func() error {
+		now++
+		s, err := pool.Snapshot(now, resources)
+		if err != nil {
+			return err
+		}
+		pool.RecycleSnapshot(s)
+		return nil
+	}
+	cache := broker.NewSnapshotCache(pool, nil)
+	cached := func() error {
+		now++
+		_, err := cache.Snapshot(now, resources)
+		return err
+	}
+	measure := func(query func() error) (float64, error) {
+		for i := 0; i < 1000; i++ { // warm pools and caches
+			if err := query(); err != nil {
+				return 0, err
+			}
+		}
+		start := time.Now()
+		for i := 0; i < readBenchSnapshotIters; i++ {
+			if err := query(); err != nil {
+				return 0, err
+			}
+		}
+		return float64(time.Since(start).Nanoseconds()) / readBenchSnapshotIters, nil
+	}
+	if res.SnapshotUncachedNsOp, err = measure(uncached); err != nil {
+		return nil, err
+	}
+	if res.SnapshotCachedNsOp, err = measure(cached); err != nil {
+		return nil, err
+	}
+	res.SnapshotUncachedAllocOp = testing.AllocsPerRun(2000, func() { _ = uncached() })
+	res.SnapshotCachedAllocsOp = testing.AllocsPerRun(2000, func() { _ = cached() })
+
+	// Admission sweep: serialized baseline, then the plan-memo read
+	// path serialized and batched.
+	serial := make(map[int]float64)
+	for _, mode := range []struct {
+		name  string
+		batch int
+		memo  bool
+	}{
+		{"serialized", 0, false},
+		{"serialized+readpath", 0, true},
+		{"batched+readpath", admitBenchMaxBatch, true},
+	} {
+		for _, g := range AdmitBenchGoroutines {
+			reg := obs.New()
+			r, err := sim.RunAdmitThroughput(sim.AdmitBenchConfig{
+				Seed:       seed,
+				Goroutines: g,
+				Sessions:   AdmitBenchSessions,
+				BatchAdmit: mode.batch,
+				PlanMemo:   mode.memo,
+				Obs:        reg,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("experiments: readbench %s/%d: %w", mode.name, g, err)
+			}
+			row := ReadBenchRow{
+				Mode:           mode.name,
+				Goroutines:     g,
+				SessionsPerSec: r.SessionsPerSec,
+				Established:    r.Established,
+				MemoHitRate:    memoHitRate(reg),
+			}
+			res.Rows = append(res.Rows, row)
+			key := fmt.Sprintf("%s/%d", mode.name, g)
+			if mode.name == "serialized" {
+				serial[g] = r.SessionsPerSec
+			} else if s := serial[g]; s > 0 {
+				res.SpeedupVsSerialized[key] = r.SessionsPerSec / s
+			}
+			if base := ReadBenchPR7SerializedBaseline[fmt.Sprintf("%d", g)]; base > 0 {
+				res.SpeedupVsPR7Serialized[key] = r.SessionsPerSec / base
+			}
+		}
+	}
+	return res, nil
+}
+
+// memoHitRate extracts plan-memo hits / (hits + misses) from a run
+// registry; 0 when the memo never saw a lookup.
+func memoHitRate(reg *obs.Registry) float64 {
+	var hits, misses float64
+	for _, c := range reg.Snapshot().Counters {
+		switch c.Name {
+		case obs.MetricPlanMemoHits:
+			hits += c.Value
+		case obs.MetricPlanMemoMisses:
+			misses += c.Value
+		}
+	}
+	if hits+misses == 0 {
+		return 0
+	}
+	return hits / (hits + misses)
+}
+
+// WriteReadBenchJSON writes the result to path (the CI artifact
+// BENCH_read.json).
+func WriteReadBenchJSON(path string, r *ReadBenchResult) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// PrintReadBench renders the benchmark.
+func PrintReadBench(w io.Writer, r *ReadBenchResult) {
+	fmt.Fprintf(w, "Snapshot read (hot session, 4 resources):\n")
+	fmt.Fprintf(w, "  uncached  %8.0f ns/op  %4.1f allocs/op\n", r.SnapshotUncachedNsOp, r.SnapshotUncachedAllocOp)
+	fmt.Fprintf(w, "  cached    %8.0f ns/op  %4.1f allocs/op\n", r.SnapshotCachedNsOp, r.SnapshotCachedAllocsOp)
+	t := &stats.Table{Header: []string{"mode", "goroutines", "sessions/s", "memo hits", "vs pr7"}}
+	for _, row := range r.Rows {
+		hit := "-"
+		if row.MemoHitRate > 0 {
+			hit = fmt.Sprintf("%.1f%%", 100*row.MemoHitRate)
+		}
+		vs := "-"
+		if s, ok := r.SpeedupVsPR7Serialized[fmt.Sprintf("%s/%d", row.Mode, row.Goroutines)]; ok {
+			vs = fmt.Sprintf("%.2fx", s)
+		}
+		t.AddRow(row.Mode, fmt.Sprintf("%d", row.Goroutines),
+			fmt.Sprintf("%.0f", row.SessionsPerSec), hit, vs)
+	}
+	fmt.Fprintf(w, "Admission throughput: read path vs serialized baseline\n%s", t)
+}

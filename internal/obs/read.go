@@ -1,0 +1,58 @@
+package obs
+
+// Read-path metric names: the lock-free snapshot cache and plan memo's
+// visibility surface. Documented in README.md ("Observability").
+const (
+	// MetricSnapshotCacheHits counts snapshot queries served from a
+	// cached epoch-validated snapshot without rebuilding it.
+	MetricSnapshotCacheHits = "qosres_snapshot_cache_hits_total"
+	// MetricSnapshotCacheMisses counts snapshot queries that had to
+	// rebuild the snapshot because a broker epoch moved (or the entry
+	// was cold).
+	MetricSnapshotCacheMisses = "qosres_snapshot_cache_misses_total"
+	// MetricPlanMemoHits counts admissions that reused a memoized plan
+	// (same template, same planner, identical epoch vector) and skipped
+	// QRG instantiation and Dijkstra entirely.
+	MetricPlanMemoHits = "qosres_plan_memo_hits_total"
+	// MetricPlanMemoMisses counts admissions that had to plan afresh.
+	MetricPlanMemoMisses = "qosres_plan_memo_misses_total"
+	// MetricPlanMemoEvictions counts memoized plans invalidated because
+	// a commit bumped an epoch in their vector (or they were displaced
+	// by the size bound).
+	MetricPlanMemoEvictions = "qosres_plan_memo_evictions_total"
+)
+
+// ReadMetrics groups the read-path counters: how often the shared
+// snapshot cache and the plan memo short-circuited the plan-side hot
+// path, and how many memo entries commits invalidated. The zero value
+// (or one built from a nil registry) is fully inert.
+type ReadMetrics struct {
+	// SnapshotHits counts epoch-validated snapshot cache hits.
+	SnapshotHits *Counter
+	// SnapshotMisses counts snapshot cache rebuilds.
+	SnapshotMisses *Counter
+	// PlanMemoHits counts admissions served by a memoized plan.
+	PlanMemoHits *Counter
+	// PlanMemoMisses counts admissions that planned afresh.
+	PlanMemoMisses *Counter
+	// PlanMemoEvictions counts memo entries invalidated by commits or
+	// displaced by the size bound.
+	PlanMemoEvictions *Counter
+}
+
+// NewReadMetrics registers (or re-fetches) the read-path counters. A
+// nil registry yields an inert value whose counters record nothing.
+func NewReadMetrics(r *Registry) *ReadMetrics {
+	return &ReadMetrics{
+		SnapshotHits: r.Counter(MetricSnapshotCacheHits,
+			"Snapshot queries served from the epoch-validated shared snapshot cache."),
+		SnapshotMisses: r.Counter(MetricSnapshotCacheMisses,
+			"Snapshot queries that rebuilt the snapshot after an epoch moved or a cold entry."),
+		PlanMemoHits: r.Counter(MetricPlanMemoHits,
+			"Admissions that reused a memoized plan against an unchanged epoch vector."),
+		PlanMemoMisses: r.Counter(MetricPlanMemoMisses,
+			"Admissions that instantiated and planned afresh."),
+		PlanMemoEvictions: r.Counter(MetricPlanMemoEvictions,
+			"Memoized plans invalidated by epoch bumps or displaced by the memo size bound."),
+	}
+}

@@ -37,8 +37,10 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"qosres/internal/broker"
+	"qosres/internal/core"
 	"qosres/internal/obs"
 	"qosres/internal/qrg"
 	"qosres/internal/svc"
@@ -135,6 +137,12 @@ type QoSProxy struct {
 	ep   *transport.Endpoint
 	done chan struct{}
 	wg   sync.WaitGroup
+
+	// wedged mirrors an injected stall (stallRequest) for the read fast
+	// lane: while set, availability handlers drop requests unanswered so
+	// callers observe the same wedged-proxy symptoms (deadline expiry)
+	// the serve loop exhibits.
+	wedged atomic.Bool
 }
 
 // newQoSProxy constructs (but does not start) a proxy.
@@ -213,8 +221,43 @@ func (p *QoSProxy) handle(d transport.Delivery) {
 	case batchAbortRequest:
 		d.Reply(p.handleBatchAbort(req))
 	case stallRequest:
+		// Wedge the whole proxy, fast lane included: availability
+		// handlers drop requests while wedged so callers time out
+		// exactly as they would against a blocked serve loop.
+		p.wedged.Store(true)
 		<-req.release
+		p.wedged.Store(false)
 	}
+}
+
+// handleAvailabilityFast is the read fast lane: it answers availability
+// queries on the delivering goroutine with wait-free broker reads,
+// never touching the serve loop or any stripe lock. Tracing mirrors
+// handle: the first copy of a traced delivery opens a participant span,
+// a duplicate copy annotates a duplicate-suppressed event but is still
+// answered (its reply covers a lost first reply). While the proxy is
+// wedged (stall injection) the handler declines the delivery instead:
+// it falls back to the inbox and queues FIFO behind the stall, exactly
+// as every request did before the fast lane existed — answered once
+// the stall releases, or timing out on the caller's deadline first.
+func (p *QoSProxy) handleAvailabilityFast(d transport.Delivery) bool {
+	if p.wedged.Load() {
+		return false
+	}
+	if d.Span.Sampled {
+		if d.Dup {
+			p.tracer.EventOn(d.Span, obs.EventDuplicateSuppressed, d.Kind)
+		} else {
+			sp := p.tracer.ChildOf(d.Span, d.Kind, string(p.host))
+			defer sp.End()
+		}
+	}
+	req, ok := d.Payload.(availabilityRequest)
+	if !ok {
+		return false
+	}
+	d.Reply(p.handleAvailability(req))
+	return true
 }
 
 func (p *QoSProxy) handleAvailability(req availabilityRequest) availabilityReply {
@@ -256,6 +299,9 @@ type Runtime struct {
 	// templates serves compiled QRG templates to Establish; nil falls
 	// back to building every graph from scratch (see SetTemplateCache).
 	templates *qrg.TemplateCache
+	// memo serves epoch-validated memoized plans to Establish; nil
+	// plans every admission afresh (see SetPlanMemo).
+	memo *core.PlanMemo
 	// sessions is the registry of live sessions, the set the repair
 	// layer walks when a fault invalidates reservations.
 	sessions map[*Session]struct{}
@@ -485,6 +531,26 @@ func (rt *Runtime) templateFor(spec SessionSpec) *qrg.Template {
 	return tpl
 }
 
+// SetPlanMemo attaches an epoch-validated plan memo: admissions whose
+// (template, planner) pair already planned against an identical epoch
+// vector reuse the memoized plan and skip the build and plan stages,
+// going straight to validate-at-commit. Requires the template cache
+// (sessions without a compiled template never memoize). nil — the
+// default — disables memoization.
+func (rt *Runtime) SetPlanMemo(m *core.PlanMemo) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.memo = m
+}
+
+// planMemo returns the attached plan memo, possibly nil (a nil
+// *core.PlanMemo is inert: Get always misses, Put is a no-op).
+func (rt *Runtime) planMemo() *core.PlanMemo {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.memo
+}
+
 // Instrument attaches stage-latency histograms: every Establish then
 // records its phase-1 availability collection, QRG build, planning and
 // phase-3 dispatch durations into the corresponding histograms. Call
@@ -658,6 +724,11 @@ func (rt *Runtime) Start() {
 		p.tracer = rt.tracer
 		p.ep = rt.fabric.Endpoint(p.addr(), 16)
 		p.done = make(chan struct{})
+		// Availability queries take the read fast lane: wait-free broker
+		// reads answered on the delivering goroutine, bypassing the serve
+		// loop entirely. The serve loop keeps its availabilityRequest case
+		// as a fallback for deliveries raced ahead of this registration.
+		p.ep.SetHandler(msgAvailability, p.handleAvailabilityFast)
 		p.wg.Add(1)
 		go p.serve(p.ep, p.done)
 	}

@@ -314,6 +314,7 @@ func (rt *Runtime) admitOnce(ctx context.Context, mainHost topo.HostID, spec Ses
 	stages := rt.planStages()
 	policy, admit, jitter := rt.admitState()
 	tpl := rt.templateFor(spec)
+	memo := rt.planMemo()
 	root := obs.SpanFromContext(ctx)
 	host := string(mainHost)
 
@@ -336,32 +337,46 @@ func (rt *Runtime) admitOnce(ctx context.Context, mainHost topo.HostID, spec Ses
 			return nil, nil, err
 		}
 
-		// Phase 2: local computation at the main proxy. The compiled
-		// template (shared by every attempt and every session of this
-		// (service, binding) pair) yields the same graph as qrg.Build.
-		st = startStageSpan(stages.Build, root, obs.StageBuild, host)
-		var g *qrg.Graph
-		if tpl != nil {
-			g, err = tpl.Instantiate(snap)
+		// Phase 2: local computation at the main proxy. The plan memo
+		// short-circuits it entirely when this (template, planner) pair
+		// already planned against an identical epoch vector — the books
+		// are provably unchanged, so the memoized plan is the plan the
+		// stages below would recompute. Otherwise the compiled template
+		// (shared by every attempt and every session of this (service,
+		// binding) pair) yields the same graph as qrg.Build.
+		plan, memoized := memo.Get(tpl, spec.Planner, snap)
+		if memoized {
+			root.Event(obs.EventPlanMemoHit, host)
 		} else {
-			g, err = qrg.Build(spec.Service, spec.Binding, snap)
-		}
-		st.end(err, "error")
-		if err != nil {
-			return nil, nil, err
-		}
-		st = startStageSpan(stages.Plan, root, obs.StagePlan, host)
-		plan, err := spec.Planner.Plan(g)
-		st.end(err, "infeasible")
-		if tpl != nil {
-			// Plans own their data; recycle the graph buffers for the
-			// next instantiation.
-			tpl.Recycle(g)
-		}
-		if err != nil {
-			// Planning failure against a fresh snapshot is not staleness;
-			// retrying cannot help.
-			return nil, nil, err
+			st = startStageSpan(stages.Build, root, obs.StageBuild, host)
+			var g *qrg.Graph
+			if tpl != nil {
+				g, err = tpl.Instantiate(snap)
+			} else {
+				g, err = qrg.Build(spec.Service, spec.Binding, snap)
+			}
+			st.end(err, "error")
+			if err != nil {
+				return nil, nil, err
+			}
+			st = startStageSpan(stages.Plan, root, obs.StagePlan, host)
+			plan, err = spec.Planner.Plan(g)
+			st.end(err, "infeasible")
+			if tpl != nil {
+				// Plans own their data; recycle the graph buffers for the
+				// next instantiation.
+				tpl.Recycle(g)
+			}
+			if err != nil {
+				// Planning failure against a fresh snapshot is not staleness;
+				// retrying cannot help.
+				return nil, nil, err
+			}
+			if len(snap.Epoch) == len(resources) {
+				// Only a fully epoch-stamped snapshot (no degraded
+				// resources) proves enough to memoize against.
+				memo.Put(tpl, spec.Planner, snap, plan)
+			}
 		}
 
 		// Phase 3: two-phase validate-at-commit across the plan's owning
@@ -480,6 +495,7 @@ func (rt *Runtime) collectAvailability(ctx context.Context, mainHost topo.HostID
 		At:    rt.clock.Now(),
 		Avail: make(qos.ResourceVector, len(resources)),
 		Alpha: make(map[string]float64, len(resources)),
+		Epoch: make(map[string]uint64, len(resources)),
 	}
 	span := obs.SpanFromContext(ctx)
 	var firstErr error
@@ -517,6 +533,10 @@ func (rt *Runtime) collectAvailability(ctx context.Context, mainHost topo.HostID
 		for _, rep := range res.reports {
 			snap.Avail[rep.Resource] = rep.Avail
 			snap.Alpha[rep.Resource] = rep.Alpha
+			// Degraded (cache-aged) resources deliberately get no epoch:
+			// only fresh reports make the staleness claim the plan memo
+			// validates against.
+			snap.Epoch[rep.Resource] = rep.Epoch
 		}
 	}
 	if firstErr != nil {

@@ -57,9 +57,12 @@ func stallProxy(t *testing.T, rt *Runtime, host topo.HostID) chan struct{} {
 	go func() {
 		_, _ = rt.Transport().Call(context.Background(), "test-driver", transport.Addr(host), "stall", stallRequest{release: release})
 	}()
-	// The serve loop is FIFO: once a probe times out, the proxy is
-	// wedged (it would otherwise answer instantly over the perfect
-	// fabric).
+	// Once a probe times out, the proxy is wedged: the serve loop is
+	// blocked on the stall and the availability fast lane drops
+	// requests while the wedged flag is up (it would otherwise answer
+	// instantly over the perfect fabric). Probes pace themselves so the
+	// serve goroutine gets scheduled to dequeue the stall — fast-lane
+	// answers no longer queue behind it.
 	for i := 0; i < 400; i++ {
 		ctx, cancel := context.WithTimeout(context.Background(), 25*time.Millisecond)
 		_, err := rt.Transport().Call(ctx, "test-driver", transport.Addr(host), msgAvailability, availabilityRequest{})
@@ -67,6 +70,7 @@ func stallProxy(t *testing.T, rt *Runtime, host topo.HostID) chan struct{} {
 		if errors.Is(err, context.DeadlineExceeded) {
 			return release
 		}
+		time.Sleep(time.Millisecond)
 	}
 	t.Fatalf("proxy %s never stalled", host)
 	return release

@@ -111,9 +111,13 @@ func (st *prepState) resolved() bool {
 const maxPendingResolved = 1024
 
 // gcPending prunes the oldest resolved entries beyond the bound. Runs
-// on the serve goroutine.
+// on the serve goroutine. The sweep is amortized: it triggers only once
+// the table doubles past the bound, so each protocol message pays O(1)
+// on average instead of rescanning ~maxPendingResolved entries per
+// message — resolved entries are kept at least as long as a per-message
+// sweep would keep them, just up to twice as many at peak.
 func (p *QoSProxy) gcPending() {
-	if len(p.order) <= maxPendingResolved {
+	if len(p.order) <= 2*maxPendingResolved {
 		return
 	}
 	keep := p.order[:0]

@@ -38,6 +38,10 @@ type AdmitBenchConfig struct {
 	// BatchAdmit, when > 1, enables the group-commit front end with
 	// this round bound; 0 or 1 measures the serialized commit path.
 	BatchAdmit int
+	// PlanMemo enables epoch-validated plan memoization: admissions
+	// whose book is unchanged since an identical earlier admission skip
+	// instantiation and planning (the read-path fast lane).
+	PlanMemo bool
 	// Obs, when non-nil, receives the run's metrics (batch sizes,
 	// stripe counters, stage latencies) for reporting alongside the
 	// throughput number.
@@ -70,6 +74,7 @@ func RunAdmitThroughput(ab AdmitBenchConfig) (*AdmitBenchResult, error) {
 	cfg.CapacityMin = 1e6
 	cfg.CapacityMax = 1e6
 	cfg.BatchAdmit = ab.BatchAdmit
+	cfg.PlanMemo = ab.PlanMemo
 	cfg.Obs = ab.Obs
 	if err := cfg.Validate(); err != nil {
 		return nil, err

@@ -33,6 +33,9 @@ type instruments struct {
 	// transport carries the message/drop/duplication/breaker counters of
 	// unreliable-messaging chaos runs; inert without a registry.
 	transport *obs.TransportMetrics
+	// read carries the read-path cache counters (snapshot cache and plan
+	// memo hits/misses/evictions); inert without a registry.
+	read *obs.ReadMetrics
 }
 
 const (
@@ -63,6 +66,7 @@ func newInstruments(r *obs.Registry) instruments {
 	in.admit = obs.NewAdmitMetrics(r)
 	in.faults = obs.NewFaultMetrics(r)
 	in.transport = obs.NewTransportMetrics(r)
+	in.read = obs.NewReadMetrics(r)
 	return in
 }
 

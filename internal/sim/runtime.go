@@ -43,6 +43,12 @@ func (env *environment) buildRuntime(cfg Config, clock proxy.Clock) (*proxy.Runt
 	// registry) so hit/miss counters cover both execution modes; a nil
 	// cache disables the fast lane for reference runs.
 	rt.SetTemplateCache(env.templates)
+	if cfg.PlanMemo {
+		// Epoch-validated plan memoization: admissions whose book is
+		// unchanged skip instantiation and planning and go straight to
+		// validate-at-commit. Counters land in the run registry.
+		rt.SetPlanMemo(core.NewPlanMemo(env.ins.reg))
+	}
 	if cfg.BatchAdmit > 1 {
 		// Group-commit admission: concurrent commits coalesce into
 		// batched 2PC rounds. Single-threaded runs see one-member rounds

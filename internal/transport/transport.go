@@ -34,6 +34,7 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"qosres/internal/obs"
@@ -128,12 +129,16 @@ func (d Delivery) Reply(payload interface{}) {
 }
 
 // Endpoint is one registered fabric address: a bounded inbox of
-// deliveries plus a close signal.
+// deliveries plus a close signal, and an optional set of per-kind fast
+// lane handlers that bypass the inbox entirely (see SetHandler).
 type Endpoint struct {
 	addr  Addr
 	inbox chan Delivery
 	done  chan struct{}
 	once  sync.Once
+
+	hmu      sync.Mutex
+	handlers atomic.Pointer[map[string]func(Delivery) bool]
 }
 
 // Addr returns the endpoint's address.
@@ -150,6 +155,59 @@ func (e *Endpoint) Done() <-chan struct{} { return e.done }
 // dropped. Idempotent.
 func (e *Endpoint) Close() {
 	e.once.Do(func() { close(e.done) })
+}
+
+// SetHandler registers a fast-lane handler for one message kind:
+// matching deliveries are handed to h directly instead of queueing
+// through the inbox and the owner's serve goroutine. The fabric's chaos
+// (partition, loss, duplication, latency) is applied before dispatch,
+// so a fast-lane message suffers exactly the adversities an inbox
+// message would.
+//
+// The contract is strict: h runs on the DELIVERING goroutine — the
+// caller's own goroutine for zero-latency routes and loopback — so it
+// must never block and must be safe for concurrent invocation. h
+// returns true when it consumed the delivery (replied or deliberately
+// dropped it) and false to decline: a declined delivery falls back to
+// the inbox path and queues for the owner's serve goroutine exactly as
+// if no handler were registered, preserving FIFO ordering behind
+// whatever the serve loop is doing. Handlers are meant for read-mostly
+// request kinds whose work is wait-free (availability queries); state
+// mutations stay on the serve loop.
+func (e *Endpoint) SetHandler(kind string, h func(Delivery) bool) {
+	e.hmu.Lock()
+	defer e.hmu.Unlock()
+	old := e.handlers.Load()
+	next := make(map[string]func(Delivery) bool, 2)
+	if old != nil {
+		for k, v := range *old {
+			next[k] = v
+		}
+	}
+	next[kind] = h
+	e.handlers.Store(&next)
+}
+
+// dispatch hands d to its kind's fast-lane handler, reporting false
+// when no handler is registered, the handler declines the delivery
+// (either way it then takes the inbox path), or the endpoint is closed
+// (the delivery is dropped like an inbox delivery to a closed endpoint
+// would be — the caller observes a missing reply, not an error).
+func (e *Endpoint) dispatch(d Delivery) bool {
+	m := e.handlers.Load()
+	if m == nil {
+		return false
+	}
+	h, ok := (*m)[d.Kind]
+	if !ok {
+		return false
+	}
+	select {
+	case <-e.done:
+		return false
+	default:
+	}
+	return h(d)
 }
 
 // Fabric routes messages between endpoints with injectable per-route
@@ -400,7 +458,9 @@ func (f *Fabric) Call(ctx context.Context, from, to Addr, kind string, payload i
 
 	if from == to {
 		// Loopback: the proxy talking to itself never crosses the
-		// network. Reliable, instant, breaker-free.
+		// network. Reliable, instant, breaker-free. A registered fast
+		// lane handler runs inline on this goroutine; otherwise the
+		// delivery queues through the inbox.
 		replyCh := make(chan interface{}, 1)
 		d := Delivery{From: from, Kind: kind, Span: cs.Context(), Payload: payload,
 			reply: func(resp interface{}) {
@@ -409,15 +469,17 @@ func (f *Fabric) Call(ctx context.Context, from, to Addr, kind string, payload i
 				default:
 				}
 			}}
-		select {
-		case ep.inbox <- d:
-		case <-ep.done:
-			finish("closed")
-			return nil, fmt.Errorf("transport: %s: %w", to, ErrClosed)
-		case <-ctx.Done():
-			f.metrics.Timeout()
-			finish("timeout")
-			return nil, fmt.Errorf("transport: call %s->%s (%s): %w", from, to, kind, ctx.Err())
+		if !ep.dispatch(d) {
+			select {
+			case ep.inbox <- d:
+			case <-ep.done:
+				finish("closed")
+				return nil, fmt.Errorf("transport: %s: %w", to, ErrClosed)
+			case <-ctx.Done():
+				f.metrics.Timeout()
+				finish("timeout")
+				return nil, fmt.Errorf("transport: call %s->%s (%s): %w", from, to, kind, ctx.Err())
+			}
 		}
 		select {
 		case resp := <-replyCh:
@@ -458,6 +520,12 @@ func (f *Fabric) Call(ctx context.Context, from, to Addr, kind string, payload i
 	reqDrop := f.send(from, to, func(dup bool) bool {
 		dd := d
 		dd.Dup = dup
+		// Fast lane first: the route's chaos has already been applied
+		// by send, so a handler sees exactly the deliveries (and
+		// duplicate copies) the inbox would have.
+		if ep.dispatch(dd) {
+			return true
+		}
 		select {
 		case ep.inbox <- dd:
 			return true
