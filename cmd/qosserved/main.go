@@ -1,0 +1,315 @@
+// Command qosserved serves the QoSProxy runtime over HTTP/JSON: session
+// establishment, heartbeat and teardown on internal/spec documents,
+// plus /metrics, /snapshot and pprof. The reservation books are
+// write-ahead-logged, so a restarted daemon pointed at the same -wal
+// directory recovers its pre-crash reservations (-recover, on by
+// default) instead of forgetting them.
+//
+// Endpoints:
+//
+//	GET  /spec            sample a paper-shaped session offer
+//	POST /establish       admit a session (empty body: sample one)
+//	POST /heartbeat?id=S  renew session S's leases
+//	POST /teardown?id=S   release session S
+//	GET  /metrics         Prometheus exposition
+//	GET  /snapshot        JSON metrics snapshot
+//	GET  /debug/pprof/    runtime profiles
+//
+// POST /establish accepts {"mainHost": "H1", "session": {...spec...}};
+// the session document's availability snapshot is advisory (the
+// three-phase protocol collects live availability over the fabric).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync"
+	"time"
+
+	"qosres/internal/broker"
+	"qosres/internal/obs"
+	"qosres/internal/sim"
+	"qosres/internal/spec"
+	"qosres/internal/topo"
+)
+
+// served is the HTTP front end's state: the deployment plus the table
+// of live sessions it handed out. The table is in-memory on purpose —
+// after a restart the recovered holds are leased-but-unowned, and the
+// lease sweep reclaims them unless their clients re-establish. That is
+// the amnesia contract: books survive a crash, client handles do not.
+type served struct {
+	env *sim.ServedEnv
+
+	mu       sync.Mutex
+	nextID   int
+	sessions map[string]*liveEntry
+}
+
+type liveEntry struct {
+	session  *sessionHandle
+	service  string
+	mainHost topo.HostID
+}
+
+// sessionHandle narrows *proxy.Session to what the front end needs; it
+// keeps main decoupled from the proxy package's surface.
+type sessionHandle struct {
+	heartbeat func() error
+	release   func() error
+	level     string
+	rank      int
+	psi       float64
+}
+
+type establishRequest struct {
+	MainHost string        `json:"mainHost"`
+	Session  *spec.Session `json:"session"`
+}
+
+type establishReply struct {
+	ID       string  `json:"id"`
+	Service  string  `json:"service"`
+	MainHost string  `json:"mainHost"`
+	Level    string  `json:"level"`
+	Rank     int     `json:"rank"`
+	Psi      float64 `json:"psi"`
+}
+
+type specReply struct {
+	MainHost string        `json:"mainHost"`
+	Duration float64       `json:"duration"`
+	Session  *spec.Session `json:"session"`
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	http.Error(w, fmt.Sprintf(format, args...), code)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func (s *served) handleSpec(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	offer, err := s.env.SampleSession()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "sample: %v", err)
+		return
+	}
+	writeJSON(w, specReply{
+		MainHost: string(offer.MainHost),
+		Duration: float64(offer.Duration),
+		Session:  offer.Doc,
+	})
+}
+
+func (s *served) handleEstablish(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "read body: %v", err)
+		return
+	}
+	var mainHost topo.HostID
+	var doc *spec.Session
+	if len(body) == 0 {
+		offer, err := s.env.SampleSession()
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, "sample: %v", err)
+			return
+		}
+		mainHost, doc = offer.MainHost, offer.Doc
+	} else {
+		var req establishRequest
+		if err := json.Unmarshal(body, &req); err != nil {
+			httpError(w, http.StatusBadRequest, "parse: %v", err)
+			return
+		}
+		if req.Session == nil || req.MainHost == "" {
+			httpError(w, http.StatusBadRequest, "need mainHost and session")
+			return
+		}
+		mainHost, doc = topo.HostID(req.MainHost), req.Session
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), 10*time.Second)
+	defer cancel()
+	sess, err := s.env.Establish(ctx, mainHost, doc)
+	if err != nil {
+		httpError(w, http.StatusConflict, "establish: %v", err)
+		return
+	}
+	h := &sessionHandle{
+		heartbeat: sess.Heartbeat,
+		release:   sess.Release,
+		level:     sess.Plan.EndToEnd.Name,
+		rank:      sess.Plan.Rank,
+		psi:       sess.Plan.Psi,
+	}
+	s.mu.Lock()
+	s.nextID++
+	id := fmt.Sprintf("s-%d", s.nextID)
+	s.sessions[id] = &liveEntry{session: h, service: doc.Name, mainHost: mainHost}
+	s.mu.Unlock()
+	writeJSON(w, establishReply{
+		ID:       id,
+		Service:  doc.Name,
+		MainHost: string(mainHost),
+		Level:    h.level,
+		Rank:     h.rank,
+		Psi:      h.psi,
+	})
+}
+
+// lookup pops nothing: the entry stays live until teardown.
+func (s *served) lookup(w http.ResponseWriter, r *http.Request) (string, *liveEntry) {
+	id := r.URL.Query().Get("id")
+	if id == "" {
+		httpError(w, http.StatusBadRequest, "need id")
+		return "", nil
+	}
+	s.mu.Lock()
+	e := s.sessions[id]
+	s.mu.Unlock()
+	if e == nil {
+		httpError(w, http.StatusNotFound, "unknown session %s", id)
+		return "", nil
+	}
+	return id, e
+}
+
+func (s *served) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	id, e := s.lookup(w, r)
+	if e == nil {
+		return
+	}
+	if err := e.session.heartbeat(); err != nil {
+		// The lease lapsed (or the host restarted) between heartbeats:
+		// the holds are gone, so the handle is dead — drop it.
+		s.mu.Lock()
+		delete(s.sessions, id)
+		s.mu.Unlock()
+		httpError(w, http.StatusGone, "heartbeat %s: %v", id, err)
+		return
+	}
+	writeJSON(w, map[string]string{"id": id, "status": "ok"})
+}
+
+func (s *served) handleTeardown(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	id, e := s.lookup(w, r)
+	if e == nil {
+		return
+	}
+	s.mu.Lock()
+	delete(s.sessions, id)
+	s.mu.Unlock()
+	if err := e.session.release(); err != nil {
+		httpError(w, http.StatusGone, "teardown %s: %v", id, err)
+		return
+	}
+	writeJSON(w, map[string]string{"id": id, "status": "released"})
+}
+
+func main() {
+	var (
+		addr      = flag.String("addr", "localhost:8080", "listen address")
+		walDir    = flag.String("wal", "qosserved-wal", "write-ahead-log directory (empty disables durability)")
+		recoverFl = flag.Bool("recover", true, "replay an existing WAL on startup")
+		seed      = flag.Int64("seed", 1, "environment seed (keep stable across restarts of one deployment)")
+		lease     = flag.Float64("lease", 30, "session lease TTL in seconds (0 disables leasing)")
+		rate      = flag.Float64("rate", 60, "sampled session mix rate (sessions per 60 TUs)")
+	)
+	flag.Parse()
+
+	if *walDir != "" {
+		if err := os.MkdirAll(*walDir, 0o755); err != nil {
+			log.Fatalf("qosserved: %v", err)
+		}
+	}
+	reg := obs.New()
+	env, err := sim.NewServedEnv(sim.ServedOptions{
+		Seed:     *seed,
+		Rate:     *rate,
+		LeaseTTL: broker.Time(*lease),
+		WALDir:   *walDir,
+		Recover:  *recoverFl && *walDir != "",
+		Registry: reg,
+	})
+	if err != nil {
+		log.Fatalf("qosserved: %v", err)
+	}
+
+	s := &served{env: env, sessions: map[string]*liveEntry{}}
+	mux := obs.NewMux(reg)
+	mux.HandleFunc("/spec", s.handleSpec)
+	mux.HandleFunc("/establish", s.handleEstablish)
+	mux.HandleFunc("/heartbeat", s.handleHeartbeat)
+	mux.HandleFunc("/teardown", s.handleTeardown)
+
+	stop := make(chan struct{})
+	var sweeper sync.WaitGroup
+	if *lease > 0 {
+		sweeper.Add(1)
+		go func() {
+			defer sweeper.Done()
+			tick := time.NewTicker(time.Duration(*lease * float64(time.Second) / 2))
+			defer tick.Stop()
+			for {
+				select {
+				case <-tick.C:
+					if n := env.SweepLeases(); n > 0 {
+						log.Printf("qosserved: lease sweep reclaimed %d holds", n)
+					}
+				case <-stop:
+					return
+				}
+			}
+		}()
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: mux}
+	done := make(chan error, 1)
+	go func() { done <- srv.ListenAndServe() }()
+	log.Printf("qosserved: serving on %s (wal=%q recover=%v lease=%gs)",
+		*addr, *walDir, *recoverFl && *walDir != "", *lease)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	select {
+	case err := <-done:
+		log.Fatalf("qosserved: %v", err)
+	case <-sig:
+	}
+	close(stop)
+	sweeper.Wait()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	_ = srv.Shutdown(ctx)
+	if err := env.Close(); err != nil {
+		log.Printf("qosserved: close: %v", err)
+	}
+}

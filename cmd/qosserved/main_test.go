@@ -1,0 +1,204 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"qosres/internal/broker"
+	"qosres/internal/obs"
+	"qosres/internal/sim"
+)
+
+// manualClock lets the test decide what time it is, so lease expiry is
+// deterministic instead of wall-clock-raced.
+type manualClock struct {
+	mu sync.Mutex
+	t  broker.Time
+}
+
+func (c *manualClock) Now() broker.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *manualClock) advance(d broker.Time) {
+	c.mu.Lock()
+	c.t += d
+	c.mu.Unlock()
+}
+
+// newTestServer builds a serving deployment over dir and fronts it with
+// an httptest server wired exactly like main().
+func newTestServer(t *testing.T, dir string, recov bool, clk *manualClock) (*served, *httptest.Server, *obs.Registry) {
+	t.Helper()
+	reg := obs.New()
+	env, err := sim.NewServedEnv(sim.ServedOptions{
+		Seed:     7,
+		LeaseTTL: 5,
+		WALDir:   dir,
+		Recover:  recov,
+		Registry: reg,
+		Clock:    clk,
+	})
+	if err != nil {
+		t.Fatalf("NewServedEnv: %v", err)
+	}
+	s := &served{env: env, sessions: map[string]*liveEntry{}}
+	mux := obs.NewMux(reg)
+	mux.HandleFunc("/spec", s.handleSpec)
+	mux.HandleFunc("/establish", s.handleEstablish)
+	mux.HandleFunc("/heartbeat", s.handleHeartbeat)
+	mux.HandleFunc("/teardown", s.handleTeardown)
+	return s, httptest.NewServer(mux), reg
+}
+
+func postJSON(t *testing.T, url string, body []byte) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	return resp.StatusCode, out
+}
+
+func getBody(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d: %s", url, resp.StatusCode, out)
+	}
+	return string(out)
+}
+
+// TestServedLifecycle drives the full HTTP session lifecycle: sample a
+// spec, establish it explicitly, heartbeat, tear down.
+func TestServedLifecycle(t *testing.T) {
+	clk := &manualClock{}
+	s, srv, _ := newTestServer(t, t.TempDir(), false, clk)
+	defer srv.Close()
+	defer s.env.Close()
+
+	var offer specReply
+	if err := json.Unmarshal([]byte(getBody(t, srv.URL+"/spec")), &offer); err != nil {
+		t.Fatalf("parse /spec: %v", err)
+	}
+	if offer.MainHost == "" || offer.Session == nil || offer.Duration <= 0 {
+		t.Fatalf("incomplete offer: %+v", offer)
+	}
+
+	body, _ := json.Marshal(establishRequest{MainHost: offer.MainHost, Session: offer.Session})
+	code, reply := postJSON(t, srv.URL+"/establish", body)
+	if code != http.StatusOK {
+		t.Fatalf("establish: status %d: %s", code, reply)
+	}
+	var est establishReply
+	if err := json.Unmarshal(reply, &est); err != nil {
+		t.Fatalf("parse establish reply: %v", err)
+	}
+	if est.ID == "" || est.Level == "" || est.Service != offer.Session.Name {
+		t.Fatalf("incomplete establish reply: %+v", est)
+	}
+
+	if code, out := postJSON(t, srv.URL+"/heartbeat?id="+est.ID, nil); code != http.StatusOK {
+		t.Fatalf("heartbeat: status %d: %s", code, out)
+	}
+	if code, out := postJSON(t, srv.URL+"/teardown?id="+est.ID, nil); code != http.StatusOK {
+		t.Fatalf("teardown: status %d: %s", code, out)
+	}
+	if code, _ := postJSON(t, srv.URL+"/teardown?id="+est.ID, nil); code != http.StatusNotFound {
+		t.Fatalf("double teardown: status %d, want 404", code)
+	}
+
+	// Sampled establish: empty body makes the server draw the session.
+	code, reply = postJSON(t, srv.URL+"/establish", nil)
+	if code != http.StatusOK {
+		t.Fatalf("sampled establish: status %d: %s", code, reply)
+	}
+}
+
+// TestServedRestartRecovery is the crash-amnesia fix exercised over the
+// wire: establish sessions, kill the server without teardown, restart a
+// new deployment over the same WAL directory, and verify the books were
+// replayed — the abandoned holds come back leased, lapse, and are swept
+// rather than leaking, while new admissions proceed normally.
+func TestServedRestartRecovery(t *testing.T) {
+	dir := t.TempDir()
+	clk := &manualClock{}
+
+	s1, srv1, _ := newTestServer(t, dir, false, clk)
+	var ids []string
+	for i := 0; i < 3; i++ {
+		code, reply := postJSON(t, srv1.URL+"/establish", nil)
+		if code != http.StatusOK {
+			t.Fatalf("establish %d: status %d: %s", i, code, reply)
+		}
+		var est establishReply
+		if err := json.Unmarshal(reply, &est); err != nil {
+			t.Fatalf("parse establish reply: %v", err)
+		}
+		ids = append(ids, est.ID)
+	}
+	metrics := getBody(t, srv1.URL+"/metrics")
+	if !strings.Contains(metrics, obs.MetricWALAppends) {
+		t.Fatalf("no %s in exposition before restart", obs.MetricWALAppends)
+	}
+	// Crash: no teardown, no heartbeat — the daemon just goes away.
+	srv1.Close()
+	if err := s1.env.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	// Down long enough for every lease (TTL 5) to lapse.
+	clk.advance(60)
+
+	s2, srv2, _ := newTestServer(t, dir, true, clk)
+	defer srv2.Close()
+	defer s2.env.Close()
+
+	metrics = getBody(t, srv2.URL+"/metrics")
+	for _, want := range []string{obs.MetricWALReplayRecords, obs.MetricRecoveryLeasesSwept} {
+		if !strings.Contains(metrics, want) {
+			t.Fatalf("no %s in exposition after recovery; got:\n%s", want, metrics)
+		}
+	}
+	if strings.Contains(metrics, obs.MetricWALReplayRecords+" 0\n") {
+		t.Fatalf("recovery replayed zero records")
+	}
+	if strings.Contains(metrics, obs.MetricRecoveryLeasesSwept+" 0\n") {
+		t.Fatalf("recovery swept zero lapsed leases — pre-crash holds leaked or vanished")
+	}
+
+	// The session table did not survive: old handles are gone (the
+	// amnesia contract covers books, not client handles)...
+	if code, _ := postJSON(t, srv2.URL+"/heartbeat?id="+ids[0], nil); code != http.StatusNotFound {
+		t.Fatalf("heartbeat of pre-crash session: status %d, want 404", code)
+	}
+	// ...and the recovered deployment admits new sessions.
+	code, reply := postJSON(t, srv2.URL+"/establish", nil)
+	if code != http.StatusOK {
+		t.Fatalf("post-recovery establish: status %d: %s", code, reply)
+	}
+	if n := s2.env.SweepLeases(); n != 0 {
+		t.Fatalf("recovery left %d expired holds for the periodic sweep", n)
+	}
+}

@@ -11,7 +11,8 @@
 //	       [-trace-sample 0.01]
 //	       [-batch 16] [-batch-window 0]
 //	       [-chaos [-loss 0.1] [-dup 0.05] [-latency 1ms] [-partition 0.1]
-//	        [-deadline 250ms] [-max-inflight 0]]
+//	        [-deadline 250ms] [-max-inflight 0] [-crash 0.2]]
+//	simqos -server http://localhost:8080 [-rate 100] [-for 30s] [-seed 1]
 //
 // With -batch N (N > 1) plus -runtime or -chaos, concurrent admissions
 // are coalesced into group-commit rounds of at most N members: one
@@ -30,6 +31,18 @@
 // establish call and repair sweep by -deadline, and ends the run with a
 // transport summary table.
 //
+// With -chaos -crash P, each fault-walk step additionally crash-restarts
+// one host's QoSProxy with probability P: the in-memory proxy is
+// dropped, its reservation book is recovered from a per-run write-ahead
+// log, and the run's invariants (no over-commit, exact drain, zero
+// zombies) are asserted across the restarts.
+//
+// With -server URL, simqos does not simulate at all: it drives a running
+// qosserved instance with open-loop Poisson load over HTTP — sampling
+// session offers from GET /spec, establishing them, heartbeating while
+// they hold, and tearing them down after their sampled duration — for
+// -for of wall-clock time at -rate sessions per 60 seconds.
+//
 // With -metrics the process serves a live exposition endpoint while the
 // simulation runs (and, with -hold, after it finishes):
 //
@@ -39,13 +52,20 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"math/rand"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
 	"sort"
+	"strings"
+	"sync"
+	"time"
 
 	"qosres/internal/broker"
 	"qosres/internal/obs"
@@ -85,8 +105,18 @@ func main() {
 		partition  = flag.Float64("partition", 0, "with -chaos: per-step probability the fault walk cuts the route between one more host pair (healed by the walk and at the run midpoint)")
 		deadline   = flag.Duration("deadline", 0, "with -chaos transport: bound on every establish call and repair sweep (default 250ms when transport chaos is on)")
 		maxInFlt   = flag.Int("max-inflight", 0, "with -chaos: bound on concurrently admitted sessions; beyond it calls are shed with ErrOverloaded (0 = unbounded)")
+		crashP     = flag.Float64("crash", 0, "with -chaos: per-step probability of crash-restarting one host's QoSProxy, recovered from a per-run write-ahead log")
+		server     = flag.String("server", "", "drive a running qosserved at this base URL with open-loop Poisson load instead of simulating (uses -rate, -for, -seed)")
+		serverFor  = flag.Duration("for", 30*time.Second, "with -server: wall-clock length of the load run")
 	)
 	flag.Parse()
+
+	if *server != "" {
+		if err := runServerLoad(*server, *rate, *serverFor, *seed); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	cfg := sim.DefaultConfig(sim.Algorithm(*alg), *rate, *seed)
 	cfg.Duration = broker.Time(*duration)
@@ -177,6 +207,10 @@ func main() {
 			fc.Random.HealProb = 1.5 * *partition
 			fc.Random.MaxPartitions = 1
 		}
+		// Crash cycles: the harness journals into a per-run temporary WAL
+		// directory (FaultsConfig.WALDir stays empty here) and restarts
+		// hosts per the walk.
+		fc.Random.CrashProb = *crashP
 		sc.Config.Faults = fc
 		cres, err := sim.RunChaos(sc)
 		if err != nil {
@@ -187,6 +221,9 @@ func main() {
 		if tc := fc.Transport; tc != nil {
 			fmt.Printf("transport: loss=%g dup=%g latency=%v partition=%g deadline=%v max-inflight=%d\n",
 				tc.Loss, tc.Dup, tc.Latency, *partition, tc.Deadline, tc.MaxInFlight)
+		}
+		if *crashP > 0 {
+			fmt.Printf("crash: prob=%g (per-run WAL, recovery on every restart)\n", *crashP)
 		}
 		fmt.Println(cres)
 		printAdmission(reg)
@@ -615,4 +652,158 @@ func min(a, b int) int {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "simqos:", err)
 	os.Exit(1)
+}
+
+// serverOffer mirrors qosserved's GET /spec reply; the session document
+// is relayed opaquely, so simqos needs no spec types of its own.
+type serverOffer struct {
+	MainHost string          `json:"mainHost"`
+	Duration float64         `json:"duration"`
+	Session  json.RawMessage `json:"session"`
+}
+
+type serverSession struct {
+	ID      string `json:"id"`
+	Service string `json:"service"`
+	Level   string `json:"level"`
+	Rank    int    `json:"rank"`
+}
+
+// runServerLoad drives a qosserved instance with open-loop Poisson
+// arrivals: sample an offer, establish it, heartbeat while holding it
+// for its sampled duration (capped to the run window), then tear it
+// down. Open-loop means arrivals never wait for completions — exactly
+// the load shape that exposes a slow or amnesiac server.
+func runServerLoad(base string, rate float64, dur time.Duration, seed int64) error {
+	if rate <= 0 {
+		return fmt.Errorf("server load needs a positive -rate, got %g", rate)
+	}
+	base = strings.TrimRight(base, "/")
+	client := &http.Client{Timeout: 15 * time.Second}
+	rng := rand.New(rand.NewSource(seed))
+	deadline := time.Now().Add(dur)
+
+	var (
+		mu          sync.Mutex
+		arrivals    int
+		established int
+		refused     int
+		torndown    int
+		heartbeats  int
+		failed      int
+	)
+	count := func(c *int) { mu.Lock(); *c++; mu.Unlock() }
+
+	var wg sync.WaitGroup
+	drive := func(offer serverOffer) {
+		defer wg.Done()
+		body, err := json.Marshal(map[string]any{
+			"mainHost": offer.MainHost,
+			"session":  offer.Session,
+		})
+		if err != nil {
+			count(&failed)
+			return
+		}
+		resp, err := client.Post(base+"/establish", "application/json", bytes.NewReader(body))
+		if err != nil {
+			count(&failed)
+			return
+		}
+		reply, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			count(&failed)
+			return
+		}
+		if resp.StatusCode != http.StatusOK {
+			// Admission refusals (plan infeasible, commit refused, shed)
+			// are an expected outcome of open-loop load, not an error.
+			count(&refused)
+			return
+		}
+		var sess serverSession
+		if err := json.Unmarshal(reply, &sess); err != nil {
+			count(&failed)
+			return
+		}
+		count(&established)
+
+		hold := time.Duration(offer.Duration * float64(time.Second))
+		if remain := time.Until(deadline); hold > remain {
+			hold = remain
+		}
+		holdUntil := time.Now().Add(hold)
+		for time.Now().Before(holdUntil) {
+			gap := 5 * time.Second
+			if remain := time.Until(holdUntil); remain < gap {
+				gap = remain
+			}
+			time.Sleep(gap)
+			resp, err := client.Post(base+"/heartbeat?id="+sess.ID, "", nil)
+			if err != nil {
+				count(&failed)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				// Lease lapsed or the server restarted: the session is
+				// gone, there is nothing left to tear down.
+				count(&failed)
+				return
+			}
+			count(&heartbeats)
+		}
+		resp, err = client.Post(base+"/teardown?id="+sess.ID, "", nil)
+		if err != nil {
+			count(&failed)
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			count(&failed)
+			return
+		}
+		count(&torndown)
+	}
+
+	fmt.Fprintf(os.Stderr, "simqos: driving %s at %g sessions/60s for %v\n", base, rate, dur)
+	for time.Now().Before(deadline) {
+		gap := time.Duration(rng.ExpFloat64() * 60 / rate * float64(time.Second))
+		if remain := time.Until(deadline); gap > remain {
+			break
+		}
+		time.Sleep(gap)
+		resp, err := client.Get(base + "/spec")
+		if err != nil {
+			count(&failed)
+			continue
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			count(&failed)
+			continue
+		}
+		var offer serverOffer
+		if err := json.Unmarshal(body, &offer); err != nil {
+			count(&failed)
+			continue
+		}
+		mu.Lock()
+		arrivals++
+		mu.Unlock()
+		wg.Add(1)
+		go drive(offer)
+	}
+	wg.Wait()
+
+	fmt.Printf("server load: arrivals=%d established=%d refused=%d torndown=%d heartbeats=%d errors=%d\n",
+		arrivals, established, refused, torndown, heartbeats, failed)
+	if failed > 0 {
+		return fmt.Errorf("%d request errors against %s", failed, base)
+	}
+	return nil
 }

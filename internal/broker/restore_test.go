@@ -1,0 +1,183 @@
+package broker
+
+import (
+	"reflect"
+	"testing"
+
+	"qosres/internal/topo"
+)
+
+// poolFixture builds a small pool with one cpu broker and one two-link
+// network route, reserving one hold on each.
+func restoreFixture(t *testing.T) (*Pool, *MultiReservation) {
+	t.Helper()
+	top := topo.Figure9()
+	pool := NewPool(top)
+	cpu, err := pool.AddLocal("cpu", topo.ServerHost(1), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range top.Links() {
+		if _, err := pool.AddLink(l.ID, 10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	net, err := pool.Network(topo.ServerHost(2), topo.ServerHost(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cid, err := cpu.Reserve(1, 2.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nid, err := net.Reserve(1, 0.75)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &MultiReservation{parts: []multiPart{
+		{broker: cpu, id: cid},
+		{broker: net, id: nid},
+	}}
+	if err := m.SetLease(20); err != nil {
+		t.Fatal(err)
+	}
+	return pool, m
+}
+
+// bookShape snapshots the externally observable book state of every
+// broker the reservation touches.
+func bookShape(pool *Pool, m *MultiReservation) map[string][]float64 {
+	out := make(map[string][]float64)
+	for _, r := range m.Touches() {
+		b, ok := pool.Get(r)
+		if !ok {
+			continue
+		}
+		if l, ok := b.(*Local); ok {
+			out[r] = l.HoldAmounts()
+		}
+	}
+	return out
+}
+
+// TestExportRestoreRoundTrip proves a wiped book restored from exports
+// is byte-identical to the pre-crash one: same hold IDs, same amounts,
+// same lease expiries, and the restored handle still releases cleanly.
+func TestExportRestoreRoundTrip(t *testing.T) {
+	pool, m := restoreFixture(t)
+	before := bookShape(pool, m)
+	exports := m.Export()
+	if len(exports) != 2 {
+		t.Fatalf("exported %d holds, want 2", len(exports))
+	}
+
+	// Crash: the owning host forgets its cpu book and its network-level
+	// book; the link brokers (owned by no host) keep their holds.
+	cpu := m.parts[0].broker.(*Local)
+	net := m.parts[1].broker.(*Network)
+	cpu.Wipe(2)
+	net.Wipe()
+	if cpu.Reservations() != 0 || net.Reservations() != 0 {
+		t.Fatal("wipe left holds behind")
+	}
+	for _, l := range net.Links() {
+		if l.Reservations() != 1 {
+			t.Fatalf("link %s lost its hold on wipe", l.Resource())
+		}
+	}
+
+	resolve := func(r string) (Broker, bool) { return pool.Get(r) }
+	restored, err := RestoreMulti(2, resolve, exports, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := bookShape(pool, restored); !reflect.DeepEqual(got, before) {
+		t.Fatalf("restored book differs:\n got %v\nwant %v", got, before)
+	}
+	if !reflect.DeepEqual(restored.Export(), exports) {
+		t.Fatalf("re-export differs:\n got %+v\nwant %+v", restored.Export(), exports)
+	}
+	// The restored handle must release the exact original holds,
+	// including the surviving link holds, leaving everything empty.
+	if err := restored.Release(3); err != nil {
+		t.Fatal(err)
+	}
+	if cpu.Reservations() != 0 || net.Reservations() != 0 {
+		t.Fatal("release after restore left holds")
+	}
+	for _, l := range net.Links() {
+		if l.Reservations() != 0 {
+			t.Fatalf("link %s leaked after restored release", l.Resource())
+		}
+	}
+}
+
+// TestRestoreIdempotent proves re-restoring existing holds is a no-op:
+// amounts are not double-counted and IDs stay stable.
+func TestRestoreIdempotent(t *testing.T) {
+	pool, m := restoreFixture(t)
+	exports := m.Export()
+	resolve := func(r string) (Broker, bool) { return pool.Get(r) }
+	// Restore over a live (never wiped) book: nothing should change.
+	if _, err := RestoreMulti(2, resolve, exports, true); err != nil {
+		t.Fatal(err)
+	}
+	cpu := m.parts[0].broker.(*Local)
+	if got := cpu.Reserved(); got != 2.5 {
+		t.Fatalf("reserved doubled on idempotent restore: %g", got)
+	}
+	net := m.parts[1].broker.(*Network)
+	if net.Reservations() != 1 {
+		t.Fatalf("network holds doubled: %d", net.Reservations())
+	}
+}
+
+// TestWipeKeepsIDAllocator proves holds created after a wipe can never
+// collide with IDs a later replay restores.
+func TestWipeKeepsIDAllocator(t *testing.T) {
+	b, err := NewLocal("cpu@X", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id1, err := b.Reserve(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Wipe(2)
+	id2, err := b.Reserve(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id2 == id1 {
+		t.Fatalf("post-wipe reservation reused ID %d", id1)
+	}
+	if err := b.RestoreHold(3, id1, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if b.Reservations() != 2 {
+		t.Fatalf("want 2 holds, got %d", b.Reservations())
+	}
+}
+
+// TestRestoredLeaseExpires proves restored holds keep their lease
+// expiries: a sweep after the expiry reclaims them (links included).
+func TestRestoredLeaseExpires(t *testing.T) {
+	pool, m := restoreFixture(t)
+	exports := m.Export()
+	m.parts[0].broker.(*Local).Wipe(2)
+	m.parts[1].broker.(*Network).Wipe()
+	resolve := func(r string) (Broker, bool) { return pool.Get(r) }
+	restored, err := RestoreMulti(2, resolve, exports, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := pool.ExpireLeases(25); n != 2 {
+		t.Fatalf("swept %d holds, want 2", n)
+	}
+	for _, r := range restored.Touches() {
+		b, _ := pool.Get(r)
+		if l, ok := b.(*Local); ok && l.Reservations() != 0 {
+			t.Fatalf("resource %s kept a hold past its restored lease", r)
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package fault
+
+import (
+	"fmt"
+
+	"qosres/internal/broker"
+	"qosres/internal/topo"
+)
+
+// KindCrashRestart crash-restarts one host's proxy process: the host
+// drops off the fabric, forgets its in-memory book and idempotency
+// table, and recovers both from its write-ahead log before rejoining.
+const KindCrashRestart Kind = "crash_restart"
+
+// Restarter is the recovery surface the injector drives for
+// crash/restart events — in practice proxy.Runtime, whose CrashRestart
+// replays the write-ahead log and reconciles in-doubt prepares before
+// the host serves again.
+type Restarter interface {
+	CrashRestart(host topo.HostID) error
+}
+
+// SetRestarter attaches the crash/restart surface. Without one,
+// CrashRestart errors and the random walk's crash branch is a no-op.
+func (in *Injector) SetRestarter(r Restarter) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.restarter = r
+}
+
+// CrashRestart kills and recovers one host's proxy through the attached
+// restarter. The emitted event names the host's resources, mirroring
+// KindHostDown, so downstream consumers can correlate the outage — but
+// chaos harnesses should NOT route it into the repair sweep: recovery
+// already restored the book, and the committed holds it restored are
+// intact by construction.
+func (in *Injector) CrashRestart(now broker.Time, host topo.HostID) error {
+	_ = now // restart is instantaneous in simulated time; the runtime's clock governs recovery
+	in.mu.Lock()
+	r := in.restarter
+	in.mu.Unlock()
+	if r == nil {
+		return fmt.Errorf("fault: no restarter attached (SetRestarter)")
+	}
+	if err := r.CrashRestart(host); err != nil {
+		return fmt.Errorf("fault: crash-restart %s: %w", host, err)
+	}
+	in.emit(Event{Kind: KindCrashRestart, Resources: in.hostResources(host)})
+	return nil
+}

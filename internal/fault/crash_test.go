@@ -1,0 +1,80 @@
+package fault
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"qosres/internal/topo"
+)
+
+type fakeRestarter struct {
+	mu     sync.Mutex
+	hosts  []topo.HostID
+	refuse error
+}
+
+func (f *fakeRestarter) CrashRestart(h topo.HostID) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.refuse != nil {
+		return f.refuse
+	}
+	f.hosts = append(f.hosts, h)
+	return nil
+}
+
+func TestCrashRestartInjection(t *testing.T) {
+	pool, tp := world(t)
+	in := New(pool, tp)
+	if err := in.CrashRestart(1, "A"); err == nil {
+		t.Fatal("crash without a restarter accepted")
+	}
+	r := &fakeRestarter{}
+	in.SetRestarter(r)
+	var events []Event
+	in.OnFault(func(ev Event) { events = append(events, ev) })
+	if err := in.CrashRestart(1, "A"); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.hosts) != 1 || r.hosts[0] != "A" {
+		t.Fatalf("restarter saw %v", r.hosts)
+	}
+	if len(events) != 1 || events[0].Kind != KindCrashRestart {
+		t.Fatalf("events = %v", events)
+	}
+	if len(events[0].Resources) == 0 {
+		t.Fatal("crash event names no resources")
+	}
+	// A refused restart injects nothing.
+	r.refuse = errors.New("boom")
+	if err := in.CrashRestart(2, "B"); err == nil {
+		t.Fatal("restarter error swallowed")
+	}
+	if len(events) != 1 {
+		t.Fatalf("refused crash still emitted: %v", events)
+	}
+}
+
+func TestRandomWalkCrashBranch(t *testing.T) {
+	pool, tp := world(t)
+	in := New(pool, tp)
+	rng := rand.New(rand.NewSource(11))
+	cfg := RandomConfig{CrashProb: 1}
+	// Without a restarter the branch is a silent no-op.
+	if ev := in.RandomStep(1, rng, cfg); ev != nil {
+		t.Fatalf("crash walk without restarter produced %v", ev)
+	}
+	r := &fakeRestarter{}
+	in.SetRestarter(r)
+	for step := 0; step < 20; step++ {
+		ev := in.RandomStep(brokerTime(step), rng, cfg)
+		if ev == nil || ev.Kind != KindCrashRestart {
+			t.Fatalf("step %d: got %v, want crash_restart", step, ev)
+		}
+	}
+	if len(r.hosts) != 20 {
+		t.Fatalf("restarter saw %d crashes, want 20", len(r.hosts))
+	}
+}

@@ -74,6 +74,9 @@ type Injector struct {
 	fabric      *transport.Fabric
 	partitioned map[hostPair]bool
 	delayed     map[hostPair]transport.RouteConfig
+	// restarter, when attached (SetRestarter), receives crash/restart
+	// injections (KindCrashRestart).
+	restarter Restarter
 }
 
 // New creates an injector over a pool. The topology may be nil when only

@@ -36,6 +36,12 @@ type RandomConfig struct {
 	// MaxPartitions bounds the number of concurrently-cut routes;
 	// 0 means at most one.
 	MaxPartitions int
+	// CrashProb is the per-step probability of crash-restarting one
+	// random host's proxy (needs a topology and an attached restarter;
+	// silently skipped otherwise). The crash is evaluated last in the
+	// ladder, so the other probabilities replay identically whether or
+	// not crashes are enabled.
+	CrashProb float64
 }
 
 // DefaultRandomConfig is a moderately hostile walk: something is usually
@@ -137,6 +143,23 @@ func (in *Injector) RandomStep(now broker.Time, rng *rand.Rand, cfg RandomConfig
 			return nil
 		}
 		return &Event{Kind: KindPartition, Resources: []string{routeResource(p)}}
+	case roll < cfg.RecoverProb+cfg.FailProb+cfg.ShrinkProb+cfg.HealProb+cfg.PartitionProb+cfg.CrashProb:
+		in.mu.Lock()
+		restarter := in.restarter
+		topology := in.topology
+		in.mu.Unlock()
+		if restarter == nil || topology == nil {
+			return nil
+		}
+		hosts := topology.Hosts()
+		if len(hosts) == 0 {
+			return nil
+		}
+		h := hosts[rng.Intn(len(hosts))]
+		if in.CrashRestart(now, h) != nil {
+			return nil
+		}
+		return &Event{Kind: KindCrashRestart, Resources: in.hostResources(h)}
 	default:
 		return nil
 	}

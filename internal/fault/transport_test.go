@@ -27,6 +27,7 @@ func fabricWorld(t *testing.T) (*Injector, *transport.Fabric) {
 				select {
 				case d := <-ep.Inbox():
 					d.Reply(d.Payload)
+					d.Done()
 				case <-ep.Done():
 					return
 				}

@@ -148,6 +148,10 @@ type TraceRecorder struct {
 	building  map[uint64]*traceBuf
 	done      []CompletedTrace
 	evictions *Counter
+	// exports tracks in-flight sink export loops: a completed tree is
+	// removed from building before its spans are written to the sink, so
+	// OpenTraces()==0 alone does not mean the sink has seen everything.
+	exports sync.WaitGroup
 }
 
 // NewTraceRecorder creates a recorder. The registry (nil allowed) hosts
@@ -317,14 +321,30 @@ func (r *TraceRecorder) endSpan(s ActiveSpan, status string) {
 				r.evictions.Inc()
 			}
 			flushed = buf
+			r.exports.Add(1)
 		}
 	}
 	r.mu.Unlock()
-	if flushed != nil && r.sink != nil {
-		for _, sp := range flushed.spans {
-			r.sink.ExportSpan(sp)
+	if flushed != nil {
+		if r.sink != nil {
+			for _, sp := range flushed.spans {
+				r.sink.ExportSpan(sp)
+			}
 		}
+		r.exports.Done()
 	}
+}
+
+// DrainExports blocks until every in-flight sink export has finished.
+// Call after the last span has ended (OpenTraces()==0) and before
+// closing or flushing the sink: trees are removed from the open table
+// before their spans are written, so without this wait a caller can
+// flush the sink mid-export and tear the last tree.
+func (r *TraceRecorder) DrainExports() {
+	if r == nil {
+		return
+	}
+	r.exports.Wait()
 }
 
 // OpenTraces returns the number of traces whose tree is not yet

@@ -1,0 +1,58 @@
+package obs
+
+// Durability metric names: the write-ahead log and crash-recovery
+// visibility surface. Documented in README.md ("Observability").
+const (
+	// MetricWALAppends counts records appended (and fsynced, unless the
+	// log runs NoSync) to the write-ahead log.
+	MetricWALAppends = "qosres_wal_appends_total"
+	// MetricWALReplayRecords counts records applied by WAL replay during
+	// Recover or CrashRestart.
+	MetricWALReplayRecords = "qosres_wal_replay_records_total"
+	// MetricRecoveryInDoubt counts in-doubt prepares resolved by
+	// post-replay reconciliation, by outcome (commit, abort, unresolved).
+	MetricRecoveryInDoubt = "qosres_recovery_indoubt_resolved_total"
+	// MetricRecoveryLeasesSwept counts holds whose lease lapsed while the
+	// proxy was down, swept exactly once on recovery before any new
+	// admission.
+	MetricRecoveryLeasesSwept = "qosres_recovery_leases_swept_total"
+)
+
+// WALMetrics bundles the durability counters. The zero value (or one
+// built from a nil registry) is fully inert.
+type WALMetrics struct {
+	reg *Registry
+
+	// Appends counts durable record appends.
+	Appends *Counter
+	// ReplayRecords counts records applied by replay.
+	ReplayRecords *Counter
+	// LeasesSwept counts holds reclaimed by the recovery lease sweep.
+	LeasesSwept *Counter
+}
+
+// NewWALMetrics registers (or re-fetches) the durability counters. A nil
+// registry yields an inert value whose counters record nothing.
+func NewWALMetrics(r *Registry) *WALMetrics {
+	return &WALMetrics{
+		reg: r,
+		Appends: r.Counter(MetricWALAppends,
+			"Records appended to the write-ahead log."),
+		ReplayRecords: r.Counter(MetricWALReplayRecords,
+			"Write-ahead-log records applied by crash-recovery replay."),
+		LeasesSwept: r.Counter(MetricRecoveryLeasesSwept,
+			"Holds whose lease lapsed during downtime, swept on recovery."),
+	}
+}
+
+// InDoubt counts one in-doubt prepare resolved during recovery with the
+// given outcome (commit, abort, unresolved). Safe on a nil receiver or a
+// receiver built from a nil registry.
+func (m *WALMetrics) InDoubt(outcome string) {
+	if m == nil {
+		return
+	}
+	m.reg.Counter(MetricRecoveryInDoubt,
+		"In-doubt prepares resolved by recovery reconciliation, by outcome.",
+		"outcome", outcome).Inc()
+}

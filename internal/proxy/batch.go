@@ -43,6 +43,7 @@ import (
 	"qosres/internal/qos"
 	"qosres/internal/topo"
 	"qosres/internal/transport"
+	"qosres/internal/wal"
 )
 
 // Batched two-phase-commit message kinds. Named distinctly from the
@@ -150,6 +151,10 @@ func (p *QoSProxy) handleBatchPrepare(req batchPrepareRequest) batchPrepareReply
 			}
 			p.pending[req.members[i].id] = st
 			p.order = append(p.order, req.members[i].id)
+			if st.prepErr == nil {
+				p.logRecord(wal.Record{Type: wal.TypePrepare, ID: req.members[i].id,
+					Expiry: float64(req.expiry), Parts: partsFromReservation(st.res)})
+			}
 			out.results[i].res, out.results[i].err = st.res, st.prepErr
 		}
 		p.gcPending()
@@ -558,6 +563,12 @@ func (rt *Runtime) commitBatch(batch []*batchWork) {
 		return
 	}
 
+	// Commit point, per member: journal each decision before any
+	// participant learns of it (recovery presumes abort otherwise).
+	for _, m := range committing {
+		rt.recordDecide(m.w.main, m.id, expiry)
+	}
+
 	// Batched commit fan-out: one message per host with the admitted
 	// members' IDs there.
 	commitHosts := make(map[topo.HostID][]*batchMember)
@@ -623,7 +634,7 @@ func (rt *Runtime) commitBatch(batch []*batchWork) {
 		for _, h := range hostOrder(m.res) {
 			parts = append(parts, m.res[h])
 		}
-		m.finish(&reservationSet{parts: parts}, nil)
+		m.finish(rt.journal(&reservationSet{parts: parts}, m.id, hostOrder(m.res)), nil)
 	}
 }
 

@@ -46,6 +46,7 @@ import (
 	"qosres/internal/svc"
 	"qosres/internal/topo"
 	"qosres/internal/transport"
+	"qosres/internal/wal"
 )
 
 // Clock supplies the current time to the runtime. Simulated deployments
@@ -143,6 +144,16 @@ type QoSProxy struct {
 	// callers observe the same wedged-proxy symptoms (deadline expiry)
 	// the serve loop exhibits.
 	wedged atomic.Bool
+
+	// wlog, when non-nil, is the runtime's write-ahead log: message
+	// handlers journal prepare/commit/abort records through it in the
+	// order the book mutates. wmetrics counts the appends; outcomes
+	// answers recovery outcome queries from the runtime's coordinator
+	// decide table. All three are set at Start (and kept across
+	// CrashRestart), before the serve goroutine exists.
+	wlog     *wal.Log
+	wmetrics *obs.WALMetrics
+	outcomes func(id string) outcomeReply
 }
 
 // newQoSProxy constructs (but does not start) a proxy.
@@ -182,6 +193,7 @@ func (p *QoSProxy) serve(ep *transport.Endpoint, done chan struct{}) {
 			return
 		case d := <-ep.Inbox():
 			p.handle(d)
+			d.Done()
 		}
 	}
 }
@@ -220,6 +232,8 @@ func (p *QoSProxy) handle(d transport.Delivery) {
 		d.Reply(p.handleBatchCommit(req))
 	case batchAbortRequest:
 		d.Reply(p.handleBatchAbort(req))
+	case outcomeRequest:
+		d.Reply(p.handleOutcome(req))
 	case stallRequest:
 		// Wedge the whole proxy, fast lane included: availability
 		// handlers drop requests while wedged so callers time out
@@ -326,6 +340,23 @@ type Runtime struct {
 	// Start..Stop cycle, nil when batching is disabled.
 	batchPolicy BatchPolicy
 	batcher     *admitBatcher
+	// walLog, when non-nil, is the durability log (see EnableWAL):
+	// participant handlers and the coordinator journal protocol records
+	// through it, and Recover/CrashRestart replay it. walMetrics counts
+	// appends, replays, and reconciliation outcomes; always non-nil,
+	// inert by default.
+	walLog     *wal.Log
+	walMetrics *obs.WALMetrics
+	// decided is the coordinator's commit-decision table — request IDs
+	// whose commit point was journaled, with the decided lease expiry —
+	// under its own lock so recovery outcome queries never touch rt.mu.
+	// Rebuilt from decide records on recovery.
+	decideMu sync.Mutex
+	decided  map[string]broker.Time
+	// crashMu serializes CrashRestart cycles against each other and
+	// against Stop (which must not double-close a crashed proxy's done
+	// channel mid-restart).
+	crashMu sync.Mutex
 }
 
 // NewRuntime creates an empty runtime over a clock with the default
@@ -348,6 +379,9 @@ func NewRuntime(clock Clock) *Runtime {
 		sessions:  make(map[*Session]struct{}),
 		faults:    &obs.FaultMetrics{},
 		reports:   make(map[string]broker.Report),
+
+		walMetrics: &obs.WALMetrics{},
+		decided:    make(map[string]broker.Time),
 	}
 }
 
@@ -722,6 +756,9 @@ func (rt *Runtime) Start() {
 	rt.started = true
 	for _, p := range rt.proxies {
 		p.tracer = rt.tracer
+		p.wlog = rt.walLog
+		p.wmetrics = rt.walMetrics
+		p.outcomes = rt.lookupOutcome
 		p.ep = rt.fabric.Endpoint(p.addr(), 16)
 		p.done = make(chan struct{})
 		// Availability queries take the read fast lane: wait-free broker
@@ -742,6 +779,11 @@ func (rt *Runtime) Start() {
 // Stop terminates every proxy goroutine, closes their endpoints (the
 // fabric then drops deliveries to them), and waits for the goroutines.
 func (rt *Runtime) Stop() {
+	// Serialize with CrashRestart: a crashed proxy's done channel is
+	// already closed, and the restart must finish re-arming it before
+	// Stop tears it down.
+	rt.crashMu.Lock()
+	defer rt.crashMu.Unlock()
 	rt.mu.Lock()
 	if !rt.started {
 		rt.mu.Unlock()

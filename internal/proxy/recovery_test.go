@@ -1,0 +1,343 @@
+package proxy
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+	"time"
+
+	"qosres/internal/broker"
+	"qosres/internal/core"
+	"qosres/internal/obs"
+	"qosres/internal/qos"
+	"qosres/internal/topo"
+	"qosres/internal/transport"
+	"qosres/internal/wal"
+)
+
+// durableWorld is twoHostWorld plus a write-ahead log in dir and a lease
+// TTL; the runtime is NOT started so tests can Recover first.
+func durableWorld(t *testing.T, dir string, ttl broker.Time) (*Runtime, *ManualClock, map[string]*broker.Local) {
+	t.Helper()
+	clock := &ManualClock{}
+	rt := NewRuntime(clock)
+	brokers := map[string]*broker.Local{}
+	for _, h := range []topo.HostID{"X", "Y"} {
+		if _, err := rt.AddHost(h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, r := range []struct {
+		resource string
+		host     topo.HostID
+	}{{"cpu@X", "X"}, {"cpu@Y", "Y"}, {"net:X->Y", "Y"}} {
+		b, err := broker.NewLocal(r.resource, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := rt.Deploy(r.host, b); err != nil {
+			t.Fatal(err)
+		}
+		brokers[r.resource] = b
+	}
+	if err := rt.EnableWAL(wal.Options{Dir: dir}); err != nil {
+		t.Fatal(err)
+	}
+	if ttl > 0 {
+		rt.SetLeaseTTL(ttl)
+	}
+	t.Cleanup(func() {
+		rt.Stop()
+		rt.CloseWAL()
+	})
+	return rt, clock, brokers
+}
+
+func establishDurable(t *testing.T, rt *Runtime) *Session {
+	t.Helper()
+	service, binding := pipelineService(t)
+	s, err := rt.Establish("X", SessionSpec{Service: service, Binding: binding, Planner: core.Basic{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// bookState snapshots every broker's externally observable book: hold
+// amounts (sorted) and total reserved.
+func bookState(brokers map[string]*broker.Local) map[string][]float64 {
+	out := make(map[string][]float64)
+	for r, b := range brokers {
+		amounts := b.HoldAmounts()
+		sort.Float64s(amounts)
+		out[r] = append(amounts, b.Reserved())
+	}
+	return out
+}
+
+// TestCrashRestartConvergesToPreCrashBooks is the tentpole acceptance:
+// a host killed after commit and recovered from the WAL converges to
+// book state identical to the pre-crash books; surviving sessions keep
+// heartbeating and release cleanly, leaking and resurrecting nothing.
+func TestCrashRestartConvergesToPreCrashBooks(t *testing.T) {
+	rt, clock, brokers := durableWorld(t, t.TempDir(), 50)
+	rt.Start()
+	s1 := establishDurable(t, rt)
+	s2 := establishDurable(t, rt)
+	if err := s2.Release(); err != nil {
+		t.Fatal(err)
+	}
+	before := bookState(brokers)
+
+	for _, h := range []topo.HostID{"X", "Y"} {
+		if err := rt.CrashRestart(h); err != nil {
+			t.Fatalf("CrashRestart(%s): %v", h, err)
+		}
+	}
+	if got := bookState(brokers); !reflect.DeepEqual(got, before) {
+		t.Fatalf("books diverged after crash/restart:\n got %v\nwant %v", got, before)
+	}
+
+	// The surviving session's handle still works against the recovered
+	// book: heartbeats renew the exact restored holds.
+	clock.Advance(10)
+	if err := s1.Heartbeat(); err != nil {
+		t.Fatalf("heartbeat after restart: %v", err)
+	}
+	// New admissions land on the recovered books without ID collisions.
+	s3 := establishDurable(t, rt)
+	if err := s3.Release(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Release(); err != nil {
+		t.Fatal(err)
+	}
+	for r, b := range brokers {
+		if b.Reservations() != 0 || b.Reserved() != 0 {
+			t.Errorf("%s leaked: %d holds, %g reserved", r, b.Reservations(), b.Reserved())
+		}
+	}
+}
+
+// TestRecoverColdStart is the lease-across-downtime regression: a fresh
+// process recovering the WAL rebuilds exactly the committed pre-crash
+// shape, sweeps leases that lapsed while down exactly once before any
+// admission, and the recovered book drains to empty — no resurrected
+// and no double-released holds.
+func TestRecoverColdStart(t *testing.T) {
+	dir := t.TempDir()
+
+	// First process: two sessions; s1 heartbeats (lease to t=15), s2
+	// does not (lease dies at t=10); crash at t=6.
+	rt1, c1, _ := durableWorld(t, dir, 10)
+	rt1.Start()
+	s1 := establishDurable(t, rt1)
+	s2 := establishDurable(t, rt1)
+	c1.Set(5)
+	if err := s1.Heartbeat(); err != nil {
+		t.Fatal(err)
+	}
+	want := make(map[string]float64)
+	holds := make(map[string]int)
+	for _, ex := range s1.HoldExports() {
+		want[ex.Resource] += ex.Amount
+		holds[ex.Resource]++
+	}
+	if len(want) == 0 {
+		t.Fatal("s1 exported no holds")
+	}
+	_ = s2
+	rt1.Stop()
+	if err := rt1.CloseWAL(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second process, t=12: s2's lease lapsed during downtime.
+	rt2, c2, brokers2 := durableWorld(t, dir, 10)
+	c2.Set(12)
+	reg := obs.New()
+	rt2.InstrumentWAL(obs.NewWALMetrics(reg))
+	if err := rt2.Recover(c2.Now()); err != nil {
+		t.Fatal(err)
+	}
+	rt2.Start()
+
+	for r, b := range brokers2 {
+		if got := b.Reserved(); got != want[r] {
+			t.Errorf("%s reserved %g after recovery, want %g (s1 only)", r, got, want[r])
+		}
+		if got := b.Reservations(); got != holds[r] {
+			t.Errorf("%s has %d holds, want %d", r, got, holds[r])
+		}
+	}
+	swept := reg.Counter(obs.MetricRecoveryLeasesSwept, "").Value()
+	if swept == 0 {
+		t.Error("lapsed leases not counted as swept")
+	}
+
+	// The sweep ran exactly once: nothing further lapses before s1's
+	// lease expiry, and s2's holds do not come back.
+	for _, b := range brokers2 {
+		if n := b.ExpireLeases(14); n != 0 {
+			t.Errorf("%s swept %d extra holds", b.Resource(), n)
+		}
+	}
+	// Drain: s1's restored lease expires on schedule, emptying every
+	// book — the recovered state drains to the pre-crash committed
+	// shape with no resurrected or double-released holds.
+	for _, b := range brokers2 {
+		b.ExpireLeases(30)
+	}
+	for r, b := range brokers2 {
+		if b.Reservations() != 0 || b.Reserved() != 0 {
+			t.Errorf("%s did not drain: %d holds, %g reserved", r, b.Reservations(), b.Reserved())
+		}
+	}
+}
+
+// TestRecoverAfterCheckpoint proves checkpoint compaction preserves the
+// recovered shape: snapshot segments replay like the history they
+// replaced.
+func TestRecoverAfterCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	rt1, _, brokers1 := durableWorld(t, dir, 50)
+	rt1.Start()
+	s1 := establishDurable(t, rt1)
+	s2 := establishDurable(t, rt1)
+	if err := s2.Release(); err != nil {
+		t.Fatal(err)
+	}
+	_ = s1
+	before := bookState(brokers1)
+	rt1.Stop()
+	if err := rt1.CheckpointWAL(); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt1.CloseWAL(); err != nil {
+		t.Fatal(err)
+	}
+
+	rt2, _, brokers2 := durableWorld(t, dir, 50)
+	if err := rt2.Recover(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := bookState(brokers2); !reflect.DeepEqual(got, before) {
+		t.Fatalf("post-checkpoint recovery differs:\n got %v\nwant %v", got, before)
+	}
+}
+
+// prepareOn plants a raw prepare on host Y over the fabric, simulating
+// a coordinator that died before deciding.
+func prepareOn(t *testing.T, rt *Runtime, id string, amount float64, expiry broker.Time) {
+	t.Helper()
+	req := prepareRequest{id: id, expiry: expiry, req: qos.ResourceVector{"cpu@Y": amount}}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	resp, err := rt.Transport().Call(ctx, "test", transport.Addr("Y"), msgPrepare, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep := resp.(prepareReply); rep.err != nil {
+		t.Fatal(rep.err)
+	}
+}
+
+func commitOn(t *testing.T, rt *Runtime, id string, expiry broker.Time) error {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	resp, err := rt.Transport().Call(ctx, "test", transport.Addr("Y"), msgCommit, commitRequest{id: id, expiry: expiry})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.(commitReply).err
+}
+
+// TestCrashBetweenPrepareAndCommit pins the in-doubt reconciliation
+// protocol: a participant crashing between prepare and commit recovers
+// the prepare from the WAL and resolves it against the coordinator's
+// outcome table — abort (released, presumed abort) when no decision was
+// journaled, commit (lease re-armed) when one was. Duplicate commits
+// after recovery still answer idempotently, and gcPending never evicts
+// an entry WAL replay re-created while it is unresolved.
+func TestCrashBetweenPrepareAndCommit(t *testing.T) {
+	rt, clock, brokers := durableWorld(t, t.TempDir(), 50)
+	rt.Start()
+	expiry := clock.Now() + 50
+
+	// Undecided: coordinator X journaled no decide record.
+	prepareOn(t, rt, "X#100", 7, expiry)
+	// Decided: the decide record hit the log before the crash.
+	prepareOn(t, rt, "X#101", 11, expiry)
+	rt.recordDecide("X", "X#101", expiry)
+	// Unresolvable: coordinator host Z does not exist; the prepare must
+	// stay pending (and leased) rather than leak or be evicted.
+	prepareOn(t, rt, "Z#102", 3, expiry)
+
+	if err := rt.CrashRestart("Y"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Presumed abort released the undecided holds; the decided ones
+	// survived with their lease; the unresolved ones survive too, kept
+	// reclaimable by their restored lease.
+	if got := brokers["cpu@Y"].Reserved(); got != 11+3 {
+		t.Fatalf("cpu@Y reserved %g after recovery, want 14", got)
+	}
+
+	// Duplicate commit replay: the decided prepare answers idempotently,
+	// the aborted one refuses.
+	if err := commitOn(t, rt, "X#101", expiry); err != nil {
+		t.Fatalf("duplicate commit of decided prepare: %v", err)
+	}
+	if err := commitOn(t, rt, "X#100", expiry); err == nil {
+		t.Fatal("commit of presumed-aborted prepare succeeded")
+	}
+
+	// gcPending pressure: churn far past the GC bound with resolved
+	// tombstones; the unresolved replayed entry must survive.
+	fabric := rt.Transport()
+	for i := 0; i < 3*maxPendingResolved; i++ {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		if _, err := fabric.Call(ctx, "test", transport.Addr("Y"), msgAbort, abortRequest{id: fmt.Sprintf("X#gc%d", i)}); err != nil {
+			cancel()
+			t.Fatal(err)
+		}
+		cancel()
+	}
+	rt.Stop()
+	p, err := rt.proxyFor("cpu@Y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, ok := p.pending["Z#102"]
+	if !ok {
+		t.Fatal("gcPending evicted the unresolved replayed prepare")
+	}
+	if st.resolved() {
+		t.Fatal("unreachable coordinator's prepare was resolved")
+	}
+	// And it still cannot leak: the restored lease reclaims it.
+	if n := brokers["cpu@Y"].ExpireLeases(expiry + 1); n == 0 {
+		t.Fatal("unresolved prepare not reclaimable by lease sweep")
+	}
+}
+
+// TestWALDisabledPaths pins the guard rails of the durability surface.
+func TestWALDisabledPaths(t *testing.T) {
+	rt, _, _ := twoHostWorld(t)
+	if err := rt.Recover(0); err == nil {
+		t.Error("Recover without WAL succeeded")
+	}
+	if err := rt.CrashRestart("X"); err == nil {
+		t.Error("CrashRestart without WAL succeeded")
+	}
+	if err := rt.EnableWAL(wal.Options{Dir: t.TempDir()}); err == nil {
+		t.Error("EnableWAL after Start succeeded")
+	}
+	if err := rt.CloseWAL(); err != nil {
+		t.Error(err)
+	}
+}

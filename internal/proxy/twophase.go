@@ -49,6 +49,7 @@ import (
 	"qosres/internal/qos"
 	"qosres/internal/topo"
 	"qosres/internal/transport"
+	"qosres/internal/wal"
 )
 
 // abortTimeout bounds the detached abort fan-out after a failed commit
@@ -142,6 +143,15 @@ func (p *QoSProxy) gcPending() {
 // or already forgotten.
 var errUnknownPrepare = errors.New("proxy: unknown prepare ID")
 
+// ErrAborted reports a commit that lost its race against an abort of
+// the same prepare. Under crash/restart injection this is the expected
+// outcome of the recovery reconciliation window: a participant that
+// replayed an undecided prepare asks its coordinator, presumes abort if
+// the coordinator had not yet decided, and then refuses the (late)
+// commit — the coordinator rolls back the other participants and the
+// admission fails cleanly instead of half-committing.
+var ErrAborted = errors.New("proxy: prepare aborted")
+
 // handlePrepare runs on the participant's serve goroutine.
 func (p *QoSProxy) handlePrepare(req prepareRequest) prepareReply {
 	if st, ok := p.pending[req.id]; ok {
@@ -169,17 +179,27 @@ func (p *QoSProxy) handlePrepare(req prepareRequest) prepareReply {
 	p.pending[req.id] = st
 	p.order = append(p.order, req.id)
 	p.gcPending()
+	if st.prepErr == nil {
+		// Journal the holds before the reply leaves the host: a crash
+		// after this point recovers the prepare; a crash before it loses
+		// the reply too, so the coordinator aborts either way.
+		p.logRecord(wal.Record{Type: wal.TypePrepare, ID: req.id,
+			Expiry: float64(req.expiry), Parts: partsFromReservation(st.res)})
+	}
 	return prepareReply{res: st.res, err: st.prepErr}
 }
 
 // handleCommit runs on the participant's serve goroutine.
 func (p *QoSProxy) handleCommit(req commitRequest) commitReply {
 	st, ok := p.pending[req.id]
+	if ok && st.aborted {
+		// Aborted beats unknown: an abort (or recovery's presumed abort)
+		// clears res, and the late commit must learn the prepare was
+		// aborted, not that it never existed.
+		return commitReply{err: fmt.Errorf("proxy %s: commit %s: %w", p.host, req.id, ErrAborted)}
+	}
 	if !ok || st.res == nil || st.prepErr != nil {
 		return commitReply{err: fmt.Errorf("proxy %s: commit %s: %w", p.host, req.id, errUnknownPrepare)}
-	}
-	if st.aborted {
-		return commitReply{err: fmt.Errorf("proxy %s: commit %s: prepare already aborted", p.host, req.id)}
 	}
 	if st.committed {
 		// Duplicate commit: the holds are the session's now — its
@@ -196,6 +216,7 @@ func (p *QoSProxy) handleCommit(req commitRequest) commitReply {
 		return commitReply{err: fmt.Errorf("proxy %s: commit %s: %w", p.host, req.id, err)}
 	}
 	st.committed = true
+	p.logRecord(wal.Record{Type: wal.TypeCommit, ID: req.id, Expiry: float64(req.expiry)})
 	return commitReply{}
 }
 
@@ -208,6 +229,7 @@ func (p *QoSProxy) handleAbort(req abortRequest) abortReply {
 		p.pending[req.id] = &prepState{aborted: true}
 		p.order = append(p.order, req.id)
 		p.gcPending()
+		p.logRecord(wal.Record{Type: wal.TypeAbort, ID: req.id})
 		return abortReply{}
 	}
 	if st.aborted {
@@ -220,6 +242,7 @@ func (p *QoSProxy) handleAbort(req abortRequest) abortReply {
 		_ = st.res.Release(p.clock.Now())
 		st.res = nil
 	}
+	p.logRecord(wal.Record{Type: wal.TypeAbort, ID: req.id})
 	return abortReply{}
 }
 
@@ -390,6 +413,11 @@ func (rt *Runtime) commitPlan(ctx context.Context, mainHost topo.HostID, req qos
 		return nil, failure
 	}
 
+	// Commit point: journal the decision before any participant learns
+	// of it — recovery presumes abort for a prepare with no decide
+	// record, so the fan-out below must never outrun the log.
+	rt.recordDecide(mainHost, id, expiry)
+
 	// Commit fan-out: transfer ownership of every prepared share.
 	commits := make(chan error, len(shares))
 	for host := range shares {
@@ -420,5 +448,9 @@ func (rt *Runtime) commitPlan(ctx context.Context, mainHost topo.HostID, req qos
 		abortAll()
 		return nil, commitErr
 	}
-	return &reservationSet{parts: prepared}, nil
+	hosts := make([]topo.HostID, 0, len(shares))
+	for host := range shares {
+		hosts = append(hosts, host)
+	}
+	return rt.journal(&reservationSet{parts: prepared}, id, hosts), nil
 }

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"os"
 	"sync"
 	"time"
 
@@ -66,6 +67,17 @@ type FaultsConfig struct {
 	// LeaseTTL > 0 when any unreliability is configured — a lost abort or
 	// commit can strand prepared holds that only the sweep reclaims.
 	Transport *TransportConfig
+	// WALDir write-ahead-logs every 2PC transition into segment files
+	// under this directory, arming crash/restart injection
+	// (Random.CrashProb). Empty with CrashProb > 0 makes RunChaos journal
+	// into a per-run temporary directory, removed when the run returns.
+	WALDir string
+	// RecoverWAL replays an existing WAL in WALDir into the freshly built
+	// runtime before it starts: books, lease expiries and decided
+	// outcomes are reconstructed, and leases that lapsed while down are
+	// swept once. This is how a serving deployment (cmd/qosserved)
+	// survives a restart; it requires WALDir.
+	RecoverWAL bool
 }
 
 // TransportConfig parameterizes unreliable-messaging chaos
@@ -170,6 +182,15 @@ func (fc *FaultsConfig) validate() error {
 	} else if fc.Random.PartitionProb > 0 || fc.Random.HealProb > 0 {
 		return fmt.Errorf("sim: partition probabilities need transport chaos (FaultsConfig.Transport)")
 	}
+	if fc.Random.CrashProb < 0 || fc.Random.CrashProb > 1 {
+		return fmt.Errorf("sim: crash probability %g out of [0,1]", fc.Random.CrashProb)
+	}
+	if fc.Random.CrashProb > 0 && fc.LeaseTTL <= 0 {
+		return fmt.Errorf("sim: crash/restart injection needs a lease TTL — a release or abort that races the amnesia window strands holds that only the sweep can reclaim")
+	}
+	if fc.RecoverWAL && fc.WALDir == "" {
+		return fmt.Errorf("sim: RecoverWAL needs a WAL directory to replay")
+	}
 	return nil
 }
 
@@ -207,6 +228,14 @@ type ChaosResult struct {
 	// Abandoned counts sessions repair sweeps skipped because the sweep's
 	// deadline expired first.
 	Abandoned int
+	// Crashed counts applied crash/restart cycles (Random.CrashProb):
+	// each one killed a host's proxy, wiped its in-memory book, and
+	// recovered it from the write-ahead log. CrashAborted counts
+	// admission attempts those crashes cut mid-protocol — the 2PC
+	// aborted cleanly (nothing half-committed) and the attempt joins the
+	// partition alongside TimedOut.
+	Crashed      int
+	CrashAborted int
 }
 
 // String renders the result as a summary: two lines, plus a transport
@@ -219,6 +248,10 @@ func (r *ChaosResult) String() string {
 	if r.Shed+r.TimedOut+r.Abandoned > 0 {
 		s += fmt.Sprintf("\ntransport: shed %d, timed out %d, repairs abandoned %d",
 			r.Shed, r.TimedOut, r.Abandoned)
+	}
+	if r.Crashed+r.CrashAborted > 0 {
+		s += fmt.Sprintf("\ncrash/restart cycles %d, admissions crash-aborted %d",
+			r.Crashed, r.CrashAborted)
 	}
 	return s
 }
@@ -240,6 +273,18 @@ func RunChaos(sc StressConfig) (*ChaosResult, error) {
 	if sc.Sessions < 1 || sc.Iterations < 1 {
 		return nil, fmt.Errorf("sim: chaos needs at least one session and one iteration, got %d×%d",
 			sc.Sessions, sc.Iterations)
+	}
+	crashOn := fc.Random.CrashProb > 0
+	if crashOn && fc.WALDir == "" {
+		// Crash cycles replay from the WAL; without a caller-provided
+		// directory the journal lives (and dies) with the run.
+		dir, err := os.MkdirTemp("", "qosres-chaos-wal-")
+		if err != nil {
+			return nil, fmt.Errorf("sim: chaos WAL dir: %w", err)
+		}
+		defer os.RemoveAll(dir)
+		fc.WALDir = dir
+		defer func() { fc.WALDir = "" }()
 	}
 
 	rng := rand.New(rand.NewSource(sc.Seed))
@@ -316,13 +361,22 @@ func RunChaos(sc StressConfig) (*ChaosResult, error) {
 	inj := fault.New(env.pool, env.topology)
 	inj.Instrument(env.ins.faults)
 	inj.SetTransport(rt.Transport())
+	if crashOn {
+		inj.SetRestarter(rt)
+	}
 	inj.OnFault(func(ev fault.Event) {
 		mu.Lock()
 		result.Injected++
+		if ev.Kind == fault.KindCrashRestart {
+			result.Crashed++
+		}
 		mu.Unlock()
 		switch ev.Kind {
 		case fault.KindRecover, fault.KindCapacityRestore,
-			fault.KindPartition, fault.KindHeal, fault.KindDelayRoute:
+			fault.KindPartition, fault.KindHeal, fault.KindDelayRoute,
+			fault.KindCrashRestart:
+			// Crash/restart needs no repair sweep: recovery replayed the
+			// book, and every committed hold it restored is intact.
 			return
 		}
 		ctx, cancel := bound()
@@ -371,6 +425,7 @@ func RunChaos(sc StressConfig) (*ChaosResult, error) {
 		defer driverWG.Done()
 		defer close(ticks)
 		hosts := env.topology.Hosts()
+		crashedMid := false
 		for i := 0; i < fc.Steps; i++ {
 			clock.Advance(fc.StepEvery)
 			now := clock.Now()
@@ -383,6 +438,27 @@ func RunChaos(sc StressConfig) (*ChaosResult, error) {
 				// the walk's dice stay cold: fail one deterministic
 				// resource (the walk may recover it later).
 				_ = inj.FailResource(now, locals[0].Resource())
+			}
+			if crashOn && i == 2 {
+				// Guarantee an early crash/restart cycle per run whatever
+				// the walk's dice do, aimed at a server host whose proxy
+				// actually journals 2PC transitions, while admissions are
+				// still in flight around it.
+				_ = inj.CrashRestart(now, topo.ServerHost(1+i%topo.NumServers))
+			}
+			if crashOn && !crashedMid {
+				// And one more once half the admission attempts have
+				// landed, so every run replays a log with real history —
+				// the clients may outpace the step counter, so this is
+				// paced by their progress, not by i.
+				mu.Lock()
+				attempts := result.Established + result.PlanInfeasible +
+					result.AdmitRefused + result.Shed + result.TimedOut + result.CrashAborted
+				mu.Unlock()
+				if attempts >= sc.Sessions*sc.Iterations/2 {
+					crashedMid = true
+					_ = inj.CrashRestart(now, topo.ServerHost(1))
+				}
 			}
 			if transportOn && len(hosts) >= 2 {
 				// Guarantee at least one full partition/heal cycle per run,
@@ -418,6 +494,17 @@ func RunChaos(sc StressConfig) (*ChaosResult, error) {
 			var held []*proxy.Session
 			release := func(s *proxy.Session) {
 				if err := s.Release(); err != nil {
+					if crashOn {
+						// The release raced a crash's amnesia window: the book
+						// was mid-wipe or the WAL already replayed the holds
+						// back. Drop the session — its restored holds are
+						// leased, and with no further heartbeats the sweep
+						// reclaims them.
+						mu.Lock()
+						result.Lost++
+						mu.Unlock()
+						return
+					}
 					fail("client %d: release: %v", g, err)
 				}
 			}
@@ -430,6 +517,13 @@ func RunChaos(sc StressConfig) (*ChaosResult, error) {
 					case err == nil:
 						live = append(live, s)
 					case errors.Is(err, proxy.ErrSessionLost):
+						mu.Lock()
+						result.Lost++
+						mu.Unlock()
+					case crashOn:
+						// A heartbeat that raced a restart's amnesia window is
+						// indistinguishable from a lost session; treat it as
+						// one and let the sweep reclaim the replayed holds.
 						mu.Lock()
 						result.Lost++
 						mu.Unlock()
@@ -487,6 +581,15 @@ func RunChaos(sc StressConfig) (*ChaosResult, error) {
 					// The overload gate shed the attempt before any work.
 					mu.Lock()
 					result.Shed++
+					mu.Unlock()
+				case crashOn && (errors.Is(err, transport.ErrClosed) ||
+					errors.Is(err, proxy.ErrAborted)):
+					// A crash/restart cut the protocol mid-flight: either a
+					// participant dropped off the fabric (its endpoint closed
+					// under the call) or recovery's presumed-abort beat the
+					// coordinator's commit. The 2PC aborted cleanly.
+					mu.Lock()
+					result.CrashAborted++
 					mu.Unlock()
 				case errors.Is(err, context.DeadlineExceeded),
 					errors.Is(err, transport.ErrCircuitOpen):
@@ -569,7 +672,7 @@ func RunChaos(sc StressConfig) (*ChaosResult, error) {
 		failures = append(failures, fmt.Sprintf("%d sessions still registered after drain", live))
 	}
 	if got, want := result.Established+result.PlanInfeasible+result.AdmitRefused+
-		result.Shed+result.TimedOut, sc.Sessions*sc.Iterations; got != want {
+		result.Shed+result.TimedOut+result.CrashAborted, sc.Sessions*sc.Iterations; got != want {
 		failures = append(failures, fmt.Sprintf("outcome count %d != %d attempts", got, want))
 	}
 	if result.Repaired+result.Degraded+result.RepairFailed != result.Affected {
@@ -589,6 +692,11 @@ func RunChaos(sc StressConfig) (*ChaosResult, error) {
 	if open := env.tracerec.OpenTraces(); open > 0 {
 		failures = append(failures, fmt.Sprintf("%d trace(s) still open after drain", open))
 	}
+	// A completed tree leaves the open table before its spans reach the
+	// sink; wait out in-flight exports so the caller can flush or close
+	// its tracer without tearing the last tree (torn JSONL tails fail
+	// the qostrace completeness gate).
+	env.tracerec.DrainExports()
 	forest := tracetree.FromEvents(collector.Events())
 	if !forest.Complete() {
 		failures = append(failures, fmt.Sprintf(

@@ -12,6 +12,7 @@ import (
 	"qosres/internal/topo"
 	"qosres/internal/trace"
 	"qosres/internal/transport"
+	"qosres/internal/wal"
 	"qosres/internal/workload"
 )
 
@@ -67,6 +68,17 @@ func (env *environment) buildRuntime(cfg Config, clock proxy.Clock) (*proxy.Runt
 		// into the run's registry.
 		rt.SetLeaseTTL(cfg.Faults.LeaseTTL)
 		rt.InstrumentFaults(env.ins.faults)
+		if cfg.Faults.WALDir != "" {
+			// Durable chaos: journal every 2PC transition so crash/restart
+			// injection can replay the books. Must precede Start — the log
+			// handle is distributed to the proxies at startup.
+			if err := rt.EnableWAL(wal.Options{Dir: cfg.Faults.WALDir}); err != nil {
+				return nil, err
+			}
+			if env.ins.enabled() {
+				rt.InstrumentWAL(obs.NewWALMetrics(env.ins.reg))
+			}
+		}
 		if tc := cfg.Faults.Transport; tc != nil {
 			// Unreliable-messaging mode: replace the default perfect fabric
 			// with one that delays, loses, and duplicates per the config,
@@ -151,6 +163,14 @@ func (env *environment) buildRuntime(cfg Config, clock proxy.Clock) (*proxy.Runt
 	}
 	for d := 1; d <= topo.NumDomains; d++ {
 		if err := deployNet(topo.ServerHost(topo.ProxyServerFor(d)), topo.DomainHost(d)); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.Faults != nil && cfg.Faults.RecoverWAL {
+		// Restart recovery: replay a surviving WAL into the freshly
+		// deployed books before the runtime starts serving, so a restarted
+		// deployment resumes with its pre-crash reservations intact.
+		if err := rt.Recover(clock.Now()); err != nil {
 			return nil, err
 		}
 	}

@@ -117,6 +117,26 @@ type Delivery struct {
 	// Payload is the message body.
 	Payload interface{}
 	reply   func(interface{})
+	ack     *doneHook
+}
+
+// doneHook is the once-only completion callback of an inbox-queued
+// delivery. It is a pointer because Delivery is passed by value: every
+// copy (including the duplicated-delivery copy) must share one ack.
+type doneHook struct {
+	once sync.Once
+	fn   func()
+}
+
+// Done marks the delivery fully processed. Inbox consumers must call it
+// after handling each delivery (deferring is fine): Settle's drain
+// barrier counts a queued delivery as in flight until its Done, so a
+// handler still mutating state cannot race a settler's invariant check.
+// Idempotent, and a no-op on fast-lane and hand-constructed deliveries.
+func (d Delivery) Done() {
+	if d.ack != nil {
+		d.ack.once.Do(d.ack.fn)
+	}
 }
 
 // Reply sends the response back to the caller over the fabric. The
@@ -136,6 +156,10 @@ type Endpoint struct {
 	inbox chan Delivery
 	done  chan struct{}
 	once  sync.Once
+	// queued counts deliveries sitting in (or being handled off) the
+	// inbox whose Done has not run yet; Settle waits for it to drain on
+	// every open endpoint.
+	queued atomic.Int64
 
 	hmu      sync.Mutex
 	handlers atomic.Pointer[map[string]func(Delivery) bool]
@@ -385,15 +409,20 @@ func (f *Fabric) BreakerState(from, to Addr) BreakerState {
 }
 
 // Settle blocks until every asynchronous (delayed or duplicated)
-// delivery has been handed to its destination or dropped, looping until
-// the count is stably zero (a landing delivery's reply may start new
-// asynchronous sends). Chaos harnesses call it before checking drain
-// invariants so no straggler message can land after the books are
-// inspected.
+// delivery has been handed to its destination or dropped AND every
+// inbox-queued delivery on an open endpoint has been handled to
+// completion (its consumer called Done), looping until both counts are
+// stably zero (a landing delivery's reply may start new asynchronous
+// sends). Handler-answered fast-lane calls complete synchronously
+// inside the delivering send, so they are covered by the same barrier.
+// Deliveries stranded in a closed endpoint's inbox died with its host
+// and are excluded. Chaos harnesses call Settle before checking drain
+// invariants so no straggler handler can mutate the books after they
+// are inspected.
 func (f *Fabric) Settle() {
 	for {
 		f.mu.Lock()
-		if f.pending == 0 {
+		if f.drainedLocked() {
 			f.mu.Unlock()
 			return
 		}
@@ -402,8 +431,34 @@ func (f *Fabric) Settle() {
 		}
 		ch := f.settleCh
 		f.mu.Unlock()
-		<-ch
+		// The poll guards the one unsignalled transition: an endpoint
+		// closing (host crash) with deliveries still queued — those Dones
+		// never come, and Close has no fabric reference to wake us.
+		select {
+		case <-ch:
+		case <-time.After(time.Millisecond):
+		}
 	}
+}
+
+// drainedLocked reports whether no delivery is in flight: none pending
+// asynchronously and none queued-but-unfinished on any open endpoint.
+// Callers hold f.mu.
+func (f *Fabric) drainedLocked() bool {
+	if f.pending != 0 {
+		return false
+	}
+	for _, ep := range f.endpoints {
+		select {
+		case <-ep.done:
+			continue
+		default:
+		}
+		if ep.queued.Load() != 0 {
+			return false
+		}
+	}
+	return true
 }
 
 // track registers one asynchronous delivery; untrack retires it and
@@ -417,11 +472,29 @@ func (f *Fabric) track() {
 func (f *Fabric) untrack() {
 	f.mu.Lock()
 	f.pending--
-	if f.pending == 0 && f.settleCh != nil {
+	f.wakeLocked()
+	f.mu.Unlock()
+}
+
+// wakeLocked releases settlers when the fabric has drained.
+func (f *Fabric) wakeLocked() {
+	if f.settleCh != nil && f.drainedLocked() {
 		close(f.settleCh)
 		f.settleCh = nil
 	}
-	f.mu.Unlock()
+}
+
+// queueHook charges one inbox-queued delivery to ep and returns the ack
+// that retires it. The consumer's Done (or the enqueue failure path)
+// must run it exactly once.
+func (f *Fabric) queueHook(ep *Endpoint) *doneHook {
+	ep.queued.Add(1)
+	return &doneHook{fn: func() {
+		ep.queued.Add(-1)
+		f.mu.Lock()
+		f.wakeLocked()
+		f.mu.Unlock()
+	}}
 }
 
 // Call sends payload from one endpoint to another and waits for the
@@ -470,12 +543,15 @@ func (f *Fabric) Call(ctx context.Context, from, to Addr, kind string, payload i
 				}
 			}}
 		if !ep.dispatch(d) {
+			d.ack = f.queueHook(ep)
 			select {
 			case ep.inbox <- d:
 			case <-ep.done:
+				d.Done()
 				finish("closed")
 				return nil, fmt.Errorf("transport: %s: %w", to, ErrClosed)
 			case <-ctx.Done():
+				d.Done()
 				f.metrics.Timeout()
 				finish("timeout")
 				return nil, fmt.Errorf("transport: call %s->%s (%s): %w", from, to, kind, ctx.Err())
@@ -485,6 +561,18 @@ func (f *Fabric) Call(ctx context.Context, from, to Addr, kind string, payload i
 		case resp := <-replyCh:
 			finish(obs.StatusOK)
 			return resp, nil
+		case <-ep.done:
+			// The endpoint crashed under the call. A reply that raced the
+			// close still counts; otherwise the queued delivery died with
+			// the process and no answer will ever come.
+			select {
+			case resp := <-replyCh:
+				finish(obs.StatusOK)
+				return resp, nil
+			default:
+			}
+			finish("closed")
+			return nil, fmt.Errorf("transport: %s: %w", to, ErrClosed)
 		case <-ctx.Done():
 			f.metrics.Timeout()
 			finish("timeout")
@@ -526,10 +614,12 @@ func (f *Fabric) Call(ctx context.Context, from, to Addr, kind string, payload i
 		if ep.dispatch(dd) {
 			return true
 		}
+		dd.ack = f.queueHook(ep)
 		select {
 		case ep.inbox <- dd:
 			return true
 		case <-ep.done:
+			dd.Done()
 			return false
 		}
 	})
@@ -544,6 +634,24 @@ func (f *Fabric) Call(ctx context.Context, from, to Addr, kind string, payload i
 		}
 		finish(obs.StatusOK)
 		return resp, nil
+	case <-ep.done:
+		// The destination crashed under the call: its queue died with
+		// the process, so without a caller deadline the reply would
+		// never come. A reply that raced the close still counts.
+		select {
+		case resp := <-replyCh:
+			if br != nil {
+				br.Success()
+			}
+			finish(obs.StatusOK)
+			return resp, nil
+		default:
+		}
+		if br != nil {
+			br.Failure()
+		}
+		finish("closed")
+		return nil, fmt.Errorf("transport: %s: %w", to, ErrClosed)
 	case <-ctx.Done():
 		if br != nil {
 			br.Failure()

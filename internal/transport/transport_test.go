@@ -24,6 +24,7 @@ func echoEndpoint(t *testing.T, f *Fabric, addr Addr, fn func(interface{}) inter
 				return
 			case d := <-ep.Inbox():
 				d.Reply(fn(d.Payload))
+				d.Done()
 			}
 		}
 	}()
