@@ -22,7 +22,7 @@ import (
 
 func main() {
 	var (
-		run      = flag.String("run", "all", "comma-separated experiments: fig11, table1, table2, table3, table4, fig12, fig13, quality, planbench, admitbench, readbench (planbench, admitbench and readbench are opt-in, not part of all)")
+		run      = flag.String("run", "all", "comma-separated experiments: fig11, table1, table2, table3, table4, fig12, fig13, quality, planbench, admitbench, readbench, servebench (planbench, admitbench, readbench and servebench are opt-in, not part of all)")
 		seed     = flag.Int64("seed", 1, "base random seed")
 		duration = flag.Float64("duration", 10800, "simulated time units per run")
 		scale    = flag.Float64("scale", 0, "workload base scale override (0 = calibrated default)")
@@ -31,6 +31,7 @@ func main() {
 		benchOut = flag.String("benchjson", "", "with -run planbench, also write the comparison to this JSON file (e.g. BENCH_plan.json)")
 		admitOut = flag.String("admitjson", "", "with -run admitbench, also write the sweep to this JSON file (e.g. BENCH_admit.json)")
 		readOut  = flag.String("readjson", "", "with -run readbench, also write the read-path benchmark to this JSON file (e.g. BENCH_read.json)")
+		serveOut = flag.String("servejson", "", "with -run servebench, also write the serving benchmark to this JSON file (e.g. BENCH_served.json)")
 	)
 	flag.Parse()
 
@@ -198,6 +199,23 @@ func main() {
 				fail(err)
 			}
 			fmt.Printf("wrote %s\n", *readOut)
+		}
+		fmt.Println()
+	}
+	// Also opt-in: the serving front-end benchmark (open-loop Poisson
+	// load over HTTP, establish latency percentiles) behind
+	// BENCH_served.json.
+	if want["servebench"] {
+		res, err := experiments.ServeBench(experiments.DefaultServeBenchConfig(*seed))
+		if err != nil {
+			fail(err)
+		}
+		experiments.PrintServeBench(os.Stdout, res)
+		if *serveOut != "" {
+			if err := experiments.WriteServeBenchJSON(*serveOut, res); err != nil {
+				fail(err)
+			}
+			fmt.Printf("wrote %s\n", *serveOut)
 		}
 		fmt.Println()
 	}

@@ -10,6 +10,7 @@
 //	GET  /spec            sample a paper-shaped session offer
 //	POST /establish       admit a session (empty body: sample one)
 //	POST /heartbeat?id=S  renew session S's leases
+//	POST /renegotiate     move a session to another level (delta 2PC)
 //	POST /teardown?id=S   release session S
 //	GET  /metrics         Prometheus exposition
 //	GET  /snapshot        JSON metrics snapshot
@@ -33,6 +34,7 @@ import (
 	"sync"
 	"time"
 
+	"qosres/internal/adapt"
 	"qosres/internal/broker"
 	"qosres/internal/obs"
 	"qosres/internal/sim"
@@ -60,13 +62,16 @@ type liveEntry struct {
 }
 
 // sessionHandle narrows *proxy.Session to what the front end needs; it
-// keeps main decoupled from the proxy package's surface.
+// keeps main decoupled from the proxy package's surface. The plan is
+// read through a closure, not copied: a renegotiation — client-driven
+// via /renegotiate or controller-driven under -adapt — changes the
+// session's level mid-flight, and the handle must report the level the
+// books actually hold.
 type sessionHandle struct {
-	heartbeat func() error
-	release   func() error
-	level     string
-	rank      int
-	psi       float64
+	heartbeat   func() error
+	release     func() error
+	plan        func() (level string, rank int, psi float64)
+	renegotiate func(ctx context.Context, level string) error
 }
 
 type establishRequest struct {
@@ -158,22 +163,85 @@ func (s *served) handleEstablish(w http.ResponseWriter, r *http.Request) {
 	h := &sessionHandle{
 		heartbeat: sess.Heartbeat,
 		release:   sess.Release,
-		level:     sess.Plan.EndToEnd.Name,
-		rank:      sess.Plan.Rank,
-		psi:       sess.Plan.Psi,
+		plan: func() (string, int, float64) {
+			p := sess.CurrentPlan()
+			if p == nil {
+				return "", 0, 0
+			}
+			return p.EndToEnd.Name, p.Rank, p.Psi
+		},
+		renegotiate: func(ctx context.Context, level string) error {
+			return s.env.Renegotiate(ctx, sess, level)
+		},
 	}
 	s.mu.Lock()
 	s.nextID++
 	id := fmt.Sprintf("s-%d", s.nextID)
 	s.sessions[id] = &liveEntry{session: h, service: doc.Name, mainHost: mainHost}
 	s.mu.Unlock()
+	level, rank, psi := h.plan()
 	writeJSON(w, establishReply{
 		ID:       id,
 		Service:  doc.Name,
 		MainHost: string(mainHost),
-		Level:    h.level,
-		Rank:     h.rank,
-		Psi:      h.psi,
+		Level:    level,
+		Rank:     rank,
+		Psi:      psi,
+	})
+}
+
+// handleRenegotiate moves an established session to the requested
+// end-to-end level through the runtime's delta-reservation path: only
+// the requirement difference is negotiated over the fabric, a refused
+// upgrade leaves the session untouched at its old level, and the level
+// change is WAL-journaled, so the books a -recover restart replays hold
+// the renegotiated amounts.
+func (s *served) handleRenegotiate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "read body: %v", err)
+		return
+	}
+	var req spec.RenegotiateRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		httpError(w, http.StatusBadRequest, "parse: %v", err)
+		return
+	}
+	if req.Session == "" || req.Level == "" {
+		httpError(w, http.StatusBadRequest, "need session and level")
+		return
+	}
+	s.mu.Lock()
+	e := s.sessions[req.Session]
+	s.mu.Unlock()
+	if e == nil {
+		httpError(w, http.StatusNotFound, "unknown session %s", req.Session)
+		return
+	}
+	_, before, _ := e.session.plan()
+	ctx, cancel := context.WithTimeout(r.Context(), 10*time.Second)
+	defer cancel()
+	if err := e.session.renegotiate(ctx, req.Level); err != nil {
+		httpError(w, http.StatusConflict, "renegotiate %s: %v", req.Session, err)
+		return
+	}
+	level, rank, _ := e.session.plan()
+	outcome := "unchanged"
+	switch {
+	case rank > before:
+		outcome = "upgraded"
+	case rank < before:
+		outcome = "downgraded"
+	}
+	writeJSON(w, spec.RenegotiateReply{
+		Session: req.Session,
+		Level:   level,
+		Rank:    rank,
+		Outcome: outcome,
 	})
 }
 
@@ -242,6 +310,10 @@ func main() {
 		seed      = flag.Int64("seed", 1, "environment seed (keep stable across restarts of one deployment)")
 		lease     = flag.Float64("lease", 30, "session lease TTL in seconds (0 disables leasing)")
 		rate      = flag.Float64("rate", 60, "sampled session mix rate (sessions per 60 TUs)")
+		adaptOn   = flag.Bool("adapt", false, "run the mid-session adaptation controller")
+		adaptHigh = flag.Float64("adapt-high", 0.85, "utilization at or above which brownout downgrades run")
+		adaptLow  = flag.Float64("adapt-low", 0.55, "utilization below which upgrades run")
+		adaptTick = flag.Duration("adapt-every", 5*time.Second, "adaptation controller tick interval")
 	)
 	flag.Parse()
 
@@ -251,6 +323,16 @@ func main() {
 		}
 	}
 	reg := obs.New()
+	var policy *adapt.Policy
+	if *adaptOn {
+		p := adapt.DefaultPolicy()
+		p.HighWater = *adaptHigh
+		p.LowWater = *adaptLow
+		// One cooldown covers a couple of controller ticks so a session
+		// settles at a level before it is reconsidered.
+		p.Cooldown = broker.Time(2 * adaptTick.Seconds())
+		policy = &p
+	}
 	env, err := sim.NewServedEnv(sim.ServedOptions{
 		Seed:     *seed,
 		Rate:     *rate,
@@ -258,6 +340,7 @@ func main() {
 		WALDir:   *walDir,
 		Recover:  *recoverFl && *walDir != "",
 		Registry: reg,
+		Adapt:    policy,
 	})
 	if err != nil {
 		log.Fatalf("qosserved: %v", err)
@@ -268,10 +351,34 @@ func main() {
 	mux.HandleFunc("/spec", s.handleSpec)
 	mux.HandleFunc("/establish", s.handleEstablish)
 	mux.HandleFunc("/heartbeat", s.handleHeartbeat)
+	mux.HandleFunc("/renegotiate", s.handleRenegotiate)
 	mux.HandleFunc("/teardown", s.handleTeardown)
 
 	stop := make(chan struct{})
 	var sweeper sync.WaitGroup
+	if ctrl := env.Controller(); ctrl != nil {
+		sweeper.Add(1)
+		go func() {
+			defer sweeper.Done()
+			tick := time.NewTicker(*adaptTick)
+			defer tick.Stop()
+			for {
+				select {
+				case <-tick.C:
+					actions := ctrl.Tick(context.Background(), env.Clock().Now())
+					for _, a := range actions {
+						if a.Err != nil {
+							log.Printf("qosserved: adapt: renegotiate to %s refused: %v", a.Level, a.Err)
+							continue
+						}
+						log.Printf("qosserved: adapt: session moved %d -> %d (%s)", a.FromRank, a.ToRank, a.Level)
+					}
+				case <-stop:
+					return
+				}
+			}
+		}()
+	}
 	if *lease > 0 {
 		sweeper.Add(1)
 		go func() {

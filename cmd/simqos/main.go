@@ -67,6 +67,7 @@ import (
 	"sync"
 	"time"
 
+	"qosres/internal/adapt"
 	"qosres/internal/broker"
 	"qosres/internal/obs"
 	"qosres/internal/sim"
@@ -106,6 +107,10 @@ func main() {
 		deadline   = flag.Duration("deadline", 0, "with -chaos transport: bound on every establish call and repair sweep (default 250ms when transport chaos is on)")
 		maxInFlt   = flag.Int("max-inflight", 0, "with -chaos: bound on concurrently admitted sessions; beyond it calls are shed with ErrOverloaded (0 = unbounded)")
 		crashP     = flag.Float64("crash", 0, "with -chaos: per-step probability of crash-restarting one host's QoSProxy, recovered from a per-run write-ahead log")
+		surgeP     = flag.Float64("surge", 0, "with -chaos: per-step probability of a surge-load action (external background demand — brownout pressure for -adapt)")
+		adaptOn    = flag.Bool("adapt", false, "with -chaos: run the mid-session adaptation controller (brownout/upgrade renegotiations) concurrently with the faults")
+		adaptHigh  = flag.Float64("adapt-high", 0.85, "with -adapt: utilization at or above which brownout downgrades run")
+		adaptLow   = flag.Float64("adapt-low", 0.55, "with -adapt: utilization below which upgrades run")
 		server     = flag.String("server", "", "drive a running qosserved at this base URL with open-loop Poisson load instead of simulating (uses -rate, -for, -seed)")
 		serverFor  = flag.Duration("for", 30*time.Second, "with -server: wall-clock length of the load run")
 	)
@@ -211,6 +216,17 @@ func main() {
 		// directory (FaultsConfig.WALDir stays empty here) and restarts
 		// hosts per the walk.
 		fc.Random.CrashProb = *crashP
+		fc.Random.SurgeProb = *surgeP
+		if *adaptOn {
+			// Mid-session adaptation: the controller ticks once per
+			// injection step; a cooldown a few steps long keeps a session
+			// from renegotiating on consecutive ticks.
+			p := adapt.DefaultPolicy()
+			p.HighWater = *adaptHigh
+			p.LowWater = *adaptLow
+			p.Cooldown = 3 * fc.StepEvery
+			fc.Adapt = &p
+		}
 		sc.Config.Faults = fc
 		cres, err := sim.RunChaos(sc)
 		if err != nil {
@@ -224,6 +240,10 @@ func main() {
 		}
 		if *crashP > 0 {
 			fmt.Printf("crash: prob=%g (per-run WAL, recovery on every restart)\n", *crashP)
+		}
+		if ap := fc.Adapt; ap != nil {
+			fmt.Printf("adapt: high=%g low=%g cooldown=%g budget=%d surge=%g\n",
+				ap.HighWater, ap.LowWater, float64(ap.Cooldown), ap.MaxActionsPerTick, *surgeP)
 		}
 		fmt.Println(cres)
 		printAdmission(reg)

@@ -1,0 +1,349 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"qosres/internal/broker"
+	"qosres/internal/obs"
+	"qosres/internal/proxy"
+	"qosres/internal/sim"
+	"qosres/internal/spec"
+	"qosres/internal/stats"
+	"qosres/internal/topo"
+)
+
+// Serving benchmark: the HTTP front-end path behind the BENCH_served.json
+// CI artifact. It deploys the same ServedEnv that cmd/qosserved serves,
+// exposes the establish/renegotiate/teardown surface on a loopback
+// listener, and drives it with open-loop Poisson arrivals — arrivals
+// never wait for completions, the load shape that exposes a slow
+// admission path. Each established session is renegotiated one level
+// down (the delta-reservation path) before teardown, so the bench
+// covers the adaptation surface too. Reported: p50/p99 establish
+// latency over the wire and sustained established sessions/sec.
+
+// ServeBenchConfig parameterizes the serving benchmark.
+type ServeBenchConfig struct {
+	// Seed drives the environment build and the arrival process.
+	Seed int64
+	// Duration is the wall-clock length of the load run.
+	Duration time.Duration
+	// Rate is the open-loop arrival rate in sessions per second.
+	Rate float64
+}
+
+// DefaultServeBenchConfig is CI-sized: a few seconds of load at a rate
+// that keeps several admissions in flight.
+func DefaultServeBenchConfig(seed int64) ServeBenchConfig {
+	return ServeBenchConfig{Seed: seed, Duration: 4 * time.Second, Rate: 150}
+}
+
+// ServeBenchResult aggregates the serving benchmark.
+type ServeBenchResult struct {
+	DurationSec float64 `json:"duration_sec"`
+	RatePerSec  float64 `json:"offered_rate_per_sec"`
+	// Arrivals = Established + Refused + Errors.
+	Arrivals    int `json:"arrivals"`
+	Established int `json:"established"`
+	// Refused counts admissions the server turned down (plan infeasible
+	// or commit refused) — an expected outcome of open-loop load.
+	Refused int `json:"refused"`
+	Errors  int `json:"errors"`
+	// Renegotiated counts sessions the bench moved one level down over
+	// /renegotiate before tearing them down.
+	Renegotiated int `json:"renegotiated"`
+	// SessionsPerSec is established sessions over the run duration.
+	SessionsPerSec float64 `json:"sessions_per_sec"`
+	// Establish latency over the wire (HTTP round trip included).
+	EstablishP50Ms float64 `json:"establish_p50_ms"`
+	EstablishP99Ms float64 `json:"establish_p99_ms"`
+	// Renegotiate latency over the wire.
+	RenegotiateP50Ms float64 `json:"renegotiate_p50_ms"`
+	RenegotiateP99Ms float64 `json:"renegotiate_p99_ms"`
+}
+
+// serveFront is the benchmark's minimal qosserved-shaped front end: the
+// same ServedEnv surface behind the same endpoints, without the flags,
+// WAL, and signal plumbing of the real daemon.
+type serveFront struct {
+	env *sim.ServedEnv
+
+	mu       sync.Mutex
+	nextID   int
+	sessions map[string]*proxy.Session
+}
+
+type serveEstablishReq struct {
+	MainHost string        `json:"mainHost"`
+	Session  *spec.Session `json:"session"`
+}
+
+type serveEstablishReply struct {
+	ID    string `json:"id"`
+	Level string `json:"level"`
+	Rank  int    `json:"rank"`
+}
+
+func (f *serveFront) establish(w http.ResponseWriter, r *http.Request) {
+	var req serveEstablishReq
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), 10*time.Second)
+	defer cancel()
+	sess, err := f.env.Establish(ctx, topo.HostID(req.MainHost), req.Session)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	}
+	f.mu.Lock()
+	f.nextID++
+	id := fmt.Sprintf("s-%d", f.nextID)
+	f.sessions[id] = sess
+	f.mu.Unlock()
+	p := sess.CurrentPlan()
+	_ = json.NewEncoder(w).Encode(serveEstablishReply{ID: id, Level: p.EndToEnd.Name, Rank: p.Rank})
+}
+
+func (f *serveFront) renegotiate(w http.ResponseWriter, r *http.Request) {
+	var req spec.RenegotiateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	f.mu.Lock()
+	sess := f.sessions[req.Session]
+	f.mu.Unlock()
+	if sess == nil {
+		http.Error(w, "unknown session", http.StatusNotFound)
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), 10*time.Second)
+	defer cancel()
+	if err := f.env.Renegotiate(ctx, sess, req.Level); err != nil {
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	}
+	p := sess.CurrentPlan()
+	_ = json.NewEncoder(w).Encode(spec.RenegotiateReply{
+		Session: req.Session, Level: p.EndToEnd.Name, Rank: p.Rank,
+	})
+}
+
+func (f *serveFront) teardown(w http.ResponseWriter, r *http.Request) {
+	id := r.URL.Query().Get("id")
+	f.mu.Lock()
+	sess := f.sessions[id]
+	delete(f.sessions, id)
+	f.mu.Unlock()
+	if sess == nil {
+		http.Error(w, "unknown session", http.StatusNotFound)
+		return
+	}
+	if err := sess.Release(); err != nil {
+		http.Error(w, err.Error(), http.StatusGone)
+		return
+	}
+	_, _ = io.WriteString(w, "released")
+}
+
+// percentileMs returns the q-quantile (0..1) of sorted millisecond
+// latencies, 0 when empty.
+func percentileMs(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// ServeBench runs the serving benchmark.
+func ServeBench(cfg ServeBenchConfig) (*ServeBenchResult, error) {
+	if cfg.Duration <= 0 || cfg.Rate <= 0 {
+		return nil, fmt.Errorf("experiments: servebench needs a positive duration and rate")
+	}
+	env, err := sim.NewServedEnv(sim.ServedOptions{
+		Seed:     cfg.Seed,
+		LeaseTTL: broker.Time(60),
+		Registry: obs.New(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer env.Close()
+
+	front := &serveFront{env: env, sessions: make(map[string]*proxy.Session)}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/establish", front.establish)
+	mux.HandleFunc("/renegotiate", front.renegotiate)
+	mux.HandleFunc("/teardown", front.teardown)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	defer srv.Close()
+	base := "http://" + ln.Addr().String()
+	client := &http.Client{Timeout: 15 * time.Second}
+
+	var (
+		mu          sync.Mutex
+		res         ServeBenchResult
+		estLat      []float64
+		renegLat    []float64
+		wg          sync.WaitGroup
+		rng         = rand.New(rand.NewSource(cfg.Seed))
+		benchStart  = time.Now()
+		benchFinish = benchStart.Add(cfg.Duration)
+	)
+	post := func(path string, body []byte) (*http.Response, []byte, error) {
+		resp, err := client.Post(base+path, "application/json", bytes.NewReader(body))
+		if err != nil {
+			return nil, nil, err
+		}
+		reply, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp, reply, err
+	}
+	drive := func(offer *sim.SampledSession) {
+		defer wg.Done()
+		body, err := json.Marshal(serveEstablishReq{
+			MainHost: string(offer.MainHost),
+			Session:  offer.Doc,
+		})
+		if err != nil {
+			mu.Lock()
+			res.Errors++
+			mu.Unlock()
+			return
+		}
+		t0 := time.Now()
+		resp, reply, err := post("/establish", body)
+		lat := float64(time.Since(t0).Microseconds()) / 1000
+		if err != nil {
+			mu.Lock()
+			res.Errors++
+			mu.Unlock()
+			return
+		}
+		if resp.StatusCode != http.StatusOK {
+			mu.Lock()
+			res.Refused++
+			mu.Unlock()
+			return
+		}
+		var est serveEstablishReply
+		if err := json.Unmarshal(reply, &est); err != nil {
+			mu.Lock()
+			res.Errors++
+			mu.Unlock()
+			return
+		}
+		mu.Lock()
+		res.Established++
+		estLat = append(estLat, lat)
+		mu.Unlock()
+
+		// Exercise the delta path: move the session one level down (the
+		// ranking is best-first) when a worse level exists.
+		for i, level := range offer.Doc.Ranking {
+			if level != est.Level || i+1 >= len(offer.Doc.Ranking) {
+				continue
+			}
+			body, err := json.Marshal(spec.RenegotiateRequest{
+				Session: est.ID, Level: offer.Doc.Ranking[i+1],
+			})
+			if err != nil {
+				break
+			}
+			t0 := time.Now()
+			resp, _, err := post("/renegotiate", body)
+			lat := float64(time.Since(t0).Microseconds()) / 1000
+			if err == nil && resp.StatusCode == http.StatusOK {
+				mu.Lock()
+				res.Renegotiated++
+				renegLat = append(renegLat, lat)
+				mu.Unlock()
+			}
+			break
+		}
+		resp, _, err = post("/teardown?id="+est.ID, nil)
+		if err != nil || resp.StatusCode != http.StatusOK {
+			mu.Lock()
+			res.Errors++
+			res.Established-- // count only fully cycled sessions
+			mu.Unlock()
+		}
+	}
+
+	for time.Now().Before(benchFinish) {
+		gap := time.Duration(rng.ExpFloat64() / cfg.Rate * float64(time.Second))
+		if remain := time.Until(benchFinish); gap > remain {
+			break
+		}
+		time.Sleep(gap)
+		offer, err := env.SampleSession()
+		if err != nil {
+			mu.Lock()
+			res.Errors++
+			mu.Unlock()
+			continue
+		}
+		mu.Lock()
+		res.Arrivals++
+		mu.Unlock()
+		wg.Add(1)
+		go drive(offer)
+	}
+	wg.Wait()
+	elapsed := time.Since(benchStart).Seconds()
+
+	sort.Float64s(estLat)
+	sort.Float64s(renegLat)
+	res.DurationSec = elapsed
+	res.RatePerSec = cfg.Rate
+	res.SessionsPerSec = float64(res.Established) / elapsed
+	res.EstablishP50Ms = percentileMs(estLat, 0.50)
+	res.EstablishP99Ms = percentileMs(estLat, 0.99)
+	res.RenegotiateP50Ms = percentileMs(renegLat, 0.50)
+	res.RenegotiateP99Ms = percentileMs(renegLat, 0.99)
+	return &res, nil
+}
+
+// WriteServeBenchJSON writes the result to path (the CI artifact
+// BENCH_served.json).
+func WriteServeBenchJSON(path string, r *ServeBenchResult) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// PrintServeBench renders the benchmark.
+func PrintServeBench(w io.Writer, r *ServeBenchResult) {
+	fmt.Fprintf(w, "Serving front end: open-loop Poisson load, %gs at %g arrivals/s\n",
+		r.DurationSec, r.RatePerSec)
+	t := &stats.Table{Header: []string{"outcome", "count"}}
+	t.AddRow("arrivals", fmt.Sprintf("%d", r.Arrivals))
+	t.AddRow("established", fmt.Sprintf("%d", r.Established))
+	t.AddRow("refused", fmt.Sprintf("%d", r.Refused))
+	t.AddRow("renegotiated", fmt.Sprintf("%d", r.Renegotiated))
+	t.AddRow("errors", fmt.Sprintf("%d", r.Errors))
+	fmt.Fprint(w, t)
+	fmt.Fprintf(w, "throughput %.0f sessions/s; establish p50 %.2fms p99 %.2fms; renegotiate p50 %.2fms p99 %.2fms\n",
+		r.SessionsPerSec, r.EstablishP50Ms, r.EstablishP99Ms, r.RenegotiateP50Ms, r.RenegotiateP99Ms)
+}

@@ -65,9 +65,11 @@ type Injector struct {
 	metrics *obs.FaultMetrics
 	notify  func(Event)
 	// downed records currently-failed resources; shrunk maps a resource
-	// whose capacity was reduced to its original capacity.
+	// whose capacity was reduced to its original capacity; surges maps a
+	// surged resource to its background hold.
 	downed map[string]bool
 	shrunk map[string]float64
+	surges map[string]broker.ReservationID
 	// fabric, when attached (SetTransport), receives network-level
 	// injections; partitioned tracks cut host pairs and delayed maps a
 	// delayed route to its original config.
@@ -88,6 +90,7 @@ func New(pool *broker.Pool, topology *topo.Topology) *Injector {
 		metrics:     &obs.FaultMetrics{},
 		downed:      make(map[string]bool),
 		shrunk:      make(map[string]float64),
+		surges:      make(map[string]broker.ReservationID),
 		partitioned: make(map[hostPair]bool),
 		delayed:     make(map[hostPair]transport.RouteConfig),
 	}
@@ -311,6 +314,9 @@ func (in *Injector) RecoverAll(now broker.Time) {
 	}
 	for _, r := range shrunk {
 		_ = in.RestoreCapacity(now, r)
+	}
+	for _, r := range in.Surged() {
+		_ = in.EndSurge(now, r)
 	}
 }
 

@@ -38,10 +38,16 @@ type RandomConfig struct {
 	MaxPartitions int
 	// CrashProb is the per-step probability of crash-restarting one
 	// random host's proxy (needs a topology and an attached restarter;
-	// silently skipped otherwise). The crash is evaluated last in the
-	// ladder, so the other probabilities replay identically whether or
-	// not crashes are enabled.
+	// silently skipped otherwise). The crash is evaluated after the
+	// probabilities above, so those replay identically whether or not
+	// crashes are enabled.
 	CrashProb float64
+	// SurgeProb is the per-step probability of a surge-load action:
+	// when surges are active, end one; otherwise reserve 50-90% of a
+	// random healthy resource's free capacity as external background
+	// load (brownout pressure for the adaptation layer). Evaluated last
+	// in the ladder.
+	SurgeProb float64
 }
 
 // DefaultRandomConfig is a moderately hostile walk: something is usually
@@ -160,6 +166,24 @@ func (in *Injector) RandomStep(now broker.Time, rng *rand.Rand, cfg RandomConfig
 			return nil
 		}
 		return &Event{Kind: KindCrashRestart, Resources: in.hostResources(h)}
+	case roll < cfg.RecoverProb+cfg.FailProb+cfg.ShrinkProb+cfg.HealProb+cfg.PartitionProb+cfg.CrashProb+cfg.SurgeProb:
+		if surged := in.Surged(); len(surged) > 0 {
+			r := surged[rng.Intn(len(surged))]
+			if in.EndSurge(now, r) != nil {
+				return nil
+			}
+			return &Event{Kind: KindSurgeEnd, Resources: []string{r}}
+		}
+		candidates := in.healthyResources()
+		if len(candidates) == 0 {
+			return nil
+		}
+		r := candidates[rng.Intn(len(candidates))]
+		fraction := 0.5 + rng.Float64()*0.4
+		if in.SurgeLoad(now, r, fraction) != nil {
+			return nil
+		}
+		return &Event{Kind: KindSurge, Resources: []string{r}}
 	default:
 		return nil
 	}

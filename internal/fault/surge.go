@@ -1,0 +1,89 @@
+package fault
+
+// Surge load: external contention that consumes capacity through the
+// ordinary reservation surface without failing anything — background
+// demand arriving from outside the session population. A surge raises
+// utilization (the brownout pressure the adaptation layer watches) but
+// never invalidates existing holds, so the repair layer has nothing to
+// do with it: only the adaptation controller reacts, by downgrading
+// victims until the hot resource cools.
+
+import (
+	"fmt"
+	"sort"
+
+	"qosres/internal/broker"
+)
+
+const (
+	// KindSurge reserves a slice of a resource's free capacity as
+	// external background load.
+	KindSurge Kind = "surge"
+	// KindSurgeEnd releases a surge's hold.
+	KindSurgeEnd Kind = "surge_end"
+)
+
+// SurgeLoad reserves fraction (in (0, 1]) of a resource's CURRENT free
+// capacity as an external background hold. At most one surge per
+// resource; a second call on a surged resource is an error. The hold is
+// unleased — it persists until EndSurge or RecoverAll.
+func (in *Injector) SurgeLoad(now broker.Time, resource string, fraction float64) error {
+	if fraction <= 0 || fraction > 1 {
+		return fmt.Errorf("fault: surge fraction %g outside (0, 1]", fraction)
+	}
+	l, err := in.local(resource)
+	if err != nil {
+		return err
+	}
+	in.mu.Lock()
+	_, already := in.surges[resource]
+	in.mu.Unlock()
+	if already {
+		return fmt.Errorf("fault: resource %s already surged", resource)
+	}
+	avail := l.Available()
+	if avail <= 0 {
+		return fmt.Errorf("fault: resource %s has no free capacity to surge", resource)
+	}
+	id, err := l.Reserve(now, avail*fraction)
+	if err != nil {
+		return err
+	}
+	in.mu.Lock()
+	in.surges[resource] = id
+	in.mu.Unlock()
+	in.emit(Event{Kind: KindSurge, Resources: []string{resource}})
+	return nil
+}
+
+// EndSurge releases a resource's surge hold.
+func (in *Injector) EndSurge(now broker.Time, resource string) error {
+	in.mu.Lock()
+	id, ok := in.surges[resource]
+	delete(in.surges, resource)
+	in.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("fault: resource %s is not surged", resource)
+	}
+	l, err := in.local(resource)
+	if err != nil {
+		return err
+	}
+	if err := l.Release(now, id); err != nil {
+		return err
+	}
+	in.emit(Event{Kind: KindSurgeEnd, Resources: []string{resource}})
+	return nil
+}
+
+// Surged returns the currently-surged resources, sorted.
+func (in *Injector) Surged() []string {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make([]string, 0, len(in.surges))
+	for r := range in.surges {
+		out = append(out, r)
+	}
+	sort.Strings(out)
+	return out
+}

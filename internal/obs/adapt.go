@@ -1,0 +1,55 @@
+package obs
+
+// Adaptation metric names: the mid-session renegotiation subsystem's
+// visibility surface. Documented in README.md ("Observability").
+const (
+	// MetricAdaptUpgrades counts sessions renegotiated to a higher
+	// end-to-end QoS level.
+	MetricAdaptUpgrades = "qosres_adapt_upgrades_total"
+	// MetricAdaptDowngrades counts sessions renegotiated to a lower
+	// end-to-end QoS level (brownout victims included).
+	MetricAdaptDowngrades = "qosres_adapt_downgrades_total"
+	// MetricAdaptHeld counts controller ticks spent inside the
+	// hysteresis band — utilization between the watermarks, no action.
+	MetricAdaptHeld = "qosres_adapt_held_total"
+	// MetricAdaptFlapsSuppressed counts renegotiations the controller
+	// wanted but suppressed: per-session cooldown not yet elapsed, or
+	// the tick's action budget exhausted.
+	MetricAdaptFlapsSuppressed = "qosres_adapt_flaps_suppressed_total"
+	// MetricDeliveredQoSSeconds gauges the delivered QoS-seconds so far
+	// (end-to-end rank × time held, summed over sessions) — the headline
+	// adaptation metric.
+	MetricDeliveredQoSSeconds = "qosres_delivered_qos_seconds"
+)
+
+// AdaptMetrics bundles the mid-session adaptation counters. The zero
+// value (or one built from a nil registry) is fully inert.
+type AdaptMetrics struct {
+	// Upgrades counts renegotiations to a higher level.
+	Upgrades *Counter
+	// Downgrades counts renegotiations to a lower level.
+	Downgrades *Counter
+	// Held counts ticks held inside the hysteresis band.
+	Held *Counter
+	// FlapsSuppressed counts actions suppressed by cooldown or budget.
+	FlapsSuppressed *Counter
+	// DeliveredQoSSeconds gauges the running delivered-QoS-seconds total.
+	DeliveredQoSSeconds *Gauge
+}
+
+// NewAdaptMetrics registers (or re-fetches) the adaptation counters. A
+// nil registry yields an inert value whose counters record nothing.
+func NewAdaptMetrics(r *Registry) *AdaptMetrics {
+	return &AdaptMetrics{
+		Upgrades: r.Counter(MetricAdaptUpgrades,
+			"Sessions renegotiated to a higher end-to-end QoS level."),
+		Downgrades: r.Counter(MetricAdaptDowngrades,
+			"Sessions renegotiated to a lower end-to-end QoS level."),
+		Held: r.Counter(MetricAdaptHeld,
+			"Adaptation controller ticks held inside the hysteresis band."),
+		FlapsSuppressed: r.Counter(MetricAdaptFlapsSuppressed,
+			"Renegotiations suppressed by per-session cooldown or tick budget."),
+		DeliveredQoSSeconds: r.Gauge(MetricDeliveredQoSSeconds,
+			"Delivered QoS-seconds: end-to-end rank x held time, summed over sessions."),
+	}
+}

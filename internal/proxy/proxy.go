@@ -325,6 +325,13 @@ type Runtime struct {
 	// faults receives repair-outcome counter increments (see
 	// InstrumentFaults); always non-nil, inert by default.
 	faults *obs.FaultMetrics
+	// adapt receives renegotiation counter increments (see
+	// InstrumentAdapt); always non-nil, inert by default.
+	adapt *obs.AdaptMetrics
+	// qosDelivered accumulates delivered QoS-seconds (end-to-end rank ×
+	// held time) of torn-down sessions; live sessions' running segments
+	// are added on read (DeliveredQoSSeconds).
+	qosDelivered float64
 	// tracer records distributed traces of Establish and repair sweeps
 	// (see InstrumentTracing); nil (the default) is inert.
 	tracer *obs.TraceRecorder
@@ -378,6 +385,7 @@ func NewRuntime(clock Clock) *Runtime {
 		templates: qrg.NewTemplateCache(nil),
 		sessions:  make(map[*Session]struct{}),
 		faults:    &obs.FaultMetrics{},
+		adapt:     &obs.AdaptMetrics{},
 		reports:   make(map[string]broker.Report),
 
 		walMetrics: &obs.WALMetrics{},
@@ -513,6 +521,62 @@ func (rt *Runtime) faultMetrics() *obs.FaultMetrics {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	return rt.faults
+}
+
+// InstrumentAdapt attaches adaptation counters: every successful
+// renegotiation then counts as an upgrade or a downgrade. A nil
+// argument (or one built from a nil registry) leaves the runtime
+// unobserved at no cost.
+func (rt *Runtime) InstrumentAdapt(m *obs.AdaptMetrics) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if m == nil {
+		m = &obs.AdaptMetrics{}
+	}
+	rt.adapt = m
+}
+
+// adaptMetrics returns the attached adaptation counters (never nil).
+func (rt *Runtime) adaptMetrics() *obs.AdaptMetrics {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.adapt
+}
+
+// addDeliveredQoS folds a torn-down session's QoS-seconds into the
+// runtime total. Called from terminateLocked with s.mu held (the lock
+// order is always s.mu before rt.mu).
+func (rt *Runtime) addDeliveredQoS(v float64) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.qosDelivered += v
+}
+
+// DeliveredQoSSeconds returns the delivered QoS-seconds so far: the
+// sum over all sessions, torn down and live, of end-to-end rank × time
+// held at that rank — the headline adaptation metric. Monotone in time;
+// an adaptation policy that upgrades into headroom raises it, one that
+// flaps or over-downgrades lowers it.
+func (rt *Runtime) DeliveredQoSSeconds() float64 {
+	now := rt.clock.Now()
+	rt.mu.Lock()
+	total := rt.qosDelivered
+	sessions := make([]*Session, 0, len(rt.sessions))
+	for s := range rt.sessions {
+		sessions = append(sessions, s)
+	}
+	rt.mu.Unlock()
+	for _, s := range sessions {
+		s.mu.Lock()
+		if s.state == StateActive {
+			total += s.qosSeconds
+			if s.plan != nil && now > s.qosMarkAt {
+				total += float64(now-s.qosMarkAt) * float64(s.plan.Rank)
+			}
+		}
+		s.mu.Unlock()
+	}
+	return total
 }
 
 // register adds a live session to the repair registry.

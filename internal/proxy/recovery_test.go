@@ -325,6 +325,94 @@ func TestCrashBetweenPrepareAndCommit(t *testing.T) {
 	}
 }
 
+// TestRenegotiateCrashRecovery pins renegotiation against the WAL: a
+// crash between delta-prepare and commit reconciles the session to
+// exactly one of its two levels with the books matching that level.
+// The undecided half (coordinator died before journaling a decision)
+// lands on the OLD level by presumed abort; a decided upgrade and a
+// journaled downgrade shrink both replay to exactly the NEW level.
+func TestRenegotiateCrashRecovery(t *testing.T) {
+	rt, clock, brokers := durableWorld(t, t.TempDir(), 50)
+	rt.Start()
+	service, binding := pipelineService(t)
+	s, err := rt.Establish("X", SessionSpec{Service: service, Binding: binding, Planner: core.AtLevel{Level: "ok"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.CurrentPlan().EndToEnd.Name; got != "ok" {
+		t.Fatalf("established at %s, want ok", got)
+	}
+	ctx := context.Background()
+	auditAndHeartbeat := func(when, level string) {
+		t.Helper()
+		if got := s.CurrentPlan().EndToEnd.Name; got != level {
+			t.Fatalf("%s: session at level %s, want %s", when, got, level)
+		}
+		for _, msg := range rt.AuditSessions(1e-9) {
+			t.Errorf("%s: audit: %s", when, msg)
+		}
+		if err := s.Heartbeat(); err != nil {
+			t.Fatalf("%s: heartbeat: %v", when, err)
+		}
+	}
+
+	// Crash between delta-prepare and commit: the upgrade's delta was
+	// prepared on Y but the coordinator journaled no decision. Recovery
+	// resolves it by presumed abort — the session reconciles to exactly
+	// the old level, the prepared delta vanishes from the books.
+	before := bookState(brokers)
+	prepareOn(t, rt, "X#900", 12, clock.Now()+50)
+	if err := rt.CrashRestart("Y"); err != nil {
+		t.Fatal(err)
+	}
+	if got := bookState(brokers); !reflect.DeepEqual(got, before) {
+		t.Fatalf("in-doubt delta survived recovery:\n got %v\nwant %v", got, before)
+	}
+	auditAndHeartbeat("after in-doubt crash", "ok")
+
+	// Decided upgrade: the delta committed (and was journaled) before
+	// the crash, so recovery replays the session at exactly the new
+	// level on every host.
+	if err := rt.Renegotiate(ctx, s, "best"); err != nil {
+		t.Fatalf("upgrade: %v", err)
+	}
+	upgraded := bookState(brokers)
+	for _, h := range []topo.HostID{"X", "Y"} {
+		if err := rt.CrashRestart(h); err != nil {
+			t.Fatalf("CrashRestart(%s): %v", h, err)
+		}
+	}
+	if got := bookState(brokers); !reflect.DeepEqual(got, upgraded) {
+		t.Fatalf("committed upgrade diverged after recovery:\n got %v\nwant %v", got, upgraded)
+	}
+	auditAndHeartbeat("after committed-upgrade crash", "best")
+
+	// Downgrade: the shrink is journaled too — the shrunk shape, not the
+	// pre-downgrade holds, is what replays.
+	if err := rt.Renegotiate(ctx, s, "ok"); err != nil {
+		t.Fatalf("downgrade: %v", err)
+	}
+	shrunk := bookState(brokers)
+	for _, h := range []topo.HostID{"X", "Y"} {
+		if err := rt.CrashRestart(h); err != nil {
+			t.Fatalf("CrashRestart(%s): %v", h, err)
+		}
+	}
+	if got := bookState(brokers); !reflect.DeepEqual(got, shrunk) {
+		t.Fatalf("journaled downgrade diverged after recovery:\n got %v\nwant %v", got, shrunk)
+	}
+	auditAndHeartbeat("after downgrade crash", "ok")
+
+	if err := s.Release(); err != nil {
+		t.Fatal(err)
+	}
+	for r, b := range brokers {
+		if b.Reservations() != 0 || b.Reserved() != 0 {
+			t.Errorf("%s leaked: %d holds, %g reserved", r, b.Reservations(), b.Reserved())
+		}
+	}
+}
+
 // TestWALDisabledPaths pins the guard rails of the durability surface.
 func TestWALDisabledPaths(t *testing.T) {
 	rt, _, _ := twoHostWorld(t)

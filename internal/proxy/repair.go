@@ -15,6 +15,12 @@ package proxy
 //  4. only when even the downgrade finds no feasible plan is the
 //     session terminated.
 //
+// A repair is a forced renegotiation: because the fault invalidated the
+// old holds, the whole target requirement is re-reserved (the "delta"
+// is everything) and the result is installed into the session through
+// the same installLocked path Runtime.Renegotiate uses, under the same
+// session lock.
+//
 // The outcome taxonomy matches the repair counters: Repaired (same or
 // better end-to-end QoS than before the fault), Degraded (re-admitted
 // at a lower level), Failed (terminated).
@@ -224,17 +230,15 @@ func (s *Session) repair(ctx context.Context, failed map[string]bool) (outcome R
 		return RepairFailed
 	}
 
-	s.plan = plan
-	s.reservation = newRes
-	s.adoptReservationLocked(newRes)
-	s.repairs++
-	if err := rt.armLease(newRes); err != nil {
-		// Leasing a just-committed hold only fails if a broker does not
-		// support leases, which admission would have already surfaced;
-		// treat it as a failed repair rather than strand unleased holds.
-		_ = s.terminateLocked(StateFailed)
+	// Install through the same path a renegotiation takes: a repair is a
+	// forced renegotiation — the fault already invalidated the holds, so
+	// the "delta" is the entire new requirement and there is nothing to
+	// shrink. QoS-seconds accrual, touch-set adoption, and leasing (with
+	// its terminate-on-failure exit) are one shared code path.
+	if err := s.installLocked(rt.clock.Now(), plan, newRes); err != nil {
 		return RepairFailed
 	}
+	s.repairs++
 	if plan.Rank >= oldRank {
 		return RepairRepaired
 	}

@@ -1,6 +1,7 @@
 package proxy
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"testing"
@@ -218,6 +219,82 @@ func TestHeartbeatKeepsLeaseAlive(t *testing.T) {
 	for r, b := range brokers {
 		if b.Reservations() != 0 {
 			t.Errorf("%s holds %d reservations", r, b.Reservations())
+		}
+	}
+}
+
+// TestHeartbeatRacingDowngradeRenewsCurrentHolds is the adaptation-era
+// lease regression: a Heartbeat racing a concurrent renegotiation (or
+// repair) must renew whatever holds the session has at that instant —
+// never a stale pre-downgrade set. Before renegotiation ran under the
+// session lock, a heartbeat could lease holds the downgrade was
+// concurrently releasing, leaving the post-downgrade reservation
+// unleased and reclaimable mid-session. CI runs this under -race.
+func TestHeartbeatRacingDowngradeRenewsCurrentHolds(t *testing.T) {
+	rounds := 25
+	if raceEnabled {
+		rounds = 100
+	}
+	rt, clock, brokers := twoHostWorld(t)
+	rt.SetLeaseTTL(5)
+	ctx := context.Background()
+	for round := 0; round < rounds; round++ {
+		s := establishPipe(t, rt, core.Basic{})
+
+		var wg sync.WaitGroup
+		wg.Add(2)
+		errs := make(chan error, 16)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				if err := s.Heartbeat(); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			if err := rt.Renegotiate(ctx, s, "ok"); err != nil {
+				errs <- err
+				return
+			}
+			if err := rt.Renegotiate(ctx, s, "best"); err != nil {
+				errs <- err
+			}
+		}()
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			t.Fatalf("round %d: %v", round, err)
+		}
+
+		// One more heartbeat against the settled session, then advance to
+		// just inside the renewed TTL: a sweep must reclaim nothing — the
+		// heartbeats leased the session's CURRENT holds, whichever
+		// renegotiation they interleaved with.
+		if err := s.Heartbeat(); err != nil {
+			t.Fatalf("round %d: post-race heartbeat: %v", round, err)
+		}
+		clock.Advance(4)
+		for _, b := range brokers {
+			if n := b.ExpireLeases(clock.Now()); n != 0 {
+				t.Fatalf("round %d: sweep reclaimed %d holds inside the renewed TTL", round, n)
+			}
+		}
+		if s.State() != StateActive {
+			t.Fatalf("round %d: state = %s", round, s.State())
+		}
+		for _, msg := range rt.AuditSessions(1e-9) {
+			t.Fatalf("round %d: audit: %s", round, msg)
+		}
+		if err := s.Release(); err != nil {
+			t.Fatalf("round %d: release: %v", round, err)
+		}
+		for r, b := range brokers {
+			if b.Reservations() != 0 {
+				t.Fatalf("round %d: %s holds %d reservations", round, r, b.Reservations())
+			}
 		}
 	}
 }

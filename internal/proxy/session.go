@@ -160,6 +160,12 @@ type Session struct {
 	// the repair layer matches failed resources against it.
 	touches map[string]bool
 	repairs int
+	// qosSeconds accumulates delivered QoS-seconds (rank × held time)
+	// over completed level segments; qosMarkAt is where the current
+	// segment started. The sum folds into the runtime's delivered total
+	// at teardown.
+	qosSeconds float64
+	qosMarkAt  broker.Time
 }
 
 // Establish runs the three-phase protocol with no deadline — the
@@ -235,6 +241,7 @@ func (rt *Runtime) EstablishContext(ctx context.Context, mainHost topo.HostID, s
 		spec:        spec,
 		plan:        plan,
 		reservation: res,
+		qosMarkAt:   rt.clock.Now(),
 	}
 	s.adoptReservationLocked(res)
 	if err := rt.armLease(res); err != nil {
@@ -594,11 +601,25 @@ func (s *Session) terminateLocked(to SessionState) error {
 	res := s.reservation
 	s.reservation = nil
 	s.touches = nil
+	now := s.runtime.clock.Now()
+	s.qosAccrueLocked(now)
+	s.runtime.addDeliveredQoS(s.qosSeconds)
+	s.qosSeconds = 0
 	s.runtime.unregister(s)
 	if res == nil {
 		return nil
 	}
-	return res.Release(s.runtime.clock.Now())
+	return res.Release(now)
+}
+
+// qosAccrueLocked closes the current QoS-seconds segment at its rank
+// and starts a new one at now. Called under s.mu whenever the session's
+// level changes (renegotiation, repair) and at teardown.
+func (s *Session) qosAccrueLocked(now broker.Time) {
+	if s.plan != nil && now > s.qosMarkAt {
+		s.qosSeconds += float64(now-s.qosMarkAt) * float64(s.plan.Rank)
+	}
+	s.qosMarkAt = now
 }
 
 // Release terminates the session's reservations. It is idempotent, and

@@ -388,13 +388,13 @@ func (rt *Runtime) commitPlan(ctx context.Context, mainHost topo.HostID, req qos
 			results <- hostResult{host: host, res: rep.res, err: rep.err}
 		}(host, share)
 	}
-	prepared := make([]*broker.MultiReservation, 0, len(shares))
+	prepared := make(map[topo.HostID]*broker.MultiReservation, len(shares))
 	var refusal, failure error
 	for range shares {
 		r := <-results
 		switch {
 		case r.err == nil:
-			prepared = append(prepared, r.res)
+			prepared[r.host] = r.res
 		case errors.Is(r.err, broker.ErrInsufficient):
 			if refusal == nil {
 				refusal = r.err
@@ -448,9 +448,13 @@ func (rt *Runtime) commitPlan(ctx context.Context, mainHost topo.HostID, req qos
 		abortAll()
 		return nil, commitErr
 	}
-	hosts := make([]topo.HostID, 0, len(shares))
-	for host := range shares {
-		hosts = append(hosts, host)
+	// Parts and hosts are emitted in the same (sorted) order so the
+	// journaled wrapper can attribute each share to its host — the
+	// per-host shrink records of a mid-session downgrade depend on it.
+	hosts := hostOrder(prepared)
+	parts := make([]*broker.MultiReservation, len(hosts))
+	for i, host := range hosts {
+		parts[i] = prepared[host]
 	}
-	return rt.journal(&reservationSet{parts: prepared}, id, hosts), nil
+	return rt.journal(&reservationSet{parts: parts}, id, hosts), nil
 }

@@ -10,6 +10,7 @@ import (
 
 	"qosres/internal/broker"
 	"qosres/internal/obs"
+	"qosres/internal/qos"
 	"qosres/internal/topo"
 	"qosres/internal/transport"
 	"qosres/internal/wal"
@@ -265,6 +266,12 @@ func reservationExports(res reservation) []broker.HoldExport {
 	switch r := res.(type) {
 	case *journaled:
 		return reservationExports(r.inner)
+	case *combined:
+		var out []broker.HoldExport
+		for _, part := range r.parts {
+			out = append(out, reservationExports(part)...)
+		}
+		return out
 	case *reservationSet:
 		var out []broker.HoldExport
 		for _, part := range r.parts {
@@ -317,6 +324,48 @@ func (j *journaled) Release(now broker.Time) error {
 }
 
 func (j *journaled) Touches() []string { return j.inner.Touches() }
+
+// shrinkTo shrinks the inner reservation to the per-resource budget and
+// journals the survivors: one TypeShrink record per participating host
+// carrying that host's post-shrink holds, so each host's replay ends up
+// with the downgraded amounts. Like Release, the journal runs even on
+// partial error — a part a concurrent sweep already reclaimed can only
+// under-account on replay, never resurrect capacity.
+func (j *journaled) shrinkTo(now broker.Time, budget qos.ResourceVector) error {
+	err := shrinkReservation(j.inner, now, budget)
+	l, m := j.rt.walState()
+	if l == nil {
+		return err
+	}
+	parts := j.hostParts()
+	if len(parts) != len(j.hosts) {
+		// Alignment lost (should not happen: commitPlan and commitBatch
+		// both emit parts in host order). Skip journaling rather than
+		// attribute holds to the wrong host — the lease sweep still
+		// bounds any replay overshoot.
+		return err
+	}
+	for i, part := range parts {
+		rec := wal.Record{Type: wal.TypeShrink, ID: j.id, Host: string(j.hosts[i]),
+			Parts: partsFromReservation(part)}
+		if aerr := l.Append(rec); aerr == nil {
+			m.Appends.Inc()
+		}
+	}
+	return err
+}
+
+// hostParts exposes the inner reservation's per-host shares, in the
+// order commitPlan/commitBatch aligned them with j.hosts.
+func (j *journaled) hostParts() []*broker.MultiReservation {
+	switch r := j.inner.(type) {
+	case *reservationSet:
+		return r.parts
+	case *broker.MultiReservation:
+		return []*broker.MultiReservation{r}
+	}
+	return nil
+}
 
 func (j *journaled) append(rec wal.Record) {
 	l, m := j.rt.walState()
@@ -400,6 +449,18 @@ func reduceHost(records []wal.Record, host string) (entries []*replayEntry, deci
 		case wal.TypeLease:
 			if e, ok := byID[rec.ID]; ok && !e.aborted && !e.released {
 				e.expiry = broker.Time(rec.Expiry)
+			}
+		case wal.TypeShrink:
+			// A mid-session downgrade: the record carries the holds that
+			// survived the shrink, replacing the prepare's parts whole. A
+			// shrink that left nothing on this host reads as a release so
+			// replay keeps an idempotent committed entry instead of
+			// restoring phantom holds.
+			if e, ok := byID[rec.ID]; ok && !e.aborted && !e.released {
+				e.parts = rec.Parts
+				if len(rec.Parts) == 0 {
+					e.released = true
+				}
 			}
 		case wal.TypeRelease:
 			if e, ok := byID[rec.ID]; ok {

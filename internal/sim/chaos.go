@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"qosres/internal/adapt"
 	"qosres/internal/broker"
 	"qosres/internal/core"
 	"qosres/internal/fault"
@@ -78,6 +79,14 @@ type FaultsConfig struct {
 	// swept once. This is how a serving deployment (cmd/qosserved)
 	// survives a restart; it requires WALDir.
 	RecoverWAL bool
+	// Adapt, when non-nil, runs the mid-session adaptation controller
+	// (package adapt) concurrently with the faults: one controller tick
+	// per injection step, brownout downgrades above the high watermark,
+	// upgrades below the low one. The harness then also checks the two
+	// adaptation invariants — every live session's booked holds match its
+	// recorded level exactly, and no downgrade lands below the policy's
+	// rank floor.
+	Adapt *adapt.Policy
 }
 
 // TransportConfig parameterizes unreliable-messaging chaos
@@ -191,6 +200,17 @@ func (fc *FaultsConfig) validate() error {
 	if fc.RecoverWAL && fc.WALDir == "" {
 		return fmt.Errorf("sim: RecoverWAL needs a WAL directory to replay")
 	}
+	if ap := fc.Adapt; ap != nil {
+		if ap.HighWater < 0 || ap.HighWater > 1 || ap.LowWater < 0 || ap.LowWater > 1 {
+			return fmt.Errorf("sim: adaptation watermarks %g/%g out of [0,1]", ap.LowWater, ap.HighWater)
+		}
+		if ap.Cooldown < 0 {
+			return fmt.Errorf("sim: negative adaptation cooldown %g", float64(ap.Cooldown))
+		}
+	}
+	if fc.Random.SurgeProb < 0 || fc.Random.SurgeProb > 1 {
+		return fmt.Errorf("sim: surge probability %g out of [0,1]", fc.Random.SurgeProb)
+	}
 	return nil
 }
 
@@ -236,6 +256,17 @@ type ChaosResult struct {
 	// partition alongside TimedOut.
 	Crashed      int
 	CrashAborted int
+	// Upgrades and Downgrades tally the successful mid-session
+	// renegotiations the adaptation controller drove (FaultsConfig.Adapt);
+	// AdaptHeld counts controller ticks absorbed by the hysteresis band,
+	// FlapsSuppressed the renegotiations the cooldown or the tick budget
+	// refused.
+	Upgrades, Downgrades       int
+	AdaptHeld, FlapsSuppressed int
+	// QoSSeconds is the run's delivered QoS-seconds: the integral of
+	// end-to-end rank over each session's held time, the headline metric
+	// adaptation trades in. Accrued whether or not a controller runs.
+	QoSSeconds float64
 }
 
 // String renders the result as a summary: two lines, plus a transport
@@ -253,6 +284,11 @@ func (r *ChaosResult) String() string {
 		s += fmt.Sprintf("\ncrash/restart cycles %d, admissions crash-aborted %d",
 			r.Crashed, r.CrashAborted)
 	}
+	if r.Upgrades+r.Downgrades+r.AdaptHeld+r.FlapsSuppressed > 0 {
+		s += fmt.Sprintf("\nadaptation: upgraded %d, downgraded %d, held %d tick(s), flaps suppressed %d",
+			r.Upgrades, r.Downgrades, r.AdaptHeld, r.FlapsSuppressed)
+	}
+	s += fmt.Sprintf("\ndelivered QoS-seconds %.1f", r.QoSSeconds)
 	return s
 }
 
@@ -374,9 +410,11 @@ func RunChaos(sc StressConfig) (*ChaosResult, error) {
 		switch ev.Kind {
 		case fault.KindRecover, fault.KindCapacityRestore,
 			fault.KindPartition, fault.KindHeal, fault.KindDelayRoute,
-			fault.KindCrashRestart:
+			fault.KindCrashRestart, fault.KindSurge, fault.KindSurgeEnd:
 			// Crash/restart needs no repair sweep: recovery replayed the
-			// book, and every committed hold it restored is intact.
+			// book, and every committed hold it restored is intact. Surges
+			// invalidate nothing either — they are external contention for
+			// the adaptation controller, not the repair layer.
 			return
 		}
 		ctx, cancel := bound()
@@ -404,6 +442,34 @@ func RunChaos(sc StressConfig) (*ChaosResult, error) {
 			result.LeasesExpired += n
 			mu.Unlock()
 			env.ins.faults.LeasesExpired.Add(float64(n))
+		}
+	}
+
+	// Mid-session adaptation (fc.Adapt): one controller tick per driver
+	// step, sharing the driver's pacing so renegotiations race live
+	// admissions, faults, partitions, and crash cycles exactly as they
+	// would in a deployment. The counters are read back into the result,
+	// so they are backed by a private registry when the run records no
+	// metrics of its own.
+	var ctrl *adapt.Controller
+	adaptMetrics := env.ins.adapt
+	if fc.Adapt != nil {
+		if !env.ins.enabled() {
+			adaptMetrics = obs.NewAdaptMetrics(obs.New())
+		}
+		brokers := make([]broker.Broker, 0, len(locals))
+		for _, b := range locals {
+			brokers = append(brokers, b)
+		}
+		ctrl = adapt.New(rt, *fc.Adapt, brokers)
+		ctrl.Instrument(adaptMetrics)
+	}
+	// audit checks adaptation invariant 5 — every live session's booked
+	// holds match its recorded level's requirement exactly — while
+	// admissions, faults, and renegotiations are all in flight.
+	audit := func(when string) {
+		for _, msg := range rt.AuditSessions(overcommitTolerance) {
+			fail("session audit (%s): %s", when, msg)
 		}
 	}
 
@@ -475,6 +541,34 @@ func RunChaos(sc StressConfig) (*ChaosResult, error) {
 				}
 			}
 			sweep(now)
+			if ctrl != nil {
+				// One deadline bounds the whole tick, like a repair sweep: a
+				// renegotiation stalled by lost messages must abort back to
+				// the old level, never hang the driver.
+				tctx, tcancel := bound()
+				actions := ctrl.Tick(tctx, now)
+				tcancel()
+				for _, a := range actions {
+					if a.Err != nil {
+						// A refused renegotiation (contention, a mid-flight
+						// fault) leaves the session at its old level; the
+						// audit below verifies exactly that.
+						continue
+					}
+					mu.Lock()
+					if a.ToRank > a.FromRank {
+						result.Upgrades++
+					} else {
+						result.Downgrades++
+					}
+					mu.Unlock()
+					// Adaptation invariant 6: never below the policy floor.
+					if a.ToRank < a.FromRank && a.ToRank < ctrl.Policy().FloorRank {
+						fail("adaptation downgraded below the rank floor: %d -> %d", a.FromRank, a.ToRank)
+					}
+				}
+			}
+			audit(fmt.Sprintf("step %d", i))
 			for c := 0; c < sc.Sessions; c++ {
 				select {
 				case ticks <- struct{}{}:
@@ -645,6 +739,16 @@ func RunChaos(sc StressConfig) (*ChaosResult, error) {
 		if err := s.Heartbeat(); !errors.Is(err, proxy.ErrSessionLost) {
 			failures = append(failures, fmt.Sprintf("orphaned session outlived its lease: heartbeat err %v", err))
 		}
+	}
+	audit("drain")
+
+	// The headline metric: delivered QoS-seconds, accrued per session at
+	// every level change and closed out at teardown. Every terminated
+	// session folded its integral into the runtime's total by now.
+	result.QoSSeconds = rt.DeliveredQoSSeconds()
+	if ctrl != nil {
+		result.AdaptHeld = int(adaptMetrics.Held.Value())
+		result.FlapsSuppressed = int(adaptMetrics.FlapsSuppressed.Value())
 	}
 
 	// Invariant 2: the environment is back to its exact original shape —

@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"qosres/internal/adapt"
 	"qosres/internal/obs"
 )
 
@@ -79,6 +80,75 @@ func TestChaosStress(t *testing.T) {
 	}
 	if int(injected) != res.Injected {
 		t.Errorf("qosres_fault_injected_total = %g, harness counted %d", injected, res.Injected)
+	}
+}
+
+// TestChaosAdaptive is the adaptation acceptance run: the mid-session
+// adaptation controller ticking on every driver step while the walk
+// injects faults, contention surges, 12%-loss/6%-dup transport chaos
+// with partitions, and crash/restart cycles. RunChaos itself asserts
+// all standing invariants plus the two adaptation ones — every live
+// session's booked holds match its recorded level exactly (audited on
+// every step and at drain), and no downgrade lands below the policy's
+// rank floor. CI runs it under -race and uploads the summary.
+func TestChaosAdaptive(t *testing.T) {
+	reg := obs.New()
+	sc := DefaultStressConfig(47)
+	sc.Config.Obs = reg
+	fc := DefaultFaultsConfig()
+	fc.Random.FailProb = 0.1
+	fc.Random.ShrinkProb = 0.3
+	fc.Random.RecoverProb = 0.25
+	fc.Random.SurgeProb = 0.25
+	fc.Random.CrashProb = 0.05
+	fc.Random.PartitionProb = 0.05
+	fc.Random.HealProb = 0.3
+	fc.Transport = DefaultTransportConfig()
+	fc.Transport.Loss = 0.12
+	fc.Transport.Dup = 0.06
+	ap := adapt.DefaultPolicy()
+	// Tighter watermarks than the serving default: the mid-range
+	// capacities keep utilization low, and the run should actually
+	// exercise renegotiations racing the faults, not just hold.
+	ap.HighWater = 0.6
+	ap.LowWater = 0.4
+	ap.Cooldown = 3 * fc.StepEvery
+	fc.Adapt = &ap
+	sc.Config.Faults = fc
+	// Mid-range capacities: headroom enough to establish and upgrade,
+	// scarce enough that surges push utilization over the watermark.
+	sc.Config.CapacityMin = 600
+	sc.Config.CapacityMax = 1200
+
+	res, err := RunChaos(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(res)
+
+	if res.Injected == 0 {
+		t.Error("adaptive chaos run injected no faults")
+	}
+	if res.Established > 0 && res.QoSSeconds <= 0 {
+		t.Errorf("%d sessions established but %g QoS-seconds delivered",
+			res.Established, res.QoSSeconds)
+	}
+	// The adaptation metrics surface in the Prometheus exposition.
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, name := range []string{
+		obs.MetricAdaptUpgrades,
+		obs.MetricAdaptDowngrades,
+		obs.MetricAdaptHeld,
+		obs.MetricAdaptFlapsSuppressed,
+		obs.MetricDeliveredQoSSeconds,
+	} {
+		if !strings.Contains(text, name) {
+			t.Errorf("metric %s missing from the Prometheus exposition", name)
+		}
 	}
 }
 

@@ -36,6 +36,10 @@ type instruments struct {
 	// read carries the read-path cache counters (snapshot cache and plan
 	// memo hits/misses/evictions); inert without a registry.
 	read *obs.ReadMetrics
+	// adapt carries the mid-session adaptation counters (upgrades,
+	// downgrades, held ticks, suppressed flaps, delivered QoS-seconds);
+	// inert without a registry.
+	adapt *obs.AdaptMetrics
 }
 
 const (
@@ -67,6 +71,7 @@ func newInstruments(r *obs.Registry) instruments {
 	in.faults = obs.NewFaultMetrics(r)
 	in.transport = obs.NewTransportMetrics(r)
 	in.read = obs.NewReadMetrics(r)
+	in.adapt = obs.NewAdaptMetrics(r)
 	return in
 }
 

@@ -118,6 +118,7 @@ func (env *environment) buildRuntime(cfg Config, clock proxy.Clock) (*proxy.Runt
 		// the run's registry.
 		rt.Instrument(env.ins.stages)
 		rt.InstrumentAdmission(env.ins.admit)
+		rt.InstrumentAdapt(env.ins.adapt)
 	}
 	if env.tracerec != nil {
 		// Distributed tracing gates itself on TraceSample, not on the

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"qosres/internal/adapt"
 	"qosres/internal/broker"
 	"qosres/internal/core"
 	"qosres/internal/obs"
@@ -66,6 +67,10 @@ type ServedOptions struct {
 	// Clock overrides the runtime clock; nil uses a fresh WallClock.
 	// Tests substitute a manual clock to force lease expiry.
 	Clock proxy.Clock
+	// Adapt, when non-nil, arms the mid-session adaptation controller
+	// over the deployment's brokers. The caller paces it (cmd/qosserved
+	// ticks it on wall-clock time via Controller).
+	Adapt *adapt.Policy
 }
 
 // ServedEnv is a live serving deployment: the figure-9 topology, its
@@ -79,6 +84,7 @@ type ServedEnv struct {
 	rt      *proxy.Runtime
 	planner core.Planner
 	clock   proxy.Clock
+	ctrl    *adapt.Controller
 }
 
 // NewServedEnv builds the environment and deploys the runtime. The
@@ -118,6 +124,16 @@ func NewServedEnv(opts ServedOptions) (*ServedEnv, error) {
 	if err != nil {
 		return nil, err
 	}
+	var ctrl *adapt.Controller
+	if opts.Adapt != nil {
+		locals := env.pool.LocalBrokers()
+		brokers := make([]broker.Broker, 0, len(locals))
+		for _, b := range locals {
+			brokers = append(brokers, b)
+		}
+		ctrl = adapt.New(rt, *opts.Adapt, brokers)
+		ctrl.Instrument(env.ins.adapt)
+	}
 	return &ServedEnv{
 		rng:     rng,
 		cfg:     cfg,
@@ -125,7 +141,19 @@ func NewServedEnv(opts ServedOptions) (*ServedEnv, error) {
 		rt:      rt,
 		planner: planner,
 		clock:   clock,
+		ctrl:    ctrl,
 	}, nil
+}
+
+// Controller returns the adaptation controller, nil unless
+// ServedOptions.Adapt armed one. The serving front end ticks it on
+// wall-clock time.
+func (se *ServedEnv) Controller() *adapt.Controller { return se.ctrl }
+
+// Renegotiate moves an established session to the named end-to-end
+// level through the delta-reservation path.
+func (se *ServedEnv) Renegotiate(ctx context.Context, s *proxy.Session, level string) error {
+	return se.rt.Renegotiate(ctx, s, level)
 }
 
 // Runtime exposes the deployed QoSProxy runtime (heartbeat sweeps,

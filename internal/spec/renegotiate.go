@@ -1,0 +1,25 @@
+package spec
+
+// Renegotiation wire types: the serving front end's mid-session
+// adaptation surface (`POST /renegotiate` on qosserved), shared with
+// the drivers that exercise it so both sides agree on one document.
+
+// RenegotiateRequest asks the front end to move an established session
+// to a different end-to-end level.
+type RenegotiateRequest struct {
+	// Session is the ID handed out by /establish.
+	Session string `json:"session"`
+	// Level is the target end-to-end level name.
+	Level string `json:"level"`
+}
+
+// RenegotiateReply reports the session's level after the request.
+type RenegotiateReply struct {
+	Session string `json:"session"`
+	// Level and Rank describe the session's (possibly new) end-to-end
+	// level.
+	Level string `json:"level"`
+	Rank  int    `json:"rank"`
+	// Outcome is "upgraded", "downgraded", or "unchanged".
+	Outcome string `json:"outcome"`
+}

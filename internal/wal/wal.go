@@ -60,6 +60,11 @@ const (
 	// TypeRelease journals a clean teardown of a committed reservation
 	// on one participant host.
 	TypeRelease = "release"
+	// TypeShrink journals a mid-session downgrade on one participant
+	// host: the reservation's surviving holds (Parts) after surplus was
+	// shrunk away. Replay replaces the request's remembered parts whole,
+	// so a recovered book carries the post-downgrade amounts.
+	TypeShrink = "shrink"
 	// TypeSession and TypeSessionEnd journal serving-front-end session
 	// lifecycle (cmd/qosserved): the session's hold exports at establish
 	// time and its teardown.
